@@ -1,0 +1,612 @@
+(* The benchmark harness: regenerates every table and figure of the
+   reproduction (see DESIGN.md's experiment index and EXPERIMENTS.md for the
+   paper-vs-measured record).
+
+   The paper is a theory paper — its "evaluation" is a set of theorems — so
+   each table pairs the proved bound with the quantity measured by the
+   corresponding executable engine:
+
+     T1  Theorem 10 / Corollary 11: swap objects forced by the Lemma 9
+         adversary vs ⌈n/k⌉-1, vs Algorithm 1's n-k and the register
+         baseline's n-k+1.
+     T2  Lemma 8: measured solo-execution lengths vs the 8(n-k) bound.
+     T3  Theorem 17 / Lemma 15: objects accumulated by the construction vs
+         n-2 (readable binary swap).
+     T4  Theorem 21 / Lemma 19: potential vs n-2, implied object count vs
+         (n-2)/(3b+1).
+     T5  The §1/§2 landscape: declared and touched space of every algorithm.
+     T6  Contention behaviour (not in the paper): steps to decision under
+         solo windows vs uniformly random scheduling.
+     T7  Real multicore runs over Atomic.exchange.
+     F1  The Lemma 15 induction chain (paper Figure 1).
+     F2  The Lemma 19 induction chain (paper Figure 2).
+
+   Usage: dune exec bench/main.exe [-- section ...] [--csv DIR]
+   where section ∈ {t0..t8 f1 f2 bechamel all}; default all.  With
+   [--csv DIR], every table is additionally written to DIR/<section>.csv. *)
+
+let csv_dir = ref None
+let current_section = ref "table"
+
+(* repackage extended protocol modules at the plain signature *)
+let sksa ~n ~k ~m : (module Shmem.Protocol.S) =
+  let (module P) = Core.Swap_ksa.make ~n ~k ~m in
+  (module P)
+
+let btrack ~n ~cap : (module Shmem.Protocol.S) =
+  let (module B) = Baselines.Binary_track_consensus.make ~n ~cap in
+  (module B)
+
+let section_header id title =
+  current_section := id;
+  Fmt.pr "@.============ %s: %s ============@." (String.uppercase_ascii id)
+    title
+
+let write_csv header rows =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let path = Filename.concat dir (!current_section ^ ".csv") in
+    let oc = open_out path in
+    let quote cell =
+      if String.exists (fun c -> c = ',' || c = '"') cell then
+        "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+      else cell
+    in
+    let emit row = output_string oc (String.concat "," (List.map quote row) ^ "\n") in
+    emit header;
+    List.iter emit rows;
+    close_out oc;
+    Fmt.pr "(written to %s)@." path
+
+let hline widths =
+  Fmt.pr "+%s+@."
+    (String.concat "+" (List.map (fun w -> String.make w '-') widths))
+
+let row widths cells =
+  Fmt.pr "|%s|@."
+    (String.concat "|"
+       (List.map2
+          (fun w c ->
+            let pad = max 0 (w - String.length c) in
+            " " ^ c ^ String.make (max 0 (pad - 1)) ' ')
+          widths cells))
+
+let print_table header rows =
+  let widths =
+    List.mapi
+      (fun i h ->
+        2
+        + List.fold_left
+            (fun acc r -> max acc (String.length (List.nth r i)))
+            (String.length h) rows)
+      header
+  in
+  hline widths;
+  row widths header;
+  hline widths;
+  List.iter (row widths) rows;
+  hline widths;
+  write_csv header rows
+
+(* ------------------------------------------------------------------ T0 *)
+
+let t0 () =
+  section_header "t0" "the paper's bound landscape (closed forms)";
+  let n = 16 and k = 2 and b = 2 in
+  Fmt.pr "at n=%d, k=%d, b=%d:@." n k b;
+  print_table [ "bound"; "value" ]
+    (List.map
+       (fun (d, v) -> [ d; v ])
+       (Lowerbound.Bounds.summary ~n ~k ~b))
+
+(* ------------------------------------------------------------------ T1 *)
+
+let forced_objects ~n ~k =
+  let (module P) = Core.Swap_ksa.make ~n ~k ~m:(k + 1) in
+  let module T = Lowerbound.Theorem10.Make (P) in
+  let cert = T.run ~search_rounds:30 () in
+  List.length cert.T.objects_forced
+
+let t1 () =
+  section_header "t1" "space of k-set agreement from swap (Thm 10 + Alg 1)";
+  let grid =
+    [ 4, 1; 8, 1; 16, 1; 32, 1; 64, 1; 8, 2; 12, 2; 9, 3; 16, 4; 20, 5 ]
+  in
+  let rows =
+    List.map
+      (fun (n, k) ->
+        let bound = Lowerbound.Bounds.ksa_swap_lb ~n ~k in
+        let forced = forced_objects ~n ~k in
+        [ string_of_int n
+        ; string_of_int k
+        ; string_of_int bound
+        ; string_of_int forced
+        ; string_of_int (n - k)
+        ; string_of_int (n - k + 1)
+        ])
+      grid
+  in
+  print_table
+    [ "n"
+    ; "k"
+    ; "lower bound ⌈n/k⌉-1"
+    ; "forced (Lemma 9)"
+    ; "Alg 1 (swap)"
+    ; "registers [15]"
+    ]
+    rows;
+  Fmt.pr
+    "for k=1 the adversary forces exactly n-1 objects, matching Algorithm \
+     1's usage.@."
+
+(* ------------------------------------------------------------------ T2 *)
+
+let t2 () =
+  section_header "t2" "solo-termination step bound (Lemma 8)";
+  let measure ~n ~k =
+    let (module P) = Core.Swap_ksa.make ~n ~k ~m:(k + 1) in
+    let module E = Shmem.Exec.Make (P) in
+    let rng = Random.State.make [| 99; n; k |] in
+    let worst = ref 0 in
+    (* probe solo runs from initial configurations and from configurations
+       reached by adversarial prefixes of various lengths *)
+    for _ = 1 to 20 do
+      let inputs = Array.init n (fun _ -> Random.State.int rng (k + 1)) in
+      let c0 = E.initial ~inputs in
+      (* keep the adversarial prefix short enough that undecided
+         processes remain to probe *)
+      let prefix_len = Random.State.int rng (4 * n) in
+      let c, _, _ =
+        E.run ~sched:(E.random rng) ~max_steps:prefix_len c0
+      in
+      List.iter
+        (fun pid ->
+          match E.run_solo ~pid ~max_steps:(8 * (n - k)) c with
+          | Some (_, tr) -> worst := max !worst (Shmem.Trace.length tr)
+          | None -> failwith "Lemma 8 violated!")
+        (E.undecided c)
+    done;
+    !worst
+  in
+  let rows =
+    List.map
+      (fun (n, k) ->
+        let w = measure ~n ~k in
+        [ string_of_int n
+        ; string_of_int k
+        ; string_of_int w
+        ; string_of_int (8 * (n - k))
+        ])
+      [ 2, 1; 4, 1; 8, 1; 16, 1; 6, 2; 9, 3; 12, 4 ]
+  in
+  print_table [ "n"; "k"; "max solo steps observed"; "8(n-k) bound" ] rows
+
+(* ------------------------------------------------------------------ T3 *)
+
+let t3 () =
+  section_header "t3"
+    "readable binary swap lower bound (Thm 17 via Lemma 15)";
+  let rows =
+    List.map
+      (fun n ->
+        let (module B) = Baselines.Binary_track_consensus.make ~n ~cap:8 in
+        let module L = Lowerbound.Binary_lb.Make (B) in
+        let t0 = Unix.gettimeofday () in
+        let r = L.run () in
+        [ string_of_int n
+        ; string_of_int r.L.distinct_objects
+        ; string_of_int r.L.bound
+        ; string_of_int (List.length r.L.x)
+        ; string_of_int (List.length r.L.y)
+        ; Fmt.str "%.1fs" (Unix.gettimeofday () -. t0)
+        ])
+      [ 3; 4; 5; 6; 7; 8 ]
+  in
+  print_table
+    [ "n"; "distinct objects"; "bound n-2"; "|X|"; "|Y|"; "time" ]
+    rows;
+  Fmt.pr
+    "the construction certifies that the protocol cannot be rewritten to \
+     use fewer than n-2 readable binary swap objects.@."
+
+(* ------------------------------------------------------------------ T4 *)
+
+let t4 () =
+  section_header "t4" "bounded-domain lower bound (Thm 21 via Lemma 19)";
+  let rows =
+    List.map
+      (fun n ->
+        let (module B) = Baselines.Binary_track_consensus.make ~n ~cap:8 in
+        let module L = Lowerbound.Bounded_lb.Make (B) in
+        let r = L.run () in
+        let b = r.L.domain_size in
+        [ string_of_int n
+        ; string_of_int b
+        ; string_of_int r.L.potential
+        ; string_of_int (n - 2)
+        ; string_of_int r.L.implied_objects
+        ; Fmt.str "%.2f" (float_of_int (n - 2) /. float_of_int ((3 * b) + 1))
+        ])
+      [ 3; 4; 5; 6 ]
+  in
+  print_table
+    [ "n"
+    ; "b"
+    ; "potential Σ(2|f|+|g|)+|S|"
+    ; "bound n-2"
+    ; "implied objects"
+    ; "(n-2)/(3b+1)"
+    ]
+    rows
+
+(* ------------------------------------------------------------------ T5 *)
+
+let touched protocol =
+  let (module P : Shmem.Protocol.S) = protocol in
+  let module E = Shmem.Exec.Make (P) in
+  let rng = Random.State.make [| 5; P.n |] in
+  let inputs = Array.init P.n (fun i -> i mod P.num_inputs) in
+  let c0 = E.initial ~inputs in
+  let _, trace, _ =
+    E.run
+      ~sched:(E.bursty rng ~burst:(64 * Array.length P.objects))
+      ~max_steps:200_000 c0
+  in
+  List.length (Shmem.Trace.objects_accessed trace)
+
+let t5 () =
+  section_header "t5" "space landscape of all implemented algorithms";
+  let n = 8 in
+  let entries =
+    [ sksa ~n ~k:1 ~m:2, "swap-ksa k=1 (Alg 1)", "n-1 (optimal, Thm 10)"
+    ; sksa ~n ~k:2 ~m:3, "swap-ksa k=2 (Alg 1)", "n-k; LB ⌈n/k⌉-1"
+    ; Baselines.Register_ksa.make ~n ~k:1 ~m:2, "register-ksa k=1 [15]",
+      "n-k+1; LB n [10]"
+    ; Baselines.Readable_swap_consensus.make ~n ~m:2,
+      "readable-swap consensus [16]", "n-1"
+    ; btrack ~n ~cap:16, "binary-track consensus [17]",
+      "2n-1 binary objs (unary here)"
+    ; Baselines.Bitwise_consensus.make ~n ~m:4 ~cap:16,
+      "bitwise multivalued [16]", "O(n log m) binary objects"
+    ; Core.Two_proc_swap.make ~m:2, "2-proc swap consensus", "1 (wait-free)"
+    ; Core.Pair_ksa.make ~n ~m:2, "(n-1)-set agreement", "1 (wait-free)"
+    ; Baselines.Cas_consensus.make ~n ~m:2, "CAS consensus [7]",
+      "1 (CAS not historyless)"
+    ]
+  in
+  let rows =
+    List.map
+      (fun (p, name, stated) ->
+        let (module P : Shmem.Protocol.S) = p in
+        [ name
+        ; string_of_int (Array.length P.objects)
+        ; string_of_int (touched p)
+        ; stated
+        ])
+      entries
+  in
+  print_table
+    [ Fmt.str "algorithm (n=%d)" n
+    ; "objects declared"
+    ; "objects touched"
+    ; "stated bound"
+    ]
+    rows
+
+(* ------------------------------------------------------------------ T6 *)
+
+let t6 () =
+  section_header "t6"
+    "contention: steps to decision, solo windows vs uniform scheduling";
+  let runs = 10 in
+  let measure protocol ~burst =
+    let (module P : Shmem.Protocol.S) = protocol in
+    let module E = Shmem.Exec.Make (P) in
+    let rng = Random.State.make [| 17; burst |] in
+    let total = ref 0 and decided = ref 0 in
+    for _ = 1 to runs do
+      let inputs = Array.init P.n (fun i -> i mod P.num_inputs) in
+      let sched =
+        if burst <= 1 then E.random rng else E.bursty rng ~burst
+      in
+      let _, trace, outcome =
+        E.run ~sched ~max_steps:100_000 (E.initial ~inputs)
+      in
+      if outcome = E.All_decided then begin
+        incr decided;
+        total := !total + Shmem.Trace.length trace
+      end
+    done;
+    if !decided = 0 then "never (>100k)"
+    else if !decided < runs then
+      Fmt.str "%d/%d decide" !decided runs
+    else Fmt.str "%d" (!total / runs)
+  in
+  let rows =
+    List.concat_map
+      (fun n ->
+        let swap = sksa ~n ~k:1 ~m:2 in
+        let reg = Baselines.Register_ksa.make ~n ~k:1 ~m:2 in
+        let burst = 2 * 8 * (n - 1) in
+        [ [ string_of_int n
+          ; "swap-ksa"
+          ; measure swap ~burst
+          ; measure swap ~burst:1
+          ]
+        ; [ string_of_int n
+          ; "register-ksa"
+          ; measure reg ~burst
+          ; measure reg ~burst:1
+          ]
+        ])
+      [ 2; 4; 6; 8 ]
+  in
+  print_table
+    [ "n"
+    ; "algorithm"
+    ; "mean steps (bursty sched)"
+    ; "steps (uniform sched)"
+    ]
+    rows;
+  Fmt.pr
+    "obstruction-freedom in action: with solo windows decisions are quick; \
+     under a uniformly random scheduler they may never come.@."
+
+(* ------------------------------------------------------------------ T7 *)
+
+let t7 () =
+  section_header "t7" "real multicore: Algorithm 1 over Atomic.exchange";
+  let rows =
+    List.map
+      (fun (n, k) ->
+        let runs = 5 in
+        let elapsed = ref 0. and passes = ref 0 and swaps = ref 0 in
+        for seed = 1 to runs do
+          let inputs = Array.init n (fun i -> i mod (k + 1)) in
+          let o = Multicore.Swap_ksa_mc.run ~n ~k ~m:(k + 1) ~inputs ~seed () in
+          (match Multicore.Swap_ksa_mc.check ~inputs ~k o with
+          | Ok () -> ()
+          | Error e -> failwith e);
+          elapsed := !elapsed +. o.Multicore.Swap_ksa_mc.elapsed;
+          passes :=
+            max !passes (Array.fold_left max 0 o.Multicore.Swap_ksa_mc.passes);
+          swaps :=
+            !swaps + Array.fold_left ( + ) 0 o.Multicore.Swap_ksa_mc.swaps
+        done;
+        [ string_of_int n
+        ; string_of_int k
+        ; Fmt.str "%.4f" (!elapsed /. float_of_int runs)
+        ; string_of_int !passes
+        ; string_of_int (!swaps / runs)
+        ])
+      [ 2, 1; 4, 1; 8, 1; 8, 2; 12, 3 ]
+  in
+  print_table
+    [ "n"; "k"; "mean elapsed (s)"; "max passes"; "total swaps/run" ]
+    rows;
+  (* the readable-swap algorithm on the same hardware, for comparison *)
+  let rs_rows =
+    List.map
+      (fun n ->
+        let runs = 5 in
+        let elapsed = ref 0. and passes = ref 0 in
+        for seed = 1 to runs do
+          let inputs = Array.init n (fun i -> i mod 2) in
+          let o = Multicore.Readable_swap_mc.run ~n ~m:2 ~inputs ~seed () in
+          (match Multicore.Readable_swap_mc.check ~inputs o with
+          | Ok () -> ()
+          | Error e -> failwith e);
+          elapsed := !elapsed +. o.Multicore.Readable_swap_mc.elapsed;
+          passes :=
+            max !passes
+              (Array.fold_left max 0 o.Multicore.Readable_swap_mc.passes)
+        done;
+        [ string_of_int n
+        ; Fmt.str "%.4f" (!elapsed /. float_of_int runs)
+        ; string_of_int !passes
+        ])
+      [ 2; 4; 8 ]
+  in
+  Fmt.pr "readable-swap consensus (n-1 objects, read pass + swap pass):@.";
+  print_table [ "n"; "mean elapsed (s)"; "max passes" ] rs_rows
+
+(* ------------------------------------------------------------------ T8 *)
+
+let t8 () =
+  section_header "t8" "ablations of Algorithm 1's design choices";
+  let variant ~lead ~merge : (module Shmem.Protocol.S) * string =
+    let (module P) = Core.Swap_ksa.make_ablation ~n:2 ~k:1 ~m:2 ~lead ~merge () in
+    ( (module P),
+      if merge then Fmt.str "lead=%d" lead else Fmt.str "lead=%d, no merge" lead )
+  in
+  let verdict protocol =
+    let (module P : Shmem.Protocol.S) = protocol in
+    let module C = Checker.Make (P) in
+    let prune (c : C.E.config) =
+      Array.exists
+        (fun v ->
+          match v with
+          | Shmem.Value.Pair (Shmem.Value.Ints u, _) ->
+            Array.exists (fun x -> x > 4) u
+          | _ -> false)
+        c.C.E.mem
+    in
+    let r = C.explore_all_inputs ~prune ~max_configs:300_000 () in
+    if Checker.ok r then "safe (checked)"
+    else
+      match r.Checker.violations with
+      | v :: _ -> Fmt.str "UNSAFE: %s" v.Checker.property
+      | [] -> assert false
+  in
+  let steps ~lead ~merge =
+    (* mean steps to decision for a safe variant at n=6 under solo windows *)
+    let (module P) = Core.Swap_ksa.make_ablation ~n:6 ~k:1 ~m:2 ~lead ~merge () in
+    let module E = Shmem.Exec.Make (P) in
+    let rng = Random.State.make [| 23; lead |] in
+    let total = ref 0 in
+    let runs = 10 in
+    for _ = 1 to runs do
+      let inputs = Array.init 6 (fun i -> i mod 2) in
+      let _, trace, outcome =
+        E.run ~sched:(E.bursty rng ~burst:100) ~max_steps:200_000
+          (E.initial ~inputs)
+      in
+      assert (outcome = E.All_decided);
+      total := !total + Shmem.Trace.length trace
+    done;
+    string_of_int (!total / runs)
+  in
+  let rows =
+    List.map
+      (fun (lead, merge) ->
+        let p, name = variant ~lead ~merge in
+        let v = verdict p in
+        let mean =
+          if String.length v >= 4 && String.sub v 0 4 = "safe" then
+            steps ~lead ~merge
+          else "-"
+        in
+        [ name; v; mean ])
+      [ 1, true; 2, true; 3, true; 4, true; 2, false ]
+  in
+  print_table
+    [ "variant"; "exhaustive check (n=2)"; "mean steps n=6 (bursty)" ]
+    rows;
+  Fmt.pr
+    "the paper's choices (lead 2, merging) are the cheapest safe point: a \
+     1-lap lead breaks agreement, as does dropping the merge of lines \
+     11-12.@."
+
+(* ------------------------------------------------------------- figures *)
+
+let f1 () =
+  section_header "f1" "Lemma 15 construction chain (paper Figure 1)";
+  (* n = 8: large enough that the construction exercises both cases of the
+     induction (a covered object enters Y) *)
+  let (module B) = Baselines.Binary_track_consensus.make ~n:8 ~cap:8 in
+  let module L = Lowerbound.Binary_lb.Make (B) in
+  let r = L.run () in
+  Fmt.pr "%a@.@.%a@." L.pp_result r L.pp_figure r
+
+let f2 () =
+  section_header "f2" "Lemma 19 construction chain (paper Figure 2)";
+  let (module B) = Baselines.Binary_track_consensus.make ~n:4 ~cap:8 in
+  let module L = Lowerbound.Bounded_lb.Make (B) in
+  let r = L.run () in
+  Fmt.pr "%a@.@.%a@." L.pp_result r L.pp_figure r
+
+(* ----------------------------------------------------------- bechamel *)
+
+let bechamel () =
+  section_header "bechamel" "wall-clock micro-benchmarks (one per table)";
+  let open Bechamel in
+  let simulated protocol ~burst name =
+    Test.make ~name
+      (Staged.stage (fun () ->
+           let (module P : Shmem.Protocol.S) = protocol in
+           let module E = Shmem.Exec.Make (P) in
+           let rng = Random.State.make [| 3 |] in
+           let inputs = Array.init P.n (fun i -> i mod P.num_inputs) in
+           let _, _, outcome =
+             E.run ~sched:(E.bursty rng ~burst) ~max_steps:100_000
+               (E.initial ~inputs)
+           in
+           assert (outcome = E.All_decided)))
+  in
+  let tests =
+    [ (* T1: the Lemma 9 adversary, full certificate *)
+      Test.make ~name:"t1/lemma9-adversary-n8"
+        (Staged.stage (fun () -> ignore (forced_objects ~n:8 ~k:1)))
+    ; (* T2: a solo execution *)
+      Test.make ~name:"t2/solo-run-n16"
+        (Staged.stage
+           (let (module P) = Core.Swap_ksa.make ~n:16 ~k:1 ~m:2 in
+            let module E = Shmem.Exec.Make (P) in
+            let inputs = Array.init 16 (fun i -> i mod 2) in
+            let c0 = E.initial ~inputs in
+            fun () ->
+              match E.run_solo ~pid:0 ~max_steps:200 c0 with
+              | Some _ -> ()
+              | None -> assert false))
+    ; (* T3/T4/F1/F2: the Lemma 15 construction at n=3 *)
+      Test.make ~name:"t3/lemma15-construction-n3"
+        (Staged.stage (fun () ->
+             let (module B) = Baselines.Binary_track_consensus.make ~n:3 ~cap:8 in
+             let module L = Lowerbound.Binary_lb.Make (B) in
+             ignore (L.run ())))
+    ; (* T5/T6: simulated contended runs *)
+      simulated (sksa ~n:8 ~k:1 ~m:2) ~burst:112 "t6/swap-ksa-n8-bursty"
+    ; simulated
+        (Baselines.Register_ksa.make ~n:8 ~k:1 ~m:2)
+        ~burst:112 "t6/register-ksa-n8-bursty"
+    ; (* T7: a real multicore decision *)
+      Test.make ~name:"t7/multicore-n4"
+        (Staged.stage (fun () ->
+             let inputs = [| 0; 1; 0; 1 |] in
+             ignore (Multicore.Swap_ksa_mc.run ~n:4 ~k:1 ~m:2 ~inputs ())))
+    ]
+  in
+  let benchmark test =
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg =
+      Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) ()
+    in
+    let raw = Benchmark.all cfg [ instance ] test in
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false
+        ~predictors:[| Measure.run |]
+    in
+    let results = Analyze.all ols instance raw in
+    Hashtbl.iter
+      (fun name ols ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Fmt.str "%.0f ns/run" est
+          | _ -> "n/a"
+        in
+        Fmt.pr "  %-32s %s@." name ns)
+      results
+  in
+  List.iter
+    (fun t -> benchmark (Test.make_grouped ~name:"bench" [ t ]))
+    tests
+
+(* --------------------------------------------------------------- main *)
+
+let sections =
+  [ "t0", t0; "t1", t1; "t2", t2; "t3", t3; "t4", t4; "t5", t5; "t6", t6; "t7", t7
+  ; "t8", t8; "f1", f1; "f2", f2; "bechamel", bechamel ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  (* accept "--csv DIR" and "--csv=DIR" *)
+  let rec strip = function
+    | "--csv" :: dir :: rest ->
+      csv_dir := Some dir;
+      strip rest
+    | a :: rest -> (
+      match String.index_opt a '=' with
+      | Some i when String.sub a 0 i = "--csv" ->
+        csv_dir := Some (String.sub a (i + 1) (String.length a - i - 1));
+        strip rest
+      | _ -> a :: strip rest)
+    | [] -> []
+  in
+  let args = strip args in
+  let requested =
+    match args with
+    | _ :: _ when not (List.mem "all" args) -> args
+    | _ -> List.map fst sections
+  in
+  List.iter
+    (fun id ->
+      match List.assoc_opt id sections with
+      | Some f -> f ()
+      | None ->
+        Fmt.epr "unknown section %s (available: %s)@." id
+          (String.concat " " (List.map fst sections));
+        exit 1)
+    requested;
+  Fmt.pr "@.done.@."

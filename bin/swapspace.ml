@@ -1,0 +1,322 @@
+(* The swapspace command-line interface.
+
+     swapspace run        simulate an algorithm under a chosen scheduler
+     swapspace check      model-check an algorithm (exhaustive or random)
+     swapspace lemma9     run the Theorem 10 / Lemma 9 adversary
+     swapspace lb-binary  run the Lemma 15 construction (Theorem 17)
+     swapspace lb-bounded run the Lemma 19 construction (Theorem 21)
+     swapspace multicore  run Algorithm 1 on real domains *)
+
+open Cmdliner
+
+(* ---------------------------------------------------------- protocols *)
+
+let protocol_of ~algo ~n ~k ~m ~cap : (module Shmem.Protocol.S) =
+  match algo with
+  | "swap-ksa" ->
+    let (module P) = Core.Swap_ksa.make ~n ~k ~m in
+    (module P)
+  | "register-ksa" -> Baselines.Register_ksa.make ~n ~k ~m
+  | "readable-swap" -> Baselines.Readable_swap_consensus.make ~n ~m
+  | "binary-track" ->
+    let (module B) = Baselines.Binary_track_consensus.make ~n ~cap in
+    (module B)
+  | "cas" -> Baselines.Cas_consensus.make ~n ~m
+  | "two-proc" -> Core.Two_proc_swap.make ~m
+  | "pair-ksa" -> Core.Pair_ksa.make ~n ~m
+  | other ->
+    Fmt.failwith
+      "unknown algorithm %s (try swap-ksa, register-ksa, readable-swap, \
+       binary-track, cas, two-proc, pair-ksa)"
+      other
+
+(* --------------------------------------------------------------- args *)
+
+let algo =
+  Arg.(
+    value
+    & opt string "swap-ksa"
+    & info [ "algo"; "a" ] ~docv:"NAME" ~doc:"Algorithm to use.")
+
+let n = Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Processes.")
+
+let k =
+  Arg.(value & opt int 1 & info [ "k" ] ~docv:"K" ~doc:"Agreement parameter.")
+
+let m =
+  Arg.(value & opt int 2 & info [ "m" ] ~docv:"M" ~doc:"Number of inputs.")
+
+let cap =
+  Arg.(
+    value & opt int 16
+    & info [ "cap" ] ~docv:"CAP" ~doc:"Track length for binary-track.")
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+
+let inputs_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "inputs"; "i" ] ~docv:"I0,I1,..."
+        ~doc:"Comma-separated inputs (default: pid mod m).")
+
+let parse_inputs ~n ~m = function
+  | None -> Array.init n (fun i -> i mod m)
+  | Some s ->
+    let l = String.split_on_char ',' s |> List.map int_of_string in
+    if List.length l <> n then Fmt.failwith "expected %d inputs" n;
+    Array.of_list l
+
+(* ---------------------------------------------------------------- run *)
+
+let run_cmd =
+  let go algo n k m cap seed inputs sched burst max_steps show_trace script
+      diagram =
+    let (module P) = protocol_of ~algo ~n ~k ~m ~cap in
+    let module E = Shmem.Exec.Make (P) in
+    let inputs = parse_inputs ~n:P.n ~m:P.num_inputs inputs in
+    let rng = Random.State.make [| seed |] in
+    let c0 = E.initial ~inputs in
+    let c, trace, outcome =
+      match script with
+      | Some text -> (
+        match Shmem.Schedule.parse text with
+        | Error e -> Fmt.failwith "bad --script: %s" e
+        | Ok pids ->
+          let c, trace = E.run_script c0 pids in
+          c, trace, E.Stopped)
+      | None ->
+        let sched =
+          match sched with
+          | "random" -> E.random rng
+          | "round-robin" -> E.round_robin
+          | "bursty" -> E.bursty rng ~burst
+          | s -> Fmt.failwith "unknown scheduler %s" s
+        in
+        E.run ~sched ~max_steps c0
+    in
+    if show_trace then Fmt.pr "%a@." Shmem.Trace.pp trace;
+    if diagram then
+      Fmt.pr "@[<v>%a@]@." (fun ppf -> Shmem.Timeline.render ~n:P.n ppf) trace;
+    Fmt.pr "%s: inputs=[%a] outcome=%s decided=[%a]@." P.name
+      Fmt.(array ~sep:(any ",") int)
+      inputs
+      (match outcome with
+      | E.All_decided -> "all-decided"
+      | E.Stopped -> "stopped"
+      | E.Step_limit -> "step-limit")
+      Fmt.(list ~sep:(any ",") int)
+      (E.decided_values c);
+    Fmt.pr "%a@." Shmem.Stats.pp (Shmem.Stats.of_trace trace);
+    if not (E.check_agreement c) then Fmt.failwith "k-AGREEMENT VIOLATED";
+    if not (E.check_validity ~inputs c) then Fmt.failwith "VALIDITY VIOLATED"
+  in
+  let sched =
+    Arg.(
+      value & opt string "bursty"
+      & info [ "sched" ] ~docv:"S" ~doc:"Scheduler: random, round-robin, bursty.")
+  in
+  let burst =
+    Arg.(
+      value & opt int 64
+      & info [ "burst" ] ~docv:"B" ~doc:"Solo window for the bursty scheduler.")
+  in
+  let max_steps =
+    Arg.(
+      value & opt int 100_000
+      & info [ "max-steps" ] ~docv:"STEPS" ~doc:"Step limit.")
+  in
+  let show_trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print the full trace.")
+  in
+  let script =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "script" ] ~docv:"SCHED"
+          ~doc:"Run this exact schedule (e.g. '0x3, 1, (2 0)x2') instead of \
+                a scheduler.")
+  in
+  let diagram =
+    Arg.(
+      value & flag
+      & info [ "diagram" ] ~doc:"Draw a space-time diagram of the execution.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Simulate an algorithm under a chosen scheduler.")
+    Term.(
+      const go $ algo $ n $ k $ m $ cap $ seed $ inputs_arg $ sched $ burst
+      $ max_steps $ show_trace $ script $ diagram)
+
+(* -------------------------------------------------------------- check *)
+
+let check_cmd =
+  let go algo n k m cap inputs all_inputs lap_cap max_configs no_solo =
+    let (module P) = protocol_of ~algo ~n ~k ~m ~cap in
+    let module C = Checker.Make (P) in
+    let prune (c : C.E.config) =
+      Array.exists
+        (fun v ->
+          match v with
+          | Shmem.Value.Pair (Shmem.Value.Ints u, _) ->
+            Array.exists (fun x -> x > lap_cap) u
+          | _ -> false)
+        c.C.E.mem
+    in
+    let report =
+      if all_inputs then
+        C.explore_all_inputs ~prune ~max_configs ~check_solo:(not no_solo) ()
+      else
+        let inputs = parse_inputs ~n:P.n ~m:P.num_inputs inputs in
+        C.explore ~prune ~max_configs ~check_solo:(not no_solo) ~inputs ()
+    in
+    Fmt.pr "%s: %a@." P.name Checker.pp_report report;
+    if not (Checker.ok report) then exit 1
+  in
+  let all_inputs =
+    Arg.(value & flag & info [ "all-inputs" ] ~doc:"Check every input vector.")
+  in
+  let lap_cap =
+    Arg.(
+      value & opt int 3
+      & info [ "lap-cap" ] ~docv:"L" ~doc:"Prune configurations beyond this lap.")
+  in
+  let max_configs =
+    Arg.(
+      value & opt int 500_000
+      & info [ "max-configs" ] ~docv:"N" ~doc:"Exploration budget.")
+  in
+  let no_solo =
+    Arg.(value & flag & info [ "no-solo" ] ~doc:"Skip solo-termination checks.")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Model-check agreement, validity, solo termination.")
+    Term.(
+      const go $ algo $ n $ k $ m $ cap $ inputs_arg $ all_inputs $ lap_cap
+      $ max_configs $ no_solo)
+
+(* ------------------------------------------------------------- lemma9 *)
+
+let lemma9_cmd =
+  let go n k =
+    let (module P) = Core.Swap_ksa.make ~n ~k ~m:(k + 1) in
+    let module T = Lowerbound.Theorem10.Make (P) in
+    let cert = T.run () in
+    List.iter
+      (fun level ->
+        match level with
+        | T.Base l9 ->
+          Fmt.pr "base case (k=1): adversary forced objects {%a}@."
+            Fmt.(list ~sep:(any ",") int)
+            l9.T.L9.objects_forced
+        | T.Found_k_values { r; cert; _ } ->
+          Fmt.pr "found a %d-values execution among R=%a; forced {%a}@."
+            P.k
+            Fmt.(list ~sep:(any ",") int)
+            r
+            Fmt.(list ~sep:(any ",") int)
+            cert.T.L9.objects_forced
+        | T.Recursed { r } ->
+          Fmt.pr "no k-values execution found; recursing on R=%a@."
+            Fmt.(list ~sep:(any ",") int)
+            r)
+      cert.T.levels;
+    Fmt.pr "objects forced: %d  (theorem bound ⌈n/k⌉-1 = %d; Algorithm 1 \
+            uses %d)@."
+      (List.length cert.T.objects_forced)
+      cert.T.bound (n - k)
+  in
+  Cmd.v
+    (Cmd.info "lemma9"
+       ~doc:"Run the Theorem 10 induction against Algorithm 1.")
+    Term.(const go $ n $ k)
+
+(* -------------------------------------------------------- lb engines *)
+
+let lb_binary_cmd =
+  let go n cap full =
+    let (module B) = Baselines.Binary_track_consensus.make ~n ~cap in
+    let module L = Lowerbound.Binary_lb.Make (B) in
+    let r = L.run ~include_others:full () in
+    Fmt.pr "%a@.@.%a@." L.pp_result r L.pp_figure r
+  in
+  let full =
+    Arg.(
+      value & flag
+      & info [ "full-class" ]
+          ~doc:"Search the full (Q ∪ P_i)-only witness class (slow).")
+  in
+  Cmd.v
+    (Cmd.info "lb-binary"
+       ~doc:"Run the Lemma 15 construction (Theorem 17) on binary-track.")
+    Term.(const go $ n $ cap $ full)
+
+let lb_bounded_cmd =
+  let go n cap full =
+    let (module B) = Baselines.Binary_track_consensus.make ~n ~cap in
+    let module L = Lowerbound.Bounded_lb.Make (B) in
+    let r = L.run ~include_others:full () in
+    Fmt.pr "%a@.@.%a@." L.pp_result r L.pp_figure r
+  in
+  let full =
+    Arg.(
+      value & flag
+      & info [ "full-class" ]
+          ~doc:"Search the full (Q ∪ P_i)-only witness class (slow).")
+  in
+  Cmd.v
+    (Cmd.info "lb-bounded"
+       ~doc:"Run the Lemma 19 construction (Theorem 21) on binary-track.")
+    Term.(const go $ n $ cap $ full)
+
+(* -------------------------------------------------------------- bounds *)
+
+let bounds_cmd =
+  let go n k b =
+    Fmt.pr "space bounds at n=%d, k=%d, domain size b=%d:@." n k b;
+    List.iter
+      (fun (what, value) -> Fmt.pr "  %-55s %s@." what value)
+      (Lowerbound.Bounds.summary ~n ~k ~b)
+  in
+  let b =
+    Arg.(value & opt int 2 & info [ "b" ] ~docv:"B" ~doc:"Domain size.")
+  in
+  Cmd.v
+    (Cmd.info "bounds" ~doc:"Print every bound from the paper in closed form.")
+    Term.(const go $ n $ k $ b)
+
+(* ---------------------------------------------------------- multicore *)
+
+let multicore_cmd =
+  let go n k m seed inputs =
+    let inputs = parse_inputs ~n ~m inputs in
+    let o = Multicore.Swap_ksa_mc.run ~n ~k ~m ~inputs ~seed () in
+    (match Multicore.Swap_ksa_mc.check ~inputs ~k o with
+    | Ok () -> ()
+    | Error e -> Fmt.failwith "%s" e);
+    Fmt.pr
+      "n=%d k=%d m=%d: decided=[%a] in %.4fs; passes=[%a] swaps=[%a]@." n k m
+      Fmt.(array ~sep:(any ",") int)
+      o.Multicore.Swap_ksa_mc.decisions o.Multicore.Swap_ksa_mc.elapsed
+      Fmt.(array ~sep:(any ",") int)
+      o.Multicore.Swap_ksa_mc.passes
+      Fmt.(array ~sep:(any ",") int)
+      o.Multicore.Swap_ksa_mc.swaps
+  in
+  Cmd.v
+    (Cmd.info "multicore"
+       ~doc:"Run Algorithm 1 on real domains over Atomic.exchange.")
+    Term.(const go $ n $ k $ m $ seed $ inputs_arg)
+
+let () =
+  let doc =
+    "Obstruction-free consensus and k-set agreement from swap objects \
+     (reproduction of Ovens, PODC 2022)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "swapspace" ~version:"1.0.0" ~doc)
+          [ run_cmd; check_cmd; lemma9_cmd; lb_binary_cmd; lb_bounded_cmd
+          ; bounds_cmd; multicore_cmd
+          ]))

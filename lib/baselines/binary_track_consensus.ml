@@ -1,0 +1,135 @@
+module Sh = Shmem
+
+module type S = sig
+  include Sh.Protocol.S
+
+  val cap : int
+  val positions : Sh.Value.t array -> int * int
+  val near_cap : margin:int -> Sh.Value.t array -> bool
+end
+
+let make_general ?(eager = false) ~kind_name ~kind ~n ~cap () : (module S) =
+  if n < 2 then invalid_arg "Binary_track_consensus.make: need n >= 2";
+  if cap < 4 then invalid_arg "Binary_track_consensus.make: need cap >= 4";
+  (module struct
+    let name =
+      Fmt.str "%s-track(n=%d,cap=%d%s)" kind_name n cap
+        (if eager then ",eager" else "")
+    let n = n
+    let k = 1
+    let num_inputs = 2
+    let cap = cap
+
+    let objects = Array.make (2 * cap) kind
+
+    let init_object _ = Sh.Value.Int 0
+    let cell v i = (v * cap) + i
+
+    (* scanning the preferred track, then the opposite track; [count] is the
+       number of set cells seen so far in the track being scanned *)
+    type phase =
+      | Scan_own of { index : int; count : int }
+      | Scan_opp of { index : int; count : int; own : int }
+      | Advance of { own : int; opp : int }
+
+    type state = {
+      pid : int;
+      pref : int;
+      phase : phase;
+      decided : int option;
+    }
+
+    let init ~pid ~input =
+      { pid; pref = input; phase = Scan_own { index = 0; count = 0 }
+      ; decided = None }
+
+    let poised s =
+      match s.phase with
+      | Scan_own { index; _ } -> Sh.Op.read (cell s.pref index)
+      | Scan_opp { index; _ } -> Sh.Op.read (cell (1 - s.pref) index)
+      | Advance { own; _ } -> Sh.Op.swap (cell s.pref own) Sh.Value.one
+
+    let rescan s = { s with phase = Scan_own { index = 0; count = 0 } }
+
+    (* end of a full scan: own track at [own], opposite track at [opp] *)
+    let evaluate s ~own ~opp =
+      if own >= opp + 2 then { s with decided = Some s.pref }
+      else if opp > own then rescan { s with pref = 1 - s.pref }
+      else if own >= cap then
+        (* track full: cannot advance; keep rescanning (the unary encoding's
+           documented limitation — callers keep positions below the cap) *)
+        rescan s
+      else { s with phase = Advance { own; opp } }
+
+    let bit resp =
+      match resp with
+      | Sh.Value.Int 0 -> false
+      | Sh.Value.Int 1 -> true
+      | v ->
+        invalid_arg
+          (Fmt.str "binary-track: malformed cell value %a" Sh.Value.pp v)
+
+    let on_response s resp =
+      match s.phase with
+      | Scan_own { index; count } ->
+        if bit resp && index + 1 < cap then
+          { s with phase = Scan_own { index = index + 1; count = count + 1 } }
+        else
+          let own = if bit resp then count + 1 else count in
+          { s with phase = Scan_opp { index = 0; count = 0; own } }
+      | Scan_opp { index; count; own } ->
+        if bit resp && index + 1 < cap then
+          { s with
+            phase = Scan_opp { index = index + 1; count = count + 1; own } }
+        else
+          let opp = if bit resp then count + 1 else count in
+          evaluate s ~own ~opp
+      | Advance { own; _ } ->
+        (* the eager variant uses the swap's response: 0 means this process
+           extended the prefix itself, so its own position is known and the
+           own-track rescan can be skipped *)
+        if eager && not (bit resp) && own + 1 <= cap then
+          { s with phase = Scan_opp { index = 0; count = 0; own = own + 1 } }
+        else rescan s
+
+    let decision s = s.decided
+    let equal_state s1 s2 = s1 = s2
+    let hash_state s = Hashtbl.hash s
+
+    let pp_state ppf s =
+      let pp_phase ppf = function
+        | Scan_own { index; count } -> Fmt.pf ppf "own@%d(%d)" index count
+        | Scan_opp { index; count; own } ->
+          Fmt.pf ppf "opp@%d(%d,own=%d)" index count own
+        | Advance { own; opp } -> Fmt.pf ppf "adv(%d,%d)" own opp
+      in
+      Fmt.pf ppf "{pref=%d %a%a}" s.pref pp_phase s.phase
+        Fmt.(option (fun ppf d -> Fmt.pf ppf " decided=%d" d))
+        s.decided
+
+    let positions mem =
+      let pos v =
+        let rec go i =
+          if i >= cap then cap
+          else
+            match mem.(cell v i) with
+            | Sh.Value.Int 1 -> go (i + 1)
+            | _ -> i
+        in
+        go 0
+      in
+      pos 0, pos 1
+
+    let near_cap ~margin mem =
+      let p0, p1 = positions mem in
+      p0 >= cap - margin || p1 >= cap - margin
+  end)
+
+let binary_kind = Sh.Obj_kind.Readable_swap (Sh.Obj_kind.Bounded 2)
+let make ~n ~cap = make_general ~kind_name:"binary" ~kind:binary_kind ~n ~cap ()
+
+let make_eager ~n ~cap =
+  make_general ~eager:true ~kind_name:"binary" ~kind:binary_kind ~n ~cap ()
+
+let make_tas ~n ~cap =
+  make_general ~kind_name:"tas" ~kind:Sh.Obj_kind.Test_and_set ~n ~cap ()

@@ -1,0 +1,54 @@
+(** An obstruction-free binary consensus algorithm for [n] processes from
+    readable {e binary} swap objects — the concrete protocol the §6
+    lower-bound engines run against.
+
+    Bowman [17] solves obstruction-free binary consensus with [2n-1] binary
+    registers.  We implement a unary racing-tracks algorithm over readable
+    binary swap objects (see DESIGN.md, Substitutions): two tracks of [cap]
+    cells, one per value, each cell a readable swap object with domain
+    {0,1}.  Cells are only ever swapped from 0 to 1, so the set cells of a
+    track always form a prefix, and the track's {e position} is that prefix's
+    length.  A process scans its preferred track first, then the opposite
+    track (this order is what makes the gap-2 rule safe: the opponent's
+    position is the {e freshest} information at decision time); it decides its
+    preference once it leads by 2, switches preference when strictly behind,
+    and otherwise extends its track by one cell.
+
+    Because the tracks are unary, the algorithm is obstruction-free only
+    while positions stay below [cap]; exhaustive checks prune near the cap
+    and random runs pick [cap] larger than the schedule length. *)
+
+module type S = sig
+  include Shmem.Protocol.S
+
+  val cap : int
+
+  val positions : Shmem.Value.t array -> int * int
+  (** current track positions (prefix lengths) read off a memory snapshot *)
+
+  val near_cap : margin:int -> Shmem.Value.t array -> bool
+  (** whether either track position is within [margin] of the cap (used as a
+      checker pruning predicate) *)
+end
+
+val make : n:int -> cap:int -> (module S)
+(** a binary consensus protocol using [2*cap] readable binary swap objects;
+    track [v] occupies object indices [v*cap .. v*cap + cap - 1].
+    @raise Invalid_argument unless [n >= 2] and [cap >= 4] *)
+
+val make_eager : n:int -> cap:int -> (module S)
+(** a variant whose advance uses the swap's response (response 0 means this
+    process extended the prefix itself, so the own-track rescan is
+    skipped).  Behaviourally equivalent safety-wise — the checker verifies
+    it — but its swaps are {e informative}, which changes where the §6
+    engines' critical steps land. *)
+
+val make_tas : n:int -> cap:int -> (module S)
+(** the same algorithm over readable {e test-and-set} objects: track cells
+    are only ever swapped from 0 to 1, so TAS (= [Swap(1)]) suffices.  This
+    is the §2 connection to Ellen, Gelashvili, Shavit and Zhu [16], who
+    proved that {e no finite number} of TAS objects solves obstruction-free
+    consensus for n ≥ 3 — reflected here in the fact that [cap] must grow
+    with the length of the adversarial executions one wants to survive,
+    whereas the readable-swap algorithms above get away with reusing n-1
+    unbounded objects. *)

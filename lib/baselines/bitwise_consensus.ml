@@ -1,0 +1,205 @@
+module Sh = Shmem
+
+let bits_needed m =
+  let rec go b pow = if pow >= m then b else go (b + 1) (pow * 2) in
+  max 1 (go 0 1)
+
+module Make (B : Sh.Protocol.S) = struct
+  let make ~m : (module Sh.Protocol.S) =
+    if B.k <> 1 || B.num_inputs <> 2 then
+      invalid_arg "Bitwise_consensus: the instance protocol must be binary \
+                   consensus";
+    if m < 2 then invalid_arg "Bitwise_consensus: need m >= 2";
+    let n = B.n in
+    let bits = bits_needed m in
+    let per_instance = Array.length B.objects in
+    (* object layout: board rows of [bits] bit cells plus a posted flag,
+       then [bits] consensus instances *)
+    let board_cells = n * (bits + 1) in
+    let bit_cell ~pid ~j = (pid * (bits + 1)) + j in
+    let flag_cell ~pid = (pid * (bits + 1)) + bits in
+    let instance_base r = board_cells + (r * per_instance) in
+    let bit_of v r = (v lsr r) land 1 in
+    (module struct
+      let name = Fmt.str "bitwise[%s](n=%d,m=%d)" B.name n m
+      let n = n
+      let k = 1
+      let num_inputs = m
+
+      let objects =
+        Array.init
+          (board_cells + (bits * per_instance))
+          (fun i ->
+            if i < board_cells then Sh.Obj_kind.Readable_swap (Sh.Obj_kind.Bounded 2)
+            else B.objects.((i - board_cells) mod per_instance))
+
+      let init_object i =
+        if i < board_cells then Sh.Value.Int 0
+        else B.init_object ((i - board_cells) mod per_instance)
+
+      type phase =
+        | Posting of int  (* next board cell of my row to write *)
+        | Running of { round : int; sub : B.state }
+        | Scanning of { round : int; idx : int; seen : Sh.Value.t list }
+            (* reading the whole board, newest first, to find a candidate *)
+
+      type state = {
+        pid : int;
+        input : int;
+        agreed : int;  (* decided bits, little-endian *)
+        candidate : int;
+        phase : phase;
+        decided : int option;
+      }
+
+      let init ~pid ~input =
+        { pid; input; agreed = 0; candidate = input; phase = Posting 0
+        ; decided = None }
+
+      (* start instance [round], proposing the candidate's bit *)
+      let enter_round s round =
+        { s with
+          phase =
+            Running
+              { round
+              ; sub = B.init ~pid:s.pid ~input:(bit_of s.candidate round)
+              }
+        }
+
+      let poised s =
+        match s.phase with
+        | Posting j ->
+          if j < bits then
+            Sh.Op.swap (bit_cell ~pid:s.pid ~j) (Sh.Value.Int (bit_of s.input j))
+          else Sh.Op.swap (flag_cell ~pid:s.pid) Sh.Value.one
+        | Running { round; sub } ->
+          let op = B.poised sub in
+          { op with Sh.Op.obj = instance_base round + op.Sh.Op.obj }
+        | Scanning { idx; _ } -> Sh.Op.read idx
+
+      let prefix_matches ~agreed ~upto v =
+        let mask = (1 lsl upto) - 1 in
+        v land mask = agreed land mask
+
+      (* the bit [b] for round [round] has been decided: extend the agreed
+         prefix and keep or replace the candidate *)
+      let after_round s ~round ~b =
+        let agreed = s.agreed lor (b lsl round) in
+        let s = { s with agreed } in
+        if round + 1 >= bits then { s with decided = Some agreed }
+        else if prefix_matches ~agreed ~upto:(round + 1) s.candidate then
+          enter_round s (round + 1)
+        else { s with phase = Scanning { round = round + 1; idx = 0; seen = [] } }
+
+      (* a full board snapshot, oldest cell first *)
+      let candidate_of_board s ~round cells =
+        let arr = Array.of_list (List.rev cells) in
+        let posted pid = Sh.Value.equal arr.(flag_cell ~pid) Sh.Value.one in
+        let value pid =
+          let v = ref 0 in
+          for j = 0 to bits - 1 do
+            if Sh.Value.equal arr.(bit_cell ~pid ~j) Sh.Value.one then
+              v := !v lor (1 lsl j)
+          done;
+          !v
+        in
+        let rec find pid =
+          if pid >= n then None
+          else if
+            posted pid
+            && prefix_matches ~agreed:s.agreed ~upto:round (value pid)
+            && value pid < m
+          then Some (value pid)
+          else find (pid + 1)
+        in
+        find 0
+
+      let on_response s resp =
+        match s.phase with
+        | Posting j ->
+          if j < bits then { s with phase = Posting (j + 1) }
+          else enter_round s 0
+        | Running { round; sub } ->
+          let sub = B.on_response sub resp in
+          (match B.decision sub with
+          | Some b -> after_round s ~round ~b
+          | None -> { s with phase = Running { round; sub } })
+        | Scanning { round; idx; seen } ->
+          let seen = resp :: seen in
+          if idx + 1 < board_cells then
+            { s with phase = Scanning { round; idx = idx + 1; seen } }
+          else (
+            match candidate_of_board s ~round seen with
+            | Some candidate -> enter_round { s with candidate } round
+            | None ->
+              (* validity of the binary instances guarantees a matching
+                 posted value exists once the previous round has decided;
+                 rescanning is a defensive fallback *)
+              { s with phase = Scanning { round; idx = 0; seen = [] } })
+
+      let decision s = s.decided
+
+      let equal_state s1 s2 =
+        s1.pid = s2.pid && s1.input = s2.input && s1.agreed = s2.agreed
+        && s1.candidate = s2.candidate
+        && s1.decided = s2.decided
+        &&
+        (match s1.phase, s2.phase with
+        | Posting j1, Posting j2 -> j1 = j2
+        | Running r1, Running r2 ->
+          r1.round = r2.round && B.equal_state r1.sub r2.sub
+        | Scanning c1, Scanning c2 ->
+          c1.round = c2.round && c1.idx = c2.idx
+          && List.equal Sh.Value.equal c1.seen c2.seen
+        | (Posting _ | Running _ | Scanning _), _ -> false)
+
+      let hash_state s =
+        let phase_hash =
+          match s.phase with
+          | Posting j -> j
+          | Running { round; sub } -> (round * 31) + B.hash_state sub
+          | Scanning { round; idx; seen } ->
+            List.fold_left
+              (fun acc v -> (acc * 31) + Sh.Value.hash v)
+              ((round * 7) + idx)
+              seen
+        in
+        Hashtbl.hash
+          (s.pid, s.input, s.agreed, s.candidate, s.decided, phase_hash)
+
+      let pp_state ppf s =
+        let pp_phase ppf = function
+          | Posting j -> Fmt.pf ppf "post%d" j
+          | Running { round; sub } -> Fmt.pf ppf "r%d:%a" round B.pp_state sub
+          | Scanning { round; idx; _ } -> Fmt.pf ppf "scan r%d@%d" round idx
+        in
+        Fmt.pf ppf "{in=%d agreed=%d cand=%d %a%a}" s.input s.agreed
+          s.candidate pp_phase s.phase
+          Fmt.(option (fun ppf d -> Fmt.pf ppf " decided=%d" d))
+          s.decided
+    end)
+end
+
+let make ~n ~m ~cap =
+  let (module B) = Binary_track_consensus.make ~n ~cap in
+  let module W = Make (B) in
+  W.make ~m
+
+let near_cap ~n ~m ~cap ~margin mem =
+  let bits = bits_needed m in
+  let board_cells = n * (bits + 1) in
+  let pos r v =
+    let base = board_cells + (r * 2 * cap) + (v * cap) in
+    let rec go i =
+      if i >= cap then cap
+      else match mem.(base + i) with Sh.Value.Int 1 -> go (i + 1) | _ -> i
+    in
+    go 0
+  in
+  let near = ref false in
+  for r = 0 to bits - 1 do
+    for v = 0 to 1 do
+      if pos r v >= cap - margin then near := true
+    done
+  done;
+  !near

@@ -1,0 +1,39 @@
+(** Multivalued consensus from binary consensus instances over binary
+    objects — the classic bit-by-bit construction behind the
+    [O(n log n)]-binary-register algorithm for inputs in [{1..n}] cited in
+    §2 (Ellen, Gelashvili, Shavit and Zhu [16]).
+
+    The protocol uses a {e proposal board} of [n·(⌈log₂ m⌉ + 1)] readable
+    binary swap objects (each process posts its input's bits, then raises a
+    posted flag) followed by [⌈log₂ m⌉] independent instances of a binary
+    consensus protocol.  Processes agree on the output one bit per round:
+    in round [r] a process proposes bit [r] of its {e candidate} — a posted
+    value whose bits agree with the already-decided prefix — and rescans the
+    board for a new candidate whenever the decided bit contradicts its own.
+    Validity of the binary instances guarantees a matching posted value
+    always exists, so the final agreed bit string is some process's input.
+
+    {!Make} is a combinator: any binary consensus protocol for the same [n]
+    can provide the per-round instances. *)
+
+module Make (B : Shmem.Protocol.S) : sig
+  val make : m:int -> (module Shmem.Protocol.S)
+  (** an [m]-valued consensus protocol for [B.n] processes built from
+      [⌈log₂ m⌉] instances of [B] plus the proposal board.
+      @raise Invalid_argument unless [B] is binary consensus
+      ([B.k = 1], [B.num_inputs = 2]) and [m >= 2] *)
+end
+
+val make : n:int -> m:int -> cap:int -> (module Shmem.Protocol.S)
+(** the construction instantiated with {!Binary_track_consensus} instances
+    (track length [cap]), giving m-valued consensus from binary readable
+    swap objects only *)
+
+val bits_needed : int -> int
+(** ⌈log₂ m⌉ (at least 1): the number of binary instances used *)
+
+val near_cap :
+  n:int -> m:int -> cap:int -> margin:int -> Shmem.Value.t array -> bool
+(** for protocols built by {!make}: whether any instance's track position is
+    within [margin] of [cap] (checker pruning predicate, mirroring
+    {!Binary_track_consensus.S.near_cap}) *)

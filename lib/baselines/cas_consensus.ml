@@ -1,0 +1,44 @@
+module Sh = Shmem
+
+let make ~n ~m : (module Sh.Protocol.S) =
+  if n < 1 then invalid_arg "Cas_consensus.make: need n >= 1";
+  if m < 2 then invalid_arg "Cas_consensus.make: need m >= 2";
+  (module struct
+    let name = Fmt.str "cas-consensus(n=%d,m=%d)" n m
+    let n = n
+    let k = 1
+    let num_inputs = m
+    let objects = [| Sh.Obj_kind.Compare_and_swap Sh.Obj_kind.Unbounded |]
+    let init_object _ = Sh.Value.Bot
+
+    type phase = Try | Read_back
+
+    type state = { input : int; phase : phase; decided : int option }
+
+    let init ~pid:_ ~input = { input; phase = Try; decided = None }
+
+    let poised s =
+      match s.phase with
+      | Try ->
+        Sh.Op.cas 0 ~expected:Sh.Value.Bot ~desired:(Sh.Value.Int s.input)
+      | Read_back -> Sh.Op.read 0
+
+    let on_response s resp =
+      match s.phase, resp with
+      | Try, Sh.Value.Int 1 -> { s with decided = Some s.input }
+      | Try, Sh.Value.Int 0 -> { s with phase = Read_back }
+      | Read_back, Sh.Value.Int w -> { s with decided = Some w }
+      | _, v ->
+        invalid_arg
+          (Fmt.str "cas-consensus: unexpected response %a" Sh.Value.pp v)
+
+    let decision s = s.decided
+    let equal_state s1 s2 = s1 = s2
+    let hash_state s = Hashtbl.hash s
+
+    let pp_state ppf s =
+      Fmt.pf ppf "{input=%d %s%a}" s.input
+        (match s.phase with Try -> "try" | Read_back -> "read")
+        Fmt.(option (fun ppf d -> Fmt.pf ppf " decided=%d" d))
+        s.decided
+  end)

@@ -1,0 +1,11 @@
+(** Wait-free, [n]-process consensus from a single compare-and-swap object
+    (Herlihy [7]; §2's perturbable-object comparison point).
+
+    Compare-and-swap is {e not} historyless, which is why one object
+    suffices here while the paper proves Ω(n) bounds for historyless
+    objects.  Each process attempts [Cas(⊥, input)]; the winner decides its
+    input, losers read the object and decide what they find. *)
+
+val make : n:int -> m:int -> (module Shmem.Protocol.S)
+(** each process decides within two steps.
+    @raise Invalid_argument unless [n >= 1] and [m >= 2] *)

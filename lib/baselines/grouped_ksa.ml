@@ -1,0 +1,37 @@
+module Sh = Shmem
+
+let make ~n ~k ~m : (module Sh.Protocol.S) =
+  if k < 1 then invalid_arg "Grouped_ksa.make: need k >= 1";
+  if n < 2 || n > 2 * k then invalid_arg "Grouped_ksa.make: need 2 <= n <= 2k";
+  if m < 2 then invalid_arg "Grouped_ksa.make: need m >= 2";
+  (module struct
+    let name = Fmt.str "grouped-ksa(n=%d,k=%d,m=%d)" n k m
+    let n = n
+    let k = k
+    let num_inputs = m
+    let objects = Array.make k (Sh.Obj_kind.Swap_only Sh.Obj_kind.Unbounded)
+    let init_object _ = Sh.Value.Bot
+
+    type state = { pid : int; input : int; decided : int option }
+
+    let init ~pid ~input = { pid; input; decided = None }
+    let group pid = pid mod k
+    let poised s = Sh.Op.swap (group s.pid) (Sh.Value.Int s.input)
+
+    let on_response s resp =
+      match resp with
+      | Sh.Value.Bot -> { s with decided = Some s.input }
+      | Sh.Value.Int w -> { s with decided = Some w }
+      | v ->
+        invalid_arg
+          (Fmt.str "grouped-ksa: malformed object value %a" Sh.Value.pp v)
+
+    let decision s = s.decided
+    let equal_state s1 s2 = s1 = s2
+    let hash_state s = Hashtbl.hash s
+
+    let pp_state ppf s =
+      Fmt.pf ppf "{input=%d%a}" s.input
+        Fmt.(option (fun ppf d -> Fmt.pf ppf " decided=%d" d))
+        s.decided
+  end)

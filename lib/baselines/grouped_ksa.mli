@@ -1,0 +1,14 @@
+(** A wait-free k-set agreement algorithm for [n <= 2k] processes from [k]
+    swap objects: processes are partitioned into [k] groups of at most two
+    (group of [pid] is [pid mod k]), and each group runs the folklore
+    2-process swap consensus on its own object.
+
+    This generalises the paper's §1 observation (a predesignated pair plus
+    bystanders gives (n-1)-set agreement from one swap object) to a grid of
+    pairs.  Unlike Algorithm 1, this algorithm {e does} admit R-only
+    executions deciding [k] distinct values, so it exercises the
+    "found-k-values" branch of the Theorem 10 engine — the branch the
+    tightly-spaced Algorithm 1 never triggers. *)
+
+val make : n:int -> k:int -> m:int -> (module Shmem.Protocol.S)
+(** @raise Invalid_argument unless [2 <= n <= 2k], [k >= 1], [m >= 2] *)

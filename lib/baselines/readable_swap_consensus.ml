@@ -1,0 +1,117 @@
+module Sh = Shmem
+
+let make ~n ~m : (module Sh.Protocol.S) =
+  if n < 2 then invalid_arg "Readable_swap_consensus.make: need n >= 2";
+  if m < 2 then invalid_arg "Readable_swap_consensus.make: need m >= 2";
+  let r = n - 1 in
+  (module struct
+    let name = Fmt.str "readable-swap-consensus(n=%d,m=%d)" n m
+    let n = n
+    let k = 1
+    let num_inputs = m
+    let objects = Array.make r (Sh.Obj_kind.Readable_swap Sh.Obj_kind.Unbounded)
+
+    let init_object _ =
+      Sh.Value.Pair (Sh.Value.Ints (Array.make m 0), Sh.Value.Bot)
+
+    type phase = Reading of int | Swapping of int
+
+    type state = {
+      pid : int;
+      u : int array;
+      phase : phase;
+      conflict : bool;
+      decided : int option;
+    }
+
+    let init ~pid ~input =
+      let u = Array.make m 0 in
+      u.(input) <- 1;
+      { pid; u; phase = Reading 0; conflict = false; decided = None }
+
+    let poised s =
+      match s.phase with
+      | Reading i -> Sh.Op.read i
+      | Swapping i ->
+        Sh.Op.swap i (Sh.Value.Pair (Sh.Value.Ints s.u, Sh.Value.Pid s.pid))
+
+    let leader u =
+      let v = ref 0 in
+      for j = 1 to Array.length u - 1 do
+        if u.(j) > u.(!v) then v := j
+      done;
+      !v
+
+    let leads_by_two u v =
+      let ok = ref true in
+      for j = 0 to Array.length u - 1 do
+        if j <> v && u.(v) < u.(j) + 2 then ok := false
+      done;
+      !ok
+
+    let decode resp =
+      match resp with
+      | Sh.Value.Pair (Sh.Value.Ints u', p') -> u', p'
+      | v ->
+        invalid_arg
+          (Fmt.str "readable-swap-consensus: malformed object value %a"
+             Sh.Value.pp v)
+
+    (* merge a lap counter into the local one without recording a conflict
+       (used for the read pass) *)
+    let merge s u' =
+      if Array.for_all2 Int.equal u' s.u then s
+      else { s with u = Array.init m (fun j -> max s.u.(j) u'.(j)) }
+
+    (* the swap pass behaves exactly like Algorithm 1's lines 8-12 *)
+    let absorb s resp =
+      let u', p' = decode resp in
+      let same_id = match p' with Sh.Value.Pid q -> q = s.pid | _ -> false in
+      let same_u = Array.for_all2 Int.equal u' s.u in
+      let s = merge s u' in
+      { s with conflict = s.conflict || not (same_id && same_u) }
+
+    let end_of_pass s =
+      if s.conflict then { s with phase = Reading 0; conflict = false }
+      else
+        let v = leader s.u in
+        if leads_by_two s.u v then { s with decided = Some v }
+        else begin
+          let u = Array.copy s.u in
+          u.(v) <- u.(v) + 1;
+          { s with u; phase = Reading 0; conflict = false }
+        end
+
+    let on_response s resp =
+      match s.phase with
+      | Reading i ->
+        let u', _ = decode resp in
+        let s = merge s u' in
+        if i + 1 < r then { s with phase = Reading (i + 1) }
+        else { s with phase = Swapping 0 }
+      | Swapping i ->
+        let s = absorb s resp in
+        if i + 1 < r then { s with phase = Swapping (i + 1) }
+        else end_of_pass s
+
+    let decision s = s.decided
+
+    let equal_state s1 s2 =
+      s1.pid = s2.pid && s1.phase = s2.phase && s1.conflict = s2.conflict
+      && s1.decided = s2.decided
+      && Array.for_all2 Int.equal s1.u s2.u
+
+    let hash_state s =
+      Hashtbl.hash (s.pid, s.phase, s.conflict, s.decided, Array.to_list s.u)
+
+    let pp_state ppf s =
+      let pp_phase ppf = function
+        | Reading i -> Fmt.pf ppf "R%d" i
+        | Swapping i -> Fmt.pf ppf "S%d" i
+      in
+      Fmt.pf ppf "{u=[%a] %a conflict=%b%a}"
+        Fmt.(array ~sep:(any ";") int)
+        s.u pp_phase s.phase s.conflict
+        Fmt.(option (fun ppf d -> Fmt.pf ppf " decided=%d" d))
+        s.decided
+  end)

@@ -1,0 +1,15 @@
+(** An obstruction-free, [m]-valued consensus algorithm for [n] processes
+    from [n-1] readable swap objects.
+
+    Ellen, Gelashvili, Shavit and Zhu [16] gave the only previously known
+    obstruction-free consensus algorithm from fewer than [n] historyless
+    objects, using [n-1] readable swap objects and a racing-counters
+    structure.  We implement an algorithm with the same object kind and the
+    same space usage (see DESIGN.md, Substitutions): Algorithm 1's swap pass
+    (with [k = 1], hence [n-1] objects) preceded by a read pass that merges
+    lap counters without disturbing the objects — exercising the [Read]
+    operation that distinguishes readable swap objects from the paper's
+    swap-only objects. *)
+
+val make : n:int -> m:int -> (module Shmem.Protocol.S)
+(** @raise Invalid_argument unless [n >= 2] and [m >= 2] *)

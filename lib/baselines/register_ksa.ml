@@ -1,0 +1,140 @@
+module Sh = Shmem
+
+let make ~n ~k ~m : (module Sh.Protocol.S) =
+  if not (n > k && k >= 1) then
+    invalid_arg (Fmt.str "Register_ksa.make: need n > k >= 1, got n=%d k=%d" n k);
+  if m < 2 then invalid_arg "Register_ksa.make: need m >= 2";
+  let r = n - k + 1 in
+  (module struct
+    let name = Fmt.str "register-ksa(n=%d,k=%d,m=%d)" n k m
+    let n = n
+    let k = k
+    let num_inputs = m
+    let objects = Array.make r (Sh.Obj_kind.Register Sh.Obj_kind.Unbounded)
+
+    let init_object _ =
+      Sh.Value.Pair (Sh.Value.Ints (Array.make m 0), Sh.Value.Bot)
+
+    (* A process repeatedly scans all registers, then writes its pair into
+       the FIRST register whose content differs (writing one register per
+       scan is the crucial discipline from [15]: a process acting on stale
+       information can destroy at most one register's contents before its
+       next scan informs it).  A scan that finds its own pair everywhere
+       completes a lap. *)
+    type phase =
+      | Collect of { i : int; seen : Sh.Value.t list (* newest first *) }
+      | Write_one of int
+
+    type state = {
+      pid : int;
+      u : int array;  (* local lap counter; never mutated after creation *)
+      phase : phase;
+      decided : int option;
+    }
+
+    let init ~pid ~input =
+      let u = Array.make m 0 in
+      u.(input) <- 1;
+      { pid; u; phase = Collect { i = 0; seen = [] }; decided = None }
+
+    let mine s = Sh.Value.Pair (Sh.Value.Ints s.u, Sh.Value.Pid s.pid)
+
+    let poised s =
+      match s.phase with
+      | Collect { i; _ } -> Sh.Op.read i
+      | Write_one i -> Sh.Op.write i (mine s)
+
+    let leader u =
+      let v = ref 0 in
+      for j = 1 to Array.length u - 1 do
+        if u.(j) > u.(!v) then v := j
+      done;
+      !v
+
+    let leads_by_two u v =
+      let ok = ref true in
+      for j = 0 to Array.length u - 1 do
+        if j <> v && u.(v) < u.(j) + 2 then ok := false
+      done;
+      !ok
+
+    let counter_of v =
+      match v with
+      | Sh.Value.Pair (Sh.Value.Ints u', _) -> u'
+      | v ->
+        invalid_arg
+          (Fmt.str "register-ksa: malformed register value %a" Sh.Value.pp v)
+
+    (* the end of a full scan: [view] is the value of register i at view.(i) *)
+    let end_of_scan s view =
+      (* merge every counter seen into the local one *)
+      let u = Array.copy s.u in
+      Array.iter
+        (fun v ->
+          let u' = counter_of v in
+          for j = 0 to m - 1 do
+            u.(j) <- max u.(j) u'.(j)
+          done)
+        view;
+      let s = { s with u } in
+      let my_pair = mine s in
+      let differing = ref None in
+      for i = r - 1 downto 0 do
+        if not (Sh.Value.equal view.(i) my_pair) then differing := Some i
+      done;
+      match !differing with
+      | Some i -> { s with phase = Write_one i }
+      | None ->
+        (* a clean scan: every register holds ⟨U, p⟩ — complete a lap *)
+        let v = leader s.u in
+        if leads_by_two s.u v then { s with decided = Some v }
+        else begin
+          let u = Array.copy s.u in
+          u.(v) <- u.(v) + 1;
+          { s with u; phase = Collect { i = 0; seen = [] } }
+        end
+
+    let on_response s resp =
+      match s.phase with
+      | Collect { i; seen } ->
+        let seen = resp :: seen in
+        if i + 1 < r then { s with phase = Collect { i = i + 1; seen } }
+        else
+          let view = Array.of_list (List.rev seen) in
+          end_of_scan s view
+      | Write_one _ -> { s with phase = Collect { i = 0; seen = [] } }
+
+    let decision s = s.decided
+
+    let equal_state s1 s2 =
+      s1.pid = s2.pid && s1.decided = s2.decided
+      && Array.for_all2 Int.equal s1.u s2.u
+      &&
+      (match s1.phase, s2.phase with
+      | Collect c1, Collect c2 ->
+        c1.i = c2.i && List.equal Sh.Value.equal c1.seen c2.seen
+      | Write_one i1, Write_one i2 -> i1 = i2
+      | (Collect _ | Write_one _), _ -> false)
+
+    let hash_state s =
+      let phase_hash =
+        match s.phase with
+        | Collect { i; seen } ->
+          List.fold_left
+            (fun acc v -> (acc * 31) + Sh.Value.hash v)
+            (i * 7) seen
+        | Write_one i -> (i * 13) + 5
+      in
+      Hashtbl.hash (s.pid, s.decided, phase_hash, Array.to_list s.u)
+
+    let pp_state ppf s =
+      let pp_phase ppf = function
+        | Collect { i; _ } -> Fmt.pf ppf "C%d" i
+        | Write_one i -> Fmt.pf ppf "W%d" i
+      in
+      Fmt.pf ppf "{u=[%a] %a%a}"
+        Fmt.(array ~sep:(any ";") int)
+        s.u pp_phase s.phase
+        Fmt.(option (fun ppf d -> Fmt.pf ppf " decided=%d" d))
+        s.decided
+  end)

@@ -1,0 +1,20 @@
+(** An obstruction-free, [m]-valued, [k]-set agreement algorithm for [n]
+    processes from [n-k+1] registers.
+
+    This is the register baseline the paper compares against: Bouzid, Raynal
+    and Sutra [15] solve obstruction-free k-set agreement with [n-k+1]
+    read/write registers.  We implement a racing-lap algorithm with the same
+    object kind, the same space usage and the same crucial discipline as
+    [15] (see DESIGN.md, Substitutions): each register holds a
+    ⟨lap counter, identifier⟩ pair; a process repeatedly {e scans} all
+    [n-k+1] registers, merges every lap counter it saw, and then writes its
+    own pair into the {e first register whose content differs} — one write
+    per scan, so a process acting on stale information can destroy at most
+    one register's contents before its next scan informs it.  (A write-all
+    pass instead of single writes is unsafe: the checker exhibits an
+    agreement violation for it even with [n = 2].)  A scan that returns the
+    process's own pair everywhere completes a lap; a value is decided once
+    it leads every other value by 2 laps, as in Algorithm 1. *)
+
+val make : n:int -> k:int -> m:int -> (module Shmem.Protocol.S)
+(** @raise Invalid_argument unless [n > k >= 1] and [m >= 2] *)

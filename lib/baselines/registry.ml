@@ -1,0 +1,94 @@
+type entry = {
+  name : string;
+  protocol : Shmem.Protocol.t;
+  prune : Shmem.Value.t array -> bool;
+  burst : int;
+  stated_objects : string;
+}
+
+let lap_prune bound mem =
+  Array.exists
+    (fun v ->
+      match v with
+      | Shmem.Value.Pair (Shmem.Value.Ints u, _) ->
+        Array.exists (fun x -> x > bound) u
+      | _ -> false)
+    mem
+
+let no_prune _ = false
+
+let standard ?(n = 4) () =
+  let k2 = min 2 (n - 1) in
+  let cap = 48 in
+  let track make name stated =
+    let (module B : Binary_track_consensus.S) = make ~n ~cap in
+    { name
+    ; protocol = (module B : Shmem.Protocol.S)
+    ; prune = B.near_cap ~margin:3
+    ; burst = 8 * cap
+    ; stated_objects = stated
+    }
+  in
+  [ (let (module P) = Core.Swap_ksa.make ~n ~k:1 ~m:2 in
+     { name = "swap-ksa k=1"
+     ; protocol = (module P)
+     ; prune = lap_prune 3
+     ; burst = 2 * Core.Swap_ksa.solo_step_bound ~n ~k:1
+     ; stated_objects = "n-1 (optimal)"
+     })
+  ; (let (module P) = Core.Swap_ksa.make ~n ~k:k2 ~m:(k2 + 1) in
+     { name = Fmt.str "swap-ksa k=%d" k2
+     ; protocol = (module P)
+     ; prune = lap_prune 3
+     ; burst = 2 * Core.Swap_ksa.solo_step_bound ~n ~k:k2
+     ; stated_objects = "n-k"
+     })
+  ; { name = "register-ksa k=1"
+    ; protocol = Register_ksa.make ~n ~k:1 ~m:2
+    ; prune = lap_prune 3
+    ; burst = 8 * (n + 1) * (n + 1)
+    ; stated_objects = "n-k+1"
+    }
+  ; { name = "readable-swap"
+    ; protocol = Readable_swap_consensus.make ~n ~m:2
+    ; prune = lap_prune 3
+    ; burst = 32 * n
+    ; stated_objects = "n-1"
+    }
+  ; track Binary_track_consensus.make "binary-track" "2n-1 binary [17]"
+  ; track Binary_track_consensus.make_eager "binary-track eager"
+      "2n-1 binary [17]"
+  ; track Binary_track_consensus.make_tas "tas-track" "unbounded TAS [16]"
+  ; { name = "bitwise"
+    ; protocol = Bitwise_consensus.make ~n ~m:3 ~cap
+    ; prune = Bitwise_consensus.near_cap ~n ~m:3 ~cap ~margin:3
+    ; burst = 16 * cap
+    ; stated_objects = "O(n log m) binary"
+    }
+  ; (let k = max 1 ((n + 1) / 2) in
+     { name = "grouped-ksa"
+     ; protocol = Grouped_ksa.make ~n ~k ~m:2
+     ; prune = no_prune
+     ; burst = 4
+     ; stated_objects = "k (n <= 2k)"
+     })
+  ; { name = "cas"
+    ; protocol = Cas_consensus.make ~n ~m:2
+    ; prune = no_prune
+    ; burst = 4
+    ; stated_objects = "1 (not historyless)"
+    }
+  ; { name = "pair-ksa"
+    ; protocol = Core.Pair_ksa.make ~n ~m:2
+    ; prune = no_prune
+    ; burst = 4
+    ; stated_objects = "1"
+    }
+  ]
+
+let find prefix ~n =
+  List.find_opt
+    (fun e ->
+      String.length e.name >= String.length prefix
+      && String.sub e.name 0 (String.length prefix) = prefix)
+    (standard ~n ())

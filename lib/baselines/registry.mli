@@ -1,0 +1,26 @@
+(** A registry of every agreement algorithm in the repository, with the
+    metadata the generic harnesses need: how to prune unbounded state for
+    exhaustive checking, how long a solo window guarantees progress, and
+    the algorithm's stated space bound.
+
+    The conformance test suite and the benchmark tables iterate this
+    registry, so a new algorithm added here is automatically model-checked,
+    property-tested and benchmarked. *)
+
+type entry = {
+  name : string;
+  protocol : Shmem.Protocol.t;
+  prune : Shmem.Value.t array -> bool;
+      (** checker pruning predicate over a memory snapshot (constant [false]
+          for protocols with finite reachable space) *)
+  burst : int;  (** a solo window guaranteeing progress under bursty runs *)
+  stated_objects : string;  (** the bound from the paper / related work *)
+}
+
+val standard : ?n:int -> unit -> entry list
+(** the standard grid at [n] processes (default 4): Algorithm 1 for k=1 and
+    k=2, the register / readable-swap / binary-track (plain, eager, TAS) /
+    bitwise / grouped / CAS / one-object algorithms. *)
+
+val find : string -> n:int -> entry option
+(** look up a registry entry by name prefix at a given [n] *)

@@ -1,0 +1,240 @@
+type violation = {
+  property : string;
+  detail : string;
+  trace : Shmem.Trace.t;
+}
+
+type report = {
+  configs_explored : int;
+  violations : violation list;
+  truncated : bool;
+}
+
+let ok r = r.violations = []
+
+let pp_report ppf r =
+  Fmt.pf ppf "@[<v>explored %d configurations%s: %s@,%a@]" r.configs_explored
+    (if r.truncated then " (truncated)" else "")
+    (if ok r then "no violations" else "VIOLATIONS FOUND")
+    Fmt.(
+      list ~sep:cut (fun ppf v ->
+          Fmt.pf ppf "- %s: %s (schedule length %d)" v.property v.detail
+            (Shmem.Trace.length v.trace)))
+    r.violations
+
+let combine r1 r2 =
+  { configs_explored = r1.configs_explored + r2.configs_explored
+  ; violations = r1.violations @ r2.violations
+  ; truncated = r1.truncated || r2.truncated
+  }
+
+module Make (P : Shmem.Protocol.S) = struct
+  module E = Shmem.Exec.Make (P)
+
+  module Cfg_tbl = Hashtbl.Make (struct
+    type t = E.config
+
+    let equal = E.equal_config
+    let hash = E.hash_config
+  end)
+
+  let default_solo_cap = 64 * (Array.length P.objects + 1)
+
+  (* Reconstruct the schedule leading to [c] from predecessor links. *)
+  let trace_to parents c =
+    let rec go c acc =
+      match Cfg_tbl.find_opt parents c with
+      | None | Some None -> acc
+      | Some (Some (parent, step)) -> go parent (step :: acc)
+    in
+    go c []
+
+  let explore ?(max_configs = 200_000) ?(solo_cap = default_solo_cap)
+      ?(check_solo = true) ?(prune = fun _ -> false) ~inputs () =
+    let c0 = E.initial ~inputs in
+    let seen = Cfg_tbl.create 4096 in
+    let parents = Cfg_tbl.create 4096 in
+    let queue = Queue.create () in
+    let violations = ref [] in
+    let truncated = ref false in
+    let add_violation property detail c =
+      violations :=
+        { property; detail; trace = trace_to parents c } :: !violations
+    in
+    let check c =
+      if not (E.check_agreement c) then
+        add_violation "k-agreement"
+          (Fmt.str "values %a decided (k=%d)"
+             Fmt.(list ~sep:(any ",") int)
+             (E.decided_values c) P.k)
+          c;
+      if not (E.check_validity ~inputs c) then
+        add_violation "validity"
+          (Fmt.str "decided values %a, inputs %a"
+             Fmt.(list ~sep:(any ",") int)
+             (E.decided_values c)
+             Fmt.(array ~sep:(any ",") int)
+             inputs)
+          c;
+      if check_solo then
+        List.iter
+          (fun pid ->
+            match E.run_solo ~pid ~max_steps:solo_cap c with
+            | Some _ -> ()
+            | None ->
+              add_violation "solo-termination"
+                (Fmt.str "p%d does not decide within %d solo steps" pid
+                   solo_cap)
+                c)
+          (E.undecided c)
+    in
+    Cfg_tbl.replace seen c0 ();
+    Cfg_tbl.replace parents c0 None;
+    Queue.push c0 queue;
+    let explored = ref 0 in
+    while not (Queue.is_empty queue) do
+      let c = Queue.pop queue in
+      incr explored;
+      check c;
+      if prune c then truncated := true
+      else if Cfg_tbl.length seen >= max_configs then truncated := true
+      else
+        List.iter
+          (fun pid ->
+            let c', step = E.step c pid in
+            if not (Cfg_tbl.mem seen c') then begin
+              Cfg_tbl.replace seen c' ();
+              Cfg_tbl.replace parents c' (Some (c, step));
+              Queue.push c' queue
+            end)
+          (E.undecided c)
+    done;
+    { configs_explored = !explored
+    ; violations = List.rev !violations
+    ; truncated = !truncated
+    }
+
+  let all_input_vectors () =
+    let rec go i acc =
+      if i >= P.n then [ Array.of_list (List.rev acc) ]
+      else
+        List.concat_map
+          (fun input -> go (i + 1) (input :: acc))
+          (List.init P.num_inputs Fun.id)
+    in
+    go 0 []
+
+  let explore_all_inputs ?max_configs ?solo_cap ?check_solo ?prune () =
+    List.fold_left
+      (fun acc inputs ->
+        combine acc
+          (explore ?max_configs ?solo_cap ?check_solo ?prune ~inputs ()))
+      { configs_explored = 0; violations = []; truncated = false }
+      (all_input_vectors ())
+
+  (* Re-simulate a schedule (pids only — responses are recomputed), checking
+     after every step whether [violates] holds; steps by already-decided
+     processes are dropped. *)
+  let schedule_violates ~inputs ~violates pids =
+    let rec go c = function
+      | [] -> false
+      | pid :: rest ->
+        if E.decision c pid <> None then go c rest
+        else
+          let c', _ = E.step c pid in
+          violates c' || go c' rest
+    in
+    go (E.initial ~inputs) pids
+
+  let shrink_violation ?(solo_cap = default_solo_cap) ~inputs v =
+    let violates =
+      match v.property with
+      | "k-agreement" -> fun c -> not (E.check_agreement c)
+      | "validity" -> fun c -> not (E.check_validity ~inputs c)
+      | "solo-termination" ->
+        fun c ->
+          List.exists
+            (fun pid -> E.run_solo ~pid ~max_steps:solo_cap c = None)
+            (E.undecided c)
+      | p -> Fmt.invalid_arg "shrink_violation: unknown property %s" p
+    in
+    let pids = List.map (fun s -> s.Shmem.Trace.pid) v.trace in
+    if not (schedule_violates ~inputs ~violates pids) then
+      invalid_arg "shrink_violation: schedule does not violate the property";
+    (* one pass of greedy deletion, left to right *)
+    let pass pids =
+      let rec go kept = function
+        | [] -> List.rev kept
+        | pid :: rest ->
+          if schedule_violates ~inputs ~violates (List.rev_append kept rest)
+          then go kept rest
+          else go (pid :: kept) rest
+      in
+      go [] pids
+    in
+    let rec fix pids =
+      let pids' = pass pids in
+      if List.length pids' < List.length pids then fix pids' else pids
+    in
+    let reduced = fix pids in
+    (* rebuild the trace with the responses of the reduced schedule,
+       truncated at the first violating configuration *)
+    let rec rebuild c acc = function
+      | [] -> List.rev acc
+      | pid :: rest ->
+        if E.decision c pid <> None then rebuild c acc rest
+        else
+          let c', s = E.step c pid in
+          if violates c' then List.rev (s :: acc)
+          else rebuild c' (s :: acc) rest
+    in
+    { v with trace = rebuild (E.initial ~inputs) [] reduced }
+
+  let random_runs ?(seed = 0xC0FFEE) ?(max_steps = 100_000)
+      ?(solo_check_every = 0) ~runs () =
+    let rng = Random.State.make [| seed |] in
+    let violations = ref [] in
+    let total = ref 0 in
+    for _ = 1 to runs do
+      let inputs = Array.init P.n (fun _ -> Random.State.int rng P.num_inputs) in
+      let c0 = E.initial ~inputs in
+      let rec go c rev_steps i =
+        incr total;
+        let record property detail =
+          violations :=
+            { property; detail; trace = List.rev rev_steps } :: !violations
+        in
+        if not (E.check_agreement c) then
+          record "k-agreement"
+            (Fmt.str "values %a decided"
+               Fmt.(list ~sep:(any ",") int)
+               (E.decided_values c));
+        if not (E.check_validity ~inputs c) then
+          record "validity" "decided value is no process's input";
+        if solo_check_every > 0 && i mod solo_check_every = 0 then
+          List.iter
+            (fun pid ->
+              match E.run_solo ~pid ~max_steps:default_solo_cap c with
+              | Some _ -> ()
+              | None ->
+                record "solo-termination"
+                  (Fmt.str "p%d stuck after %d solo steps" pid
+                     default_solo_cap))
+            (E.undecided c);
+        if i < max_steps then
+          match E.undecided c with
+          | [] -> ()
+          | enabled ->
+            let pid =
+              List.nth enabled (Random.State.int rng (List.length enabled))
+            in
+            let c', step = E.step c pid in
+            go c' (step :: rev_steps) (i + 1)
+      in
+      go c0 [] 0
+    done;
+    { configs_explored = !total
+    ; violations = List.rev !violations
+    ; truncated = false
+    }
+end

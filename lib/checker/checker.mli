@@ -1,0 +1,80 @@
+(** Model checking of protocols against the paper's correctness and progress
+    properties.
+
+    {!Make.explore} exhaustively enumerates every configuration reachable
+    from an initial configuration (optionally pruned, e.g. to a lap bound for
+    racing protocols whose reachable space is infinite) and checks:
+
+    - {b k-agreement}: at most [k] distinct values decided (§3);
+    - {b validity}: every decided value is some process's input (§3);
+    - {b solo termination}: from every explored configuration, every
+      undecided process decides when run alone — i.e. the protocol is
+      obstruction-free on the explored region (§3).
+
+    {!Make.random_runs} complements this with long randomized-scheduler runs
+    for instances whose state spaces are too large to enumerate. *)
+
+type violation = {
+  property : string;
+  detail : string;
+  trace : Shmem.Trace.t;  (** schedule from the initial configuration *)
+}
+
+type report = {
+  configs_explored : int;
+  violations : violation list;
+  truncated : bool;
+      (** true if exploration stopped at [max_configs] or pruned states,
+          so the verdict is for the explored region only *)
+}
+
+val ok : report -> bool
+val pp_report : Format.formatter -> report -> unit
+
+module Make (P : Shmem.Protocol.S) : sig
+  module E : module type of Shmem.Exec.Make (P)
+
+  val explore :
+    ?max_configs:int ->
+    ?solo_cap:int ->
+    ?check_solo:bool ->
+    ?prune:(E.config -> bool) ->
+    inputs:int array ->
+    unit ->
+    report
+  (** BFS over the reachable configuration graph from [initial ~inputs].
+      [solo_cap] bounds solo executions when checking solo termination
+      (default 64 * (number of objects + 1)); [prune c = true] stops
+      expanding [c] (the configuration itself is still checked).
+      Defaults: [max_configs = 200_000], [check_solo = true]. *)
+
+  val all_input_vectors : unit -> int array list
+  (** all [num_inputs ^ n] input assignments *)
+
+  val explore_all_inputs :
+    ?max_configs:int ->
+    ?solo_cap:int ->
+    ?check_solo:bool ->
+    ?prune:(E.config -> bool) ->
+    unit ->
+    report
+  (** run [explore] from every input vector and combine the reports *)
+
+  val random_runs :
+    ?seed:int ->
+    ?max_steps:int ->
+    ?solo_check_every:int ->
+    runs:int ->
+    unit ->
+    report
+  (** [runs] random-scheduler executions from uniformly random inputs; checks
+      agreement and validity at every configuration and solo termination
+      every [solo_check_every] steps (0 = never, the default) *)
+
+  val shrink_violation :
+    ?solo_cap:int -> inputs:int array -> violation -> violation
+  (** greedily delete schedule steps while the violation (same property)
+      still manifests when the shortened schedule is re-simulated from
+      [initial ~inputs]; repeats to a fixpoint.  The result replays to a
+      violating configuration and is never longer than the input. *)
+end

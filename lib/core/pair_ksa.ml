@@ -1,0 +1,40 @@
+module Sh = Shmem
+
+let make ~n ~m : (module Sh.Protocol.S) =
+  if n < 2 then invalid_arg "Pair_ksa.make: need n >= 2";
+  if m < 2 then invalid_arg "Pair_ksa.make: need m >= 2";
+  (module struct
+    let name = Fmt.str "pair-ksa(n=%d,m=%d)" n m
+    let n = n
+    let k = n - 1
+    let num_inputs = m
+    let objects = [| Sh.Obj_kind.Swap_only Sh.Obj_kind.Unbounded |]
+    let init_object _ = Sh.Value.Bot
+
+    type state = { pid : int; input : int; decided : int option }
+
+    let init ~pid ~input =
+      (* processes outside the predesignated pair decide immediately *)
+      let decided = if pid >= 2 then Some input else None in
+      { pid; input; decided }
+
+    let poised s =
+      assert (s.pid < 2);
+      Sh.Op.swap 0 (Sh.Value.Int s.input)
+
+    let on_response s resp =
+      match resp with
+      | Sh.Value.Bot -> { s with decided = Some s.input }
+      | Sh.Value.Int w -> { s with decided = Some w }
+      | v ->
+        invalid_arg (Fmt.str "pair-ksa: malformed object value %a" Sh.Value.pp v)
+
+    let decision s = s.decided
+    let equal_state s1 s2 = s1 = s2
+    let hash_state s = Hashtbl.hash s
+
+    let pp_state ppf s =
+      Fmt.pf ppf "{input=%d%a}" s.input
+        Fmt.(option (fun ppf d -> Fmt.pf ppf " decided=%d" d))
+        s.decided
+  end)

@@ -1,0 +1,11 @@
+(** The folklore wait-free, [n]-process, (n-1)-set agreement algorithm from a
+    single swap object (§1).
+
+    A predesignated pair of processes (pids 0 and 1) solve 2-process
+    consensus with the swap object; every other process decides its own
+    input without taking any step. *)
+
+val make : n:int -> m:int -> (module Shmem.Protocol.S)
+(** an [n]-process, [m]-valued, (n-1)-set agreement protocol from one swap
+    object.
+    @raise Invalid_argument unless [n >= 2] and [m >= 2] *)

@@ -1,0 +1,140 @@
+module Sh = Shmem
+
+let dominates v' v =
+  if Array.length v' <> Array.length v then
+    invalid_arg "Swap_ksa.dominates: length mismatch";
+  let rec go j = j >= Array.length v || (v.(j) <= v'.(j) && go (j + 1)) in
+  go 0
+
+let solo_step_bound ~n ~k = 8 * (n - k)
+
+module type S = sig
+  include Sh.Protocol.S
+
+  val laps : state -> int array
+  val preference : state -> int option
+  val mid_pass : state -> int
+  val in_conflict : state -> bool
+end
+
+(* The smallest index holding the maximal lap count (lines 14-15). *)
+let leader u =
+  let v = ref 0 in
+  for j = 1 to Array.length u - 1 do
+    if u.(j) > u.(!v) then v := j
+  done;
+  !v
+
+(* Line 16: does value [v] lead every other value by at least [lead]
+   laps?  (the paper's threshold is 2) *)
+let leads_by u v ~lead =
+  let ok = ref true in
+  for j = 0 to Array.length u - 1 do
+    if j <> v && u.(v) < u.(j) + lead then ok := false
+  done;
+  !ok
+
+(* [lead] is the decision threshold of line 16 (the paper uses 2) and
+   [merge] controls lines 11-12 (the paper merges); both are exposed as
+   ablation knobs through {!make_ablation}. *)
+let make_general ~n ~k ~m ~lead ~merge : (module S) =
+  if not (n > k && k >= 1) then
+    invalid_arg (Fmt.str "Swap_ksa.make: need n > k >= 1, got n=%d k=%d" n k);
+  if m < 2 then invalid_arg "Swap_ksa.make: need m >= 2";
+  if lead < 1 then invalid_arg "Swap_ksa.make: need lead >= 1";
+  let nk = n - k in
+  (module struct
+    let name =
+      if lead = 2 && merge then Fmt.str "swap-ksa(n=%d,k=%d,m=%d)" n k m
+      else Fmt.str "swap-ksa(n=%d,k=%d,m=%d,lead=%d,merge=%b)" n k m lead merge
+    let n = n
+    let k = k
+    let num_inputs = m
+    let objects = Array.make nk (Sh.Obj_kind.Swap_only Sh.Obj_kind.Unbounded)
+
+    let init_object _ =
+      Sh.Value.Pair (Sh.Value.Ints (Array.make m 0), Sh.Value.Bot)
+
+    type state = {
+      pid : int;
+      u : int array;  (* local lap counter; never mutated after creation *)
+      i : int;  (* next object to swap in the loop on lines 6-12 *)
+      conflict : bool;
+      decided : int option;
+    }
+
+    let init ~pid ~input =
+      let u = Array.make m 0 in
+      u.(input) <- 1;
+      { pid; u; i = 0; conflict = false; decided = None }
+
+    let poised s =
+      Sh.Op.swap s.i (Sh.Value.Pair (Sh.Value.Ints s.u, Sh.Value.Pid s.pid))
+
+    (* Lines 8-12: process the response to a Swap. *)
+    let absorb s resp =
+      let u', p' =
+        match resp with
+        | Sh.Value.Pair (Sh.Value.Ints u', p') -> u', p'
+        | v ->
+          invalid_arg
+            (Fmt.str "swap-ksa: malformed object value %a" Sh.Value.pp v)
+      in
+      let same_id =
+        match p' with Sh.Value.Pid q -> q = s.pid | _ -> false
+      in
+      let same_u = Array.length u' = Array.length s.u && dominates s.u u' && dominates u' s.u in
+      let conflict = s.conflict || not (same_id && same_u) in
+      let u =
+        if same_u || not merge then s.u
+        else Array.init m (fun j -> max s.u.(j) u'.(j))
+      in
+      { s with u; conflict }
+
+    (* Lines 13-20: end of a full pass over the objects. *)
+    let end_of_pass s =
+      if s.conflict then { s with i = 0; conflict = false }
+      else
+        let v = leader s.u in
+        if leads_by s.u v ~lead then { s with decided = Some v }
+        else begin
+          let u = Array.copy s.u in
+          u.(v) <- u.(v) + 1;
+          { s with u; i = 0; conflict = false }
+        end
+
+    let on_response s resp =
+      let s = absorb s resp in
+      if s.i + 1 < nk then { s with i = s.i + 1 }
+      else end_of_pass { s with i = nk }
+
+    let decision s = s.decided
+
+    let equal_state s1 s2 =
+      s1.pid = s2.pid && s1.i = s2.i && s1.conflict = s2.conflict
+      && s1.decided = s2.decided
+      && Array.for_all2 Int.equal s1.u s2.u
+
+    let hash_state s =
+      Hashtbl.hash (s.pid, s.i, s.conflict, s.decided, Array.to_list s.u)
+
+    let pp_state ppf s =
+      Fmt.pf ppf "{u=[%a] i=%d conflict=%b%a}"
+        Fmt.(array ~sep:(any ";") int)
+        s.u s.i s.conflict
+        Fmt.(option (fun ppf d -> Fmt.pf ppf " decided=%d" d))
+        s.decided
+
+    let laps s = Array.copy s.u
+    let preference s = match s.decided with
+      | Some _ -> None
+      | None -> Some (leader s.u)
+
+    let mid_pass s = s.i
+    let in_conflict s = s.conflict
+  end)
+
+let make ~n ~k ~m = make_general ~n ~k ~m ~lead:2 ~merge:true
+
+let make_ablation ~n ~k ~m ?(lead = 2) ?(merge = true) () =
+  make_general ~n ~k ~m ~lead ~merge

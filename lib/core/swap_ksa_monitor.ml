@@ -1,0 +1,111 @@
+(** Executable monitors for the invariants §4 proves about Algorithm 1.
+
+    Each check corresponds to a numbered statement of the paper and raises
+    [Invariant_violation] if an execution falsifies it, so test suites and
+    long random runs double as machine checks of the proofs' premises:
+
+    - Observation 3: a process's local lap counter only grows (domination).
+    - Observation 4 + line 16: on decision of [x], the deciding counter has
+      [U.(x) >= 2] and leads every other component by at least 2.
+    - Observation 1 (externally visible form): for each component [j], the
+      maximum of [U.(j)] over all local lap counters and all object fields
+      never increases by more than 1 in a single step (new laps are minted
+      only by line 20, one at a time).
+    - Lemma 8: from any reachable configuration, each undecided process
+      decides within [8*(n-k)] solo steps.
+    - [⟨V,p⟩]-totality (used by Observation 2 and Lemma 5) is exposed as a
+      predicate for tests. *)
+
+exception Invariant_violation of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Invariant_violation s)) fmt
+
+module Make (P : Swap_ksa.S) = struct
+  module E = Shmem.Exec.Make (P)
+
+  let lap_of_value v =
+    match v with
+    | Shmem.Value.Pair (Shmem.Value.Ints u, _) -> u
+    | _ -> fail "object holds malformed value %a" Shmem.Value.pp v
+
+  (* componentwise max of U over all local lap counters and object fields *)
+  let global_max (c : E.config) =
+    let acc = Array.make P.num_inputs 0 in
+    let absorb u = Array.iteri (fun j x -> acc.(j) <- max acc.(j) x) u in
+    Array.iter (fun s -> absorb (P.laps s)) c.E.states;
+    Array.iter (fun v -> absorb (lap_of_value v)) c.E.mem;
+    acc
+
+  (* Is [c] a ⟨V,p⟩-total configuration?  (every object holds ⟨V,p⟩ and p's
+     local lap counter is V) *)
+  let total (c : E.config) =
+    match c.E.mem.(0) with
+    | Shmem.Value.Pair (Shmem.Value.Ints v, Shmem.Value.Pid p) ->
+      let all_equal =
+        Array.for_all (Shmem.Value.equal c.E.mem.(0)) c.E.mem
+      in
+      if
+        all_equal
+        && Array.for_all2 Int.equal (P.laps c.E.states.(p)) v
+      then Some (Array.copy v, p)
+      else None
+    | _ -> None
+
+  let check_step before pid after =
+    let u_before = P.laps before.E.states.(pid) in
+    let u_after = P.laps after.E.states.(pid) in
+    if not (Swap_ksa.dominates u_after u_before) then
+      fail "Observation 3 violated: p%d's lap counter shrank" pid;
+    (match P.decision after.E.states.(pid) with
+    | Some x when P.decision before.E.states.(pid) = None ->
+      if u_after.(x) < 2 then
+        fail "Observation 4 violated: p%d decided %d with lap %d" pid x
+          u_after.(x);
+      Array.iteri
+        (fun j uj ->
+          if j <> x && u_after.(x) < uj + 2 then
+            fail "line 16 violated: p%d decided %d without a 2-lap lead over %d"
+              pid x j)
+        u_after
+    | _ -> ());
+    let gmax_before = global_max before and gmax_after = global_max after in
+    Array.iteri
+      (fun j mb ->
+        if gmax_after.(j) > mb + 1 then
+          fail
+            "Observation 1 violated: global max of component %d jumped %d -> %d"
+            j mb gmax_after.(j))
+      gmax_before
+
+  let check_solo_bound c =
+    let bound = Swap_ksa.solo_step_bound ~n:P.n ~k:P.k in
+    List.iter
+      (fun pid ->
+        match E.run_solo ~pid ~max_steps:bound c with
+        | Some _ -> ()
+        | None ->
+          fail "Lemma 8 violated: p%d did not decide within %d solo steps" pid
+            bound)
+      (E.undecided c)
+
+  (** Run under [sched], checking the per-step invariants throughout and the
+      solo bound at every [solo_check_every]-th configuration (checking it at
+      every configuration is quadratic; tests choose a small stride). *)
+  let run_checked ?(solo_check_every = 0) ~sched ~max_steps c0 =
+    let rec go c rev_steps i =
+      if i >= max_steps then c, List.rev rev_steps, E.Step_limit
+      else
+        match E.undecided c with
+        | [] -> c, List.rev rev_steps, E.All_decided
+        | enabled -> (
+          match sched ~step_index:i c enabled with
+          | None -> c, List.rev rev_steps, E.Stopped
+          | Some pid ->
+            let c', s = E.step c pid in
+            check_step c pid c';
+            if solo_check_every > 0 && i mod solo_check_every = 0 then
+              check_solo_bound c';
+            go c' (s :: rev_steps) (i + 1))
+    in
+    go c0 [] 0
+end

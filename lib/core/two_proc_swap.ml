@@ -1,0 +1,34 @@
+module Sh = Shmem
+
+let make ~m : (module Sh.Protocol.S) =
+  if m < 2 then invalid_arg "Two_proc_swap.make: need m >= 2";
+  (module struct
+    let name = Fmt.str "two-proc-swap(m=%d)" m
+    let n = 2
+    let k = 1
+    let num_inputs = m
+    let objects = [| Sh.Obj_kind.Swap_only Sh.Obj_kind.Unbounded |]
+    let init_object _ = Sh.Value.Bot
+
+    type state = { pid : int; input : int; decided : int option }
+
+    let init ~pid ~input = { pid; input; decided = None }
+    let poised s = Sh.Op.swap 0 (Sh.Value.Int s.input)
+
+    let on_response s resp =
+      match resp with
+      | Sh.Value.Bot -> { s with decided = Some s.input }
+      | Sh.Value.Int w -> { s with decided = Some w }
+      | v ->
+        invalid_arg
+          (Fmt.str "two-proc-swap: malformed object value %a" Sh.Value.pp v)
+
+    let decision s = s.decided
+    let equal_state s1 s2 = s1 = s2
+    let hash_state s = Hashtbl.hash s
+
+    let pp_state ppf s =
+      Fmt.pf ppf "{input=%d%a}" s.input
+        Fmt.(option (fun ppf d -> Fmt.pf ppf " decided=%d" d))
+        s.decided
+  end)

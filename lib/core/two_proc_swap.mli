@@ -1,0 +1,12 @@
+(** The folklore wait-free 2-process consensus algorithm from a single swap
+    object (§1).
+
+    The object initially contains ⊥, which cannot be any process's input.
+    Both processes swap their input into the object; the process that
+    receives ⊥ decides its own input, the other decides the value it
+    received. *)
+
+val make : m:int -> (module Shmem.Protocol.S)
+(** a 2-process, [m]-valued consensus protocol using one swap object;
+    each process decides after exactly one step.
+    @raise Invalid_argument unless [m >= 2] *)

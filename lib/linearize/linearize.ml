@@ -1,0 +1,106 @@
+type op = Read | Swap of int
+
+type event = {
+  thread : int;
+  op : op;
+  result : int;
+  start : int;
+  finish : int;
+}
+
+type history = event list
+
+let pp_event ppf e =
+  let pp_op ppf = function
+    | Read -> Fmt.string ppf "Read"
+    | Swap v -> Fmt.pf ppf "Swap(%d)" v
+  in
+  Fmt.pf ppf "t%d %a -> %d @@ [%d,%d]" e.thread pp_op e.op e.result e.start
+    e.finish
+
+let record ~threads ~ops_per_thread ?(seed = 7) ~exchange () =
+  let cell = Atomic.make 0 in
+  let clock = Atomic.make 0 in
+  let now () = Atomic.fetch_and_add clock 1 in
+  let results = Array.make threads [] in
+  let worker thread =
+    let rng = Random.State.make [| seed; thread |] in
+    let events = ref [] in
+    for i = 1 to ops_per_thread do
+      let op =
+        if Random.State.bool rng then Read
+        else Swap ((thread * ops_per_thread) + i)
+      in
+      let start = now () in
+      let result =
+        match op with
+        | Read -> Atomic.get cell
+        | Swap v -> exchange cell v
+      in
+      let finish = now () in
+      events := { thread; op; result; start; finish } :: !events
+    done;
+    results.(thread) <- List.rev !events
+  in
+  let domains =
+    Array.init threads (fun t -> Domain.spawn (fun () -> worker t))
+  in
+  Array.iter Domain.join domains;
+  Array.to_list results |> List.concat
+
+(* Wing & Gong: search for a permutation respecting real-time order in which
+   every result matches the sequential swap-object specification. *)
+let search ~init history =
+  let events = Array.of_list history in
+  let total = Array.length events in
+  if total > 62 then invalid_arg "Linearize: history too long";
+  let full = (1 lsl total) - 1 in
+  (* memo on (linearized set, current value): a failed sub-search never
+     needs revisiting *)
+  let failed = Hashtbl.create 1024 in
+  let rec go mask value acc =
+    if mask = full then Some (List.rev acc)
+    else if Hashtbl.mem failed (mask, value) then None
+    else begin
+      let result = ref None in
+      let i = ref 0 in
+      while !result = None && !i < total do
+        let e = events.(!i) in
+        let pending j = mask land (1 lsl j) = 0 in
+        if pending !i then begin
+          (* minimality: no pending operation finished before e started *)
+          let minimal = ref true in
+          for j = 0 to total - 1 do
+            if pending j && j <> !i && events.(j).finish < e.start then
+              minimal := false
+          done;
+          if !minimal then begin
+            let legal, value' =
+              match e.op with
+              | Read -> e.result = value, value
+              | Swap v -> e.result = value, v
+            in
+            if legal then
+              result := go (mask lor (1 lsl !i)) value' (e :: acc)
+          end
+        end;
+        incr i
+      done;
+      if !result = None then Hashtbl.replace failed (mask, value) ();
+      !result
+    end
+  in
+  go 0 init []
+
+let linearizable ~init history = search ~init history <> None
+
+let explain ~init history =
+  match search ~init history with
+  | Some order -> Ok order
+  | None ->
+    Error
+      (Fmt.str
+         "no linearization of %d events exists (first events: %a)"
+         (List.length history)
+         Fmt.(list ~sep:(any "; ") pp_event)
+         (List.filteri (fun i _ -> i < 4) history))

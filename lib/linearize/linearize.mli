@@ -1,0 +1,51 @@
+(** Linearizability checking for readable swap objects.
+
+    The multicore backend claims that [Atomic.exchange] implements the
+    paper's [Swap] operation.  This module substantiates that claim: it
+    records concurrent histories of operations applied to a shared cell by
+    real domains, then decides — with the Wing & Gong algorithm — whether
+    the history is linearizable with respect to the sequential swap-object
+    specification (the object holds a value; [Swap v] returns the held
+    value and replaces it with [v]; [Read] returns it).
+
+    A deliberately non-atomic exchange (read, pause, write) produces
+    non-linearizable histories under contention, which the checker
+    detects — see the mutation tests. *)
+
+type op = Read | Swap of int
+
+type event = {
+  thread : int;
+  op : op;
+  result : int;  (** the value returned (for both reads and swaps) *)
+  start : int;  (** global timestamp at invocation *)
+  finish : int;  (** global timestamp at response *)
+}
+
+type history = event list
+
+val pp_event : Format.formatter -> event -> unit
+
+val record :
+  threads:int ->
+  ops_per_thread:int ->
+  ?seed:int ->
+  exchange:(int Atomic.t -> int -> int) ->
+  unit ->
+  history
+(** run [threads] domains, each applying [ops_per_thread] random operations
+    (reads via [Atomic.get], swaps via [exchange]) to one shared cell
+    initialised to [0].  Timestamps come from a global atomic counter
+    incremented at every invocation and response, so an operation's
+    linearization point lies in [[start, finish]]. *)
+
+val linearizable : init:int -> history -> bool
+(** Wing & Gong search for a legal sequential ordering: an operation may be
+    linearized next only if no other pending operation finished before it
+    started, and its result must match the specification.  Memoized on the
+    (linearized-set, object-value) pair; exponential in the worst case, so
+    keep histories small (≲ 24 events). *)
+
+val explain : init:int -> history -> (event list, string) result
+(** like {!linearizable} but returns the witness order, or a message
+    describing why none exists *)

@@ -1,0 +1,164 @@
+module Make (P : Shmem.Protocol.S) = struct
+  module C = Construction.Make (P)
+  module E = C.E
+  module V = C.V
+  module Int_set = Set.Make (Int)
+
+  type case = Unchanged | Changed
+
+  type step_record = {
+    i : int;
+    gamma_len : int;
+    j : int;
+    alpha_len : int;
+    case : case;
+    b_star : int;
+  }
+
+  type result = {
+    steps : step_record list;
+    x : int list;
+    y : int list;
+    coverers : (int * int) list;
+    distinct_objects : int;
+    bound : int;
+  }
+
+  let fail fmt = Fmt.kstr (fun s -> raise (Construction.Construction_failed s)) fmt
+
+  let validate () =
+    if P.k <> 1 then invalid_arg "Binary_lb: protocol must solve consensus";
+    if P.num_inputs <> 2 then invalid_arg "Binary_lb: protocol must be binary";
+    if P.n < 3 then invalid_arg "Binary_lb: need n >= 3";
+    Array.iter
+      (function
+        | Shmem.Obj_kind.Readable_swap (Shmem.Obj_kind.Bounded 2) -> ()
+        | k ->
+          invalid_arg
+            (Fmt.str
+               "Binary_lb: object kind %a is not a readable binary swap object"
+               Shmem.Obj_kind.pp k))
+      P.objects
+
+  let run ?(p_inputs = fun i -> i mod 2) ?max_steps ?include_others () =
+    validate ();
+    let q0 = P.n - 2 and q1 = P.n - 1 in
+    let ctx = C.make_ctx ~q:[ q0; q1 ] in
+    let inputs =
+      Array.init P.n (fun pid ->
+          if pid = q0 then 0 else if pid = q1 then 1 else p_inputs pid)
+    in
+    let c0 = E.initial ~inputs in
+    if not (V.bivalent ctx.C.oracle c0) then
+      fail "Q is not bivalent in the initial configuration C_0";
+    let total = Option.value ~default:(P.n - 2) max_steps in
+    (* [s] holds S_i newest-first so that β_{i+1} = d·β_i is the script
+       [List.map fst s] *)
+    let rec induct i c x y s steps =
+      if i >= total then
+        { steps = List.rev steps
+        ; x = Int_set.elements x
+        ; y = Int_set.elements y
+        ; coverers = List.rev s
+        ; distinct_objects = Int_set.cardinal (Int_set.union x y)
+        ; bound = P.n - 2
+        }
+      else begin
+        let s_pids = List.map fst s in
+        (* Lemma 12: γ with Q bivalent in C_iγβ_i *)
+        let c_gamma, gamma = C.lemma12 ctx ~c ~s:s_pids in
+        (* contrapositive of (c.ii): β_i leaves every object of Y_i
+           unchanged when applied in C_iγ, hence (Observation 14) Q is
+           bivalent in C_iγ *)
+        let c_gamma_beta, _ = C.block_swap ctx c_gamma ~s:s_pids in
+        Int_set.iter
+          (fun b ->
+            if not (Shmem.Value.equal (E.value c_gamma b) (E.value c_gamma_beta b))
+            then
+              fail
+                "step %d: β_i changed covered object B%d in C_iγ although Q \
+                 is bivalent in C_iγβ_i"
+                i b)
+          y;
+        if not (V.bivalent ctx.C.oracle c_gamma) then
+          fail "step %d: Q is not bivalent in C_iγ (Observation 14 failed)" i;
+        (* Lemma 13 with C = C' = C_iγ and the solo process p_i *)
+        let others = List.filter (fun p -> p > i) (List.init (P.n - 2) Fun.id) in
+        let l13 = C.lemma13 ctx ~c:c_gamma ~c':c_gamma ~pi:i ~others ?include_others () in
+        let b = l13.C.b_star in
+        let c_next = l13.C.c_alpha_j in
+        if Int_set.mem b x || Int_set.mem b y then
+          fail "step %d: critical object B%d is already in X ∪ Y" i b;
+        let case =
+          if Shmem.Value.equal l13.C.v_before l13.C.v_after then Unchanged
+          else Changed
+        in
+        let x', y', s' =
+          match case with
+          | Unchanged -> Int_set.add b x, y, s
+          | Changed ->
+            (* p_i must be poised to apply d = Swap(B*, v̄) in C_{i+1} *)
+            let op = E.poised c_next i in
+            if not (Shmem.Op.equal op l13.C.d_op) then
+              fail
+                "step %d: p_%d is poised to %a in C_{i+1}, expected %a"
+                i i Shmem.Op.pp op Shmem.Op.pp l13.C.d_op;
+            x, Int_set.add b y, (i, b) :: s
+        in
+        (* the cover must survive into C_{i+1} *)
+        if
+          not
+            (E.covers c_next ~pids:(List.map fst s')
+               ~objs:(List.map snd s'))
+        then fail "step %d: S_{i+1} does not cover Y_{i+1} in C_{i+1}" i;
+        let record =
+          { i
+          ; gamma_len = Shmem.Trace.length gamma
+          ; j = l13.C.j
+          ; alpha_len = Shmem.Trace.length l13.C.alpha_j
+          ; case
+          ; b_star = b
+          }
+        in
+        induct (i + 1) c_next x' y' s' (record :: steps)
+      end
+    in
+    induct 0 c0 Int_set.empty Int_set.empty [] []
+
+  let pp_case ppf = function
+    | Unchanged -> Fmt.string ppf "1 (X)"
+    | Changed -> Fmt.string ppf "2 (Y)"
+
+  let pp_result ppf r =
+    Fmt.pf ppf
+      "@[<v>Lemma 15 construction: %d induction steps, %d distinct objects \
+       (bound n-2 = %d)@,X = {%a}  Y = {%a}  S = {%a}@,%a@]"
+      (List.length r.steps) r.distinct_objects r.bound
+      Fmt.(list ~sep:(any ",") int)
+      r.x
+      Fmt.(list ~sep:(any ",") int)
+      r.y
+      Fmt.(
+        list ~sep:(any ",") (fun ppf (p, b) -> Fmt.pf ppf "p%d↦B%d" p b))
+      r.coverers
+      Fmt.(
+        list ~sep:cut (fun ppf s ->
+            Fmt.pf ppf "  i=%d: |γ|=%d j=%d |α_j|=%d case %a B*=B%d" s.i
+              s.gamma_len s.j s.alpha_len pp_case s.case s.b_star))
+      r.steps
+
+  (* Figure 1 renders the C_i → C_iγ → C_iγα_j = C_{i+1} chain; double
+     brackets mark configurations in which Q is bivalent. *)
+  let pp_figure ppf r =
+    Fmt.pf ppf "@[<v>";
+    List.iter
+      (fun s ->
+        Fmt.pf ppf
+          "⟦C_%d⟧ --γ (%d steps)--> ⟦C_%dγ⟧ --α_%d (%d steps, p_%d follows \
+           δ_%d)--> ⟦C_%d⟧   [case %a: B%d -> %s]@,"
+          s.i s.gamma_len s.i s.j s.alpha_len s.i s.j (s.i + 1) pp_case s.case
+          s.b_star
+          (match s.case with Unchanged -> "X" | Changed -> "Y"))
+      r.steps;
+    Fmt.pf ppf "⟦·⟧ = configuration in which Q is bivalent@]"
+end

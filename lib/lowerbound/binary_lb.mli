@@ -1,0 +1,61 @@
+(** The Lemma 15 construction (§6.1): against any n-process obstruction-free
+    binary consensus protocol from readable {e binary} swap objects, build —
+    one process of [P = {p_0..p_{n-3}}] at a time — a configuration [C_i]
+    where the special pair [Q = {q_0, q_1}] is bivalent, together with
+    disjoint object sets [X_i] (objects whose value flip forces univalence)
+    and [Y_i] (objects covered by the processes [S_i]), with
+    [|X_i ∪ Y_i| = i].  Running all [n-2] steps realises Theorem 17: the
+    protocol uses at least [n-2] objects.
+
+    Every inductive claim of the proof (Claim 16, freshness of the new
+    object, maintenance of the cover, bivalence of [C_{i+1}]) is asserted
+    during the construction; the recorded per-step data reproduces the
+    paper's Figure 1. *)
+
+module Make (P : Shmem.Protocol.S) : sig
+  module C : module type of Construction.Make (P)
+
+  type case =
+    | Unchanged  (** case 1: the critical step d does not change B* *)
+    | Changed  (** case 2: d changes B*, so p_i joins the cover *)
+
+  type step_record = {
+    i : int;
+    gamma_len : int;  (** length of the Lemma 12 execution γ *)
+    j : int;  (** the Lemma 13 critical index *)
+    alpha_len : int;  (** length of α_j *)
+    case : case;
+    b_star : int;  (** the object added to X or Y *)
+  }
+
+  type result = {
+    steps : step_record list;  (** one per induction step, in order *)
+    x : int list;  (** X_{n-2}, ascending *)
+    y : int list;  (** Y_{n-2}, ascending *)
+    coverers : (int * int) list;  (** S_{n-2} as (pid, covered object) *)
+    distinct_objects : int;  (** |X ∪ Y| — Theorem 17's certified bound *)
+    bound : int;  (** n - 2 *)
+  }
+
+  val run :
+    ?p_inputs:(int -> int) ->
+    ?max_steps:int ->
+    ?include_others:bool ->
+    unit ->
+    result
+  (** run the construction from the initial configuration where [q_0] has
+      input 0, [q_1] input 1 and [p_i] input [p_inputs i] (default
+      [i mod 2]).  [max_steps] caps the number of induction steps (default
+      [n-2], the full construction).
+      @raise Construction.Construction_failed if the protocol falsifies a
+      proof step
+      @raise Invalid_argument unless the protocol is binary consensus
+      ([k = 1], [num_inputs = 2]) over readable binary swap objects with
+      [n >= 3] *)
+
+  val pp_result : Format.formatter -> result -> unit
+
+  val pp_figure : Format.formatter -> result -> unit
+  (** render the chain of configurations in the style of the paper's
+      Figure 1 (double outline = bivalent) *)
+end

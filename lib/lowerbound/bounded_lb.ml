@@ -1,0 +1,246 @@
+module Make (P : Shmem.Protocol.S) = struct
+  module C = Construction.Make (P)
+  module E = C.E
+  module V = C.V
+  module Int_set = Set.Make (Int)
+  module Int_map = Map.Make (Int)
+
+  type case = Unchanged | Changed
+
+  type step_record = {
+    i : int;
+    j : int;
+    alpha_len : int;
+    case : case;
+    b_star : int;
+    v_star : int;
+    cover_size : int;
+    potential : int;
+  }
+
+  type result = {
+    steps : step_record list;
+    f : (int * int list) list;
+    g : (int * int list) list;
+    coverers : (int * int) list;
+    potential : int;
+    implied_objects : int;
+    domain_size : int;
+  }
+
+  let fail fmt = Fmt.kstr (fun s -> raise (Construction.Construction_failed s)) fmt
+
+  let domain_size () =
+    let b =
+      match P.objects.(0) with
+      | Shmem.Obj_kind.Readable_swap (Shmem.Obj_kind.Bounded b) -> b
+      | k ->
+        invalid_arg
+          (Fmt.str "Bounded_lb: object kind %a is not a bounded readable swap"
+             Shmem.Obj_kind.pp k)
+    in
+    Array.iter
+      (fun kind ->
+        match kind with
+        | Shmem.Obj_kind.Readable_swap (Shmem.Obj_kind.Bounded b') when b' = b
+          ->
+          ()
+        | k ->
+          invalid_arg
+            (Fmt.str "Bounded_lb: mixed object kinds (%a)" Shmem.Obj_kind.pp k))
+      P.objects;
+    b
+
+  let validate () =
+    if P.k <> 1 then invalid_arg "Bounded_lb: protocol must solve consensus";
+    if P.num_inputs <> 2 then invalid_arg "Bounded_lb: protocol must be binary";
+    if P.n < 3 then invalid_arg "Bounded_lb: need n >= 3";
+    domain_size ()
+
+  let forbidden map b = Option.value ~default:Int_set.empty (Int_map.find_opt b map)
+
+  let potential_of f g s =
+    Int_map.fold (fun _ vs acc -> acc + (2 * Int_set.cardinal vs)) f 0
+    + Int_map.fold (fun _ vs acc -> acc + Int_set.cardinal vs) g 0
+    + List.length s
+
+  let run ?(p_inputs = fun i -> i mod 2) ?max_steps ?include_others () =
+    let b_dom = validate () in
+    let q0 = P.n - 2 and q1 = P.n - 1 in
+    let ctx = C.make_ctx ~q:[ q0; q1 ] in
+    let inputs =
+      Array.init P.n (fun pid ->
+          if pid = q0 then 0 else if pid = q1 then 1 else p_inputs pid)
+    in
+    let c0 = E.initial ~inputs in
+    if not (V.bivalent ctx.C.oracle c0) then
+      fail "Q is not bivalent in the initial configuration C_0";
+    let total = Option.value ~default:(P.n - 2) max_steps in
+    let rec induct i c f g s steps =
+      if i >= total then
+        let elems m = Int_map.bindings m |> List.map (fun (b, vs) -> b, Int_set.elements vs) in
+        let potential = potential_of f g s in
+        { steps = List.rev steps
+        ; f = elems f
+        ; g = elems g
+        ; coverers = List.rev s
+        ; potential
+        ; implied_objects = (potential + (3 * b_dom)) / ((3 * b_dom) + 1)
+        ; domain_size = b_dom
+        }
+      else begin
+        let s_pids = List.map fst s in
+        (* β_i is applied before the solo execution δ (Figure 2) *)
+        let c_beta, _ = C.block_swap ctx c ~s:s_pids in
+        let others = List.filter (fun p -> p > i) (List.init (P.n - 2) Fun.id) in
+        let l13 = C.lemma13 ctx ~c ~c':c_beta ~pi:i ~others ?include_others () in
+        (* Claim 20: p_i applies no Swap(B, x) with x forbidden during
+           δ_{j+1} *)
+        List.iteri
+          (fun t step ->
+            if t <= l13.C.j then
+              match step.Shmem.Trace.op.Shmem.Op.action with
+              | Shmem.Op.Swap (Shmem.Value.Int x) ->
+                let b = step.Shmem.Trace.op.Shmem.Op.obj in
+                if Int_set.mem x (forbidden f b) || Int_set.mem x (forbidden g b)
+                then
+                  fail
+                    "step %d: Claim 20 violated — p_%d swaps forbidden value \
+                     %d into B%d at δ step %d"
+                    i i x b t
+              | _ -> ())
+          l13.C.delta;
+        let b = l13.C.b_star in
+        let v_star = Shmem.Value.as_int l13.C.v_before in
+        let c_next = l13.C.c_alpha_j in
+        let covering_b =
+          List.find_opt (fun (_, b') -> b' = b) s
+        in
+        let case =
+          if Shmem.Value.equal l13.C.v_before l13.C.v_after then Unchanged
+          else Changed
+        in
+        let f', g', s' =
+          match case with
+          | Unchanged ->
+            if Int_set.mem v_star (forbidden f b) then
+              fail "step %d: v* = %d already in f(B%d) — proof claim failed" i
+                v_star b;
+            let f' = Int_map.add b (Int_set.add v_star (forbidden f b)) f in
+            (* drop a coverer of B* that is poised to swap v* back in *)
+            let s' =
+              match covering_b with
+              | Some (p, _)
+                when Shmem.Op.equal (E.poised c p)
+                       (Shmem.Op.swap b (Shmem.Value.Int v_star)) ->
+                List.filter (fun (p', _) -> p' <> p) s
+              | _ -> s
+            in
+            f', g, s'
+          | Changed ->
+            let g' = Int_map.add b (Int_set.add v_star (forbidden g b)) g in
+            (* p_i must be poised to apply d = Swap(B*, v') in C_{i+1} *)
+            let op = E.poised c_next i in
+            if not (Shmem.Op.equal op l13.C.d_op) then
+              fail "step %d: p_%d is poised to %a in C_{i+1}, expected %a" i i
+                Shmem.Op.pp op Shmem.Op.pp l13.C.d_op;
+            let s' =
+              match covering_b with
+              | Some (p, _) ->
+                (* covered case: the proof shows v* was not yet forbidden,
+                   so |g| genuinely grows *)
+                if
+                  Int_set.mem v_star (forbidden f b)
+                  || Int_set.mem v_star (forbidden g b)
+                then
+                  fail
+                    "step %d: v* = %d already forbidden for covered B%d — \
+                     proof claim failed"
+                    i v_star b;
+                (i, b) :: List.filter (fun (p', _) -> p' <> p) s
+              | None -> (i, b) :: s
+            in
+            f, g', s'
+        in
+        (* property (b): S_{i+1} covers |S_{i+1}| distinct objects *)
+        if
+          not
+            (E.covers c_next ~pids:(List.map fst s') ~objs:(List.map snd s'))
+        then fail "step %d: S_{i+1} does not cover its objects in C_{i+1}" i;
+        (* property (c): coverers never poise forbidden values *)
+        List.iter
+          (fun (p, b') ->
+            match (E.poised c_next p).Shmem.Op.action with
+            | Shmem.Op.Swap (Shmem.Value.Int x) ->
+              if
+                Int_set.mem x (forbidden f' b')
+                || Int_set.mem x (forbidden g' b')
+              then
+                fail "step %d: coverer p%d poised to swap forbidden %d into B%d"
+                  i p x b'
+            | _ -> fail "step %d: coverer p%d not poised to swap" i p)
+          s';
+        (* property (d): the potential grows at least one per step *)
+        let potential = potential_of f' g' s' in
+        if potential < i + 1 then
+          fail "step %d: potential %d < %d — property (d) failed" i potential
+            (i + 1);
+        let record =
+          { i
+          ; j = l13.C.j
+          ; alpha_len = Shmem.Trace.length l13.C.alpha_j
+          ; case
+          ; b_star = b
+          ; v_star
+          ; cover_size = List.length s'
+          ; potential
+          }
+        in
+        induct (i + 1) c_next f' g' s' (record :: steps)
+      end
+    in
+    induct 0 c0 Int_map.empty Int_map.empty [] []
+
+  let pp_case ppf = function
+    | Unchanged -> Fmt.string ppf "1 (f)"
+    | Changed -> Fmt.string ppf "2 (g)"
+
+  let pp_fg ppf l =
+    Fmt.(
+      list ~sep:(any " ")
+        (fun ppf (b, vs) ->
+          Fmt.pf ppf "B%d:{%a}" b (list ~sep:(any ",") int) vs))
+      ppf l
+
+  let pp_result ppf r =
+    Fmt.pf ppf
+      "@[<v>Lemma 19 construction: %d steps, potential %d (bound n-2 = %d), \
+       domain size b=%d, implied objects ≥ %d@,f: %a@,g: %a@,S: {%a}@,%a@]"
+      (List.length r.steps) r.potential (P.n - 2) r.domain_size
+      r.implied_objects pp_fg r.f pp_fg r.g
+      Fmt.(
+        list ~sep:(any ",") (fun ppf (p, b) -> Fmt.pf ppf "p%d↦B%d" p b))
+      r.coverers
+      Fmt.(
+        list ~sep:cut (fun ppf s ->
+            Fmt.pf ppf
+              "  i=%d: j=%d |α_j|=%d case %a B*=B%d v*=%d |S|=%d potential=%d"
+              s.i s.j s.alpha_len pp_case s.case s.b_star s.v_star
+              s.cover_size s.potential))
+      r.steps
+
+  let pp_figure ppf r =
+    Fmt.pf ppf "@[<v>";
+    List.iter
+      (fun s ->
+        Fmt.pf ppf
+          "⟦C_%d⟧ --β_%d--> C_%dβ --δ (p_%d solo)--> ... ; ⟦C_%d⟧ --α_%d (%d \
+           steps)--> ⟦C_%d⟧   [case %a: B%d, v*=%d]@,"
+          s.i s.i s.i s.i s.i s.j s.alpha_len (s.i + 1) pp_case s.case
+          s.b_star s.v_star)
+      r.steps;
+    Fmt.pf ppf
+      "⟦·⟧ = configuration in which Q is bivalent; β_%d is inserted before \
+       δ (Figure 2)@]"
+      (List.length r.steps)
+end

@@ -1,0 +1,35 @@
+let ceil_div a b = (a + b - 1) / b
+let ksa_swap_lb ~n ~k = ceil_div n k - 1
+let ksa_swap_ub ~n ~k = n - k
+let ksa_registers_ub ~n ~k = n - k + 1
+let ksa_registers_lb ~n ~k = ceil_div n k
+let consensus_registers_exact n = n
+let consensus_readable_swap_ub n = n - 1
+let binary_swap_lb n = n - 2
+let bounded_swap_lb ~n ~b = float_of_int (n - 2) /. float_of_int ((3 * b) + 1)
+let binary_registers_ub n = (2 * n) - 1
+let historyless_sqrt_lb n = sqrt (float_of_int n)
+let solo_steps_ub ~n ~k = 8 * (n - k)
+
+let summary ~n ~k ~b =
+  [ "k-set agreement, swap, LB (Thm 10)",
+    string_of_int (ksa_swap_lb ~n ~k)
+  ; "k-set agreement, swap, UB (Alg 1)", string_of_int (ksa_swap_ub ~n ~k)
+  ; "k-set agreement, registers, LB [10]",
+    string_of_int (ksa_registers_lb ~n ~k)
+  ; "k-set agreement, registers, UB [15]",
+    string_of_int (ksa_registers_ub ~n ~k)
+  ; "consensus, registers, exact [10]",
+    string_of_int (consensus_registers_exact n)
+  ; "consensus, readable swap, UB [16]",
+    string_of_int (consensus_readable_swap_ub n)
+  ; "binary consensus, readable binary swap, LB (Thm 17)",
+    string_of_int (binary_swap_lb n)
+  ; Fmt.str "binary consensus, domain %d readable swap, LB (Thm 21)" b,
+    Fmt.str "%.2f" (bounded_swap_lb ~n ~b)
+  ; "binary consensus, binary registers, UB [17]",
+    string_of_int (binary_registers_ub n)
+  ; "historyless, LB [8]", Fmt.str "Ω(√n) ≈ %.1f" (historyless_sqrt_lb n)
+  ; "Algorithm 1 solo steps, UB (Lemma 8)",
+    string_of_int (solo_steps_ub ~n ~k)
+  ]

@@ -1,0 +1,48 @@
+(** Closed forms of every space bound discussed in the paper — the single
+    source of truth the benches and documentation quote.
+
+    "LB" = lower bound (no correct algorithm can use fewer objects);
+    "UB" = upper bound (an algorithm with that many objects exists). *)
+
+val ksa_swap_lb : n:int -> k:int -> int
+(** Theorem 10: LB of ⌈n/k⌉ - 1 swap objects for solo-terminating
+    (k+1)-valued k-set agreement. *)
+
+val ksa_swap_ub : n:int -> k:int -> int
+(** Algorithm 1 (§4): UB of n - k swap objects.  Matches {!ksa_swap_lb}
+    exactly when [k = 1]. *)
+
+val ksa_registers_ub : n:int -> k:int -> int
+(** Bouzid–Raynal–Sutra [15]: UB of n - k + 1 registers. *)
+
+val ksa_registers_lb : n:int -> k:int -> int
+(** Ellen–Gelashvili–Zhu [10]: LB of ⌈n/k⌉ registers. *)
+
+val consensus_registers_exact : int -> int
+(** [10] + [4,5]: consensus from registers needs exactly [n]. *)
+
+val consensus_readable_swap_ub : int -> int
+(** Ellen–Gelashvili–Shavit–Zhu [16]: UB of n - 1 readable swap objects. *)
+
+val binary_swap_lb : int -> int
+(** Theorem 17: LB of n - 2 readable binary swap objects for
+    obstruction-free binary consensus. *)
+
+val bounded_swap_lb : n:int -> b:int -> float
+(** Theorem 21: LB of (n-2)/(3b+1) readable swap objects of domain size
+    [b]. *)
+
+val binary_registers_ub : int -> int
+(** Bowman [17]: UB of 2n - 1 binary registers for obstruction-free binary
+    consensus. *)
+
+val historyless_sqrt_lb : int -> float
+(** Ellen–Herlihy–Shavit [8]: the older Ω(√n) LB for historyless objects
+    (returned as √n for comparison plots). *)
+
+val solo_steps_ub : n:int -> k:int -> int
+(** Lemma 8: any solo execution of Algorithm 1 has at most 8(n-k) steps. *)
+
+val summary : n:int -> k:int -> b:int -> (string * string) list
+(** a rendered (description, value) list of all bounds at the given
+    parameters, used by the bench harness and documentation *)

@@ -1,0 +1,71 @@
+(** Shared machinery for the §6 covering/valency constructions: the
+    Lemma 12 and Lemma 13 search procedures, used by both the readable
+    binary swap construction (Lemma 15, {!Binary_lb}) and the bounded-domain
+    construction (Lemma 19, {!Bounded_lb}).
+
+    Both procedures are effective versions of the paper's existence proofs:
+    they search exactly the execution class the proof quantifies over and
+    assert every intermediate claim, so a successful run is a machine check
+    of the construction against the concrete protocol. *)
+
+exception Construction_failed of string
+(** an intermediate claim of the proof failed to hold — indicates a bug in
+    the protocol under test (it is not a correct obstruction-free binary
+    consensus algorithm) or an exhausted search bound *)
+
+module Make (P : Shmem.Protocol.S) : sig
+  module V : module type of Valency.Make (P)
+  module E = V.E
+
+  type ctx = {
+    q : int list;  (** the special pair Q = {q0, q1} *)
+    oracle : V.t;  (** valency oracle for Q *)
+  }
+
+  val make_ctx : q:int list -> ctx
+
+  val block_swap : ctx -> E.config -> s:int list -> E.config * Shmem.Trace.t
+  (** apply the block swap β by the covering processes [s] (their next
+      steps, in list order) *)
+
+  val lemma12 : ctx -> c:E.config -> s:int list -> E.config * Shmem.Trace.t
+  (** Lemma 12: given [c] with Q bivalent and covering processes [s], find a
+      Q-only execution γ from [c] such that Q is bivalent in [c]γβ.  Returns
+      the configuration [c]γ and the trace of γ.
+      @raise Construction_failed if the search falsifies a proof claim *)
+
+  type lemma13_result = {
+    j : int;
+    alpha_j : Shmem.Trace.t;  (** (Q ∪ P_i)-only, indistinguishable from δ_j to p_i *)
+    c_alpha_j : E.config;  (** C·α_j, in which Q is bivalent *)
+    delta : Shmem.Trace.t;  (** p_i's full solo-terminating execution from C' *)
+    d_op : Shmem.Op.t;  (** the operation d that p_i is poised to apply in C'·δ_j *)
+    b_star : int;  (** the object accessed by d *)
+    v_before : Shmem.Value.t;  (** value(B*, C'·δ_j) *)
+    v_after : Shmem.Value.t;  (** value(B*, C'·δ_j·d) *)
+  }
+
+  val lemma13 :
+    ctx ->
+    c:E.config ->
+    c':E.config ->
+    pi:int ->
+    others:int list ->
+    ?include_others:bool ->
+    ?solo_cap:int ->
+    ?max_nodes:int ->
+    unit ->
+    lemma13_result
+  (** Lemma 13: [c] is a configuration with Q bivalent, [c'] satisfies
+      [c ~p_i~ c'] (and agrees with [c] outside the objects a pending block
+      swap covers), δ is p_i's solo-terminating execution from [c'].
+      [others] are the processes of P_i other than [p_i]; they are
+      admitted into the witness search only when [include_others] is true
+      (default false — the restricted class keeps the search tractable, and
+      every witness found is still a valid (Q ∪ P_i)-only execution).  Finds the critical index [j]: the minimum [j] such
+      that no (Q ∪ P_i)-only execution from [c] indistinguishable from
+      δ_{j+1} to p_i leaves Q bivalent — together with a bivalent witness
+      α_j for index [j].
+      @raise Construction_failed if δ does not terminate within [solo_cap]
+      steps or the witness search exceeds [max_nodes] *)
+end

@@ -1,0 +1,111 @@
+exception Hypothesis_violated of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Hypothesis_violated s)) fmt
+
+module Make (P : Shmem.Protocol.S) = struct
+  module E = Shmem.Exec.Make (P)
+
+  type certificate = {
+    objects_forced : int list;
+    gamma : Shmem.Trace.t;
+    delta : Shmem.Trace.t;
+  }
+
+  module Int_set = Set.Make (Int)
+
+  let run ~inputs ~alpha ~q ~v ?required_distinct
+      ?(solo_cap = 1024 * (Array.length P.objects + 1)) () =
+    let required = Option.value ~default:P.k required_distinct in
+    if not (Array.for_all (function Shmem.Obj_kind.Swap_only _ -> true | _ -> false) P.objects)
+    then fail "Lemma 9 applies to algorithms from swap objects only";
+    List.iter
+      (fun pid ->
+        if inputs.(pid) <> v then
+          fail "process q%d has input %d, expected the common input %d" pid
+            inputs.(pid) v)
+      q;
+    if List.exists (fun s -> List.mem s.Shmem.Trace.pid q) alpha then
+      fail "alpha contains steps by processes in Q";
+    let c0 = E.initial ~inputs in
+    let c_alpha = E.replay c0 alpha in
+    let decided = E.decided_values c_alpha in
+    let non_v = List.filter (fun x -> x <> v) decided in
+    if List.length non_v < required then
+      fail "only %d distinct non-%d values decided in C·alpha, need %d"
+        (List.length non_v) v required;
+    if List.mem v decided then
+      fail "the value v=%d is already decided in C·alpha" v;
+    (* the shadow initial configuration D: every process has input v *)
+    let d0 = E.initial ~inputs:(Array.make P.n v) in
+    (* Inductively maintain:
+       - [a]: the covered objects A_i,
+       - [c_side]/[d_side]: C·alpha·gamma_i and D·delta_i,
+       with value(B, c_side) = value(B, d_side) for all B in A_i. *)
+    let check_covered_equal a c_side d_side =
+      Int_set.iter
+        (fun b ->
+          if not (Shmem.Value.equal (E.value c_side b) (E.value d_side b)) then
+            fail
+              "invariant broken: object B%d differs between C·alpha·gamma and \
+               D·delta"
+              b)
+        a
+    in
+    let rec induct a c_side d_side gamma delta = function
+      | [] ->
+        { objects_forced = Int_set.elements a
+        ; gamma = List.rev gamma
+        ; delta = List.rev delta
+        }
+      | qi :: rest ->
+        (* run q_{i+1} solo from D·delta_i, mirroring from C·alpha·gamma_i,
+           until it is poised to swap an object outside A_i *)
+        let rec advance c_side d_side gamma delta steps =
+          if steps > solo_cap then
+            fail "q%d exceeded the solo cap (%d) without leaving A_i" qi
+              solo_cap;
+          (match E.decision d_side qi with
+          | Some w ->
+            (* tau = sigma would contradict agreement: q_i would decide v in
+               C·alpha·gamma too, alongside k other values *)
+            fail
+              "q%d decided %d while only accessing covered objects — the \
+               protocol violates %d-agreement (or validity)"
+              qi w P.k
+          | None -> ());
+          let op_d = E.poised d_side qi in
+          let op_c = E.poised c_side qi in
+          if not (Shmem.Op.equal op_d op_c) then
+            fail "q%d is poised differently in the two executions" qi;
+          let b = op_d.Shmem.Op.obj in
+          if Int_set.mem b a then begin
+            (* covered object: identical value on both sides, so the step is
+               indistinguishable — apply it on both *)
+            let d_side', sd = E.step d_side qi in
+            let c_side', sc = E.step c_side qi in
+            if not (Shmem.Value.equal sd.Shmem.Trace.resp sc.Shmem.Trace.resp)
+            then
+              fail "responses diverged on covered object B%d" b;
+            advance c_side' d_side' (sc :: gamma) (sd :: delta) (steps + 1)
+          end
+          else begin
+            (* first access outside A_i: a Swap, which sets B to the same
+               value on both sides regardless of the (possibly different)
+               responses *)
+            (match op_d.Shmem.Op.action with
+            | Shmem.Op.Swap _ -> ()
+            | _ -> fail "q%d attempted a non-swap operation" qi);
+            let d_side', sd = E.step d_side qi in
+            let c_side', sc = E.step c_side qi in
+            if not (Shmem.Value.equal (E.value c_side' b) (E.value d_side' b))
+            then
+              fail "swap left different values in B%d (engine bug)" b;
+            let a = Int_set.add b a in
+            check_covered_equal a c_side' d_side';
+            induct a c_side' d_side' (sc :: gamma) (sd :: delta) rest
+          end
+        in
+        advance c_side d_side gamma delta 0
+    in
+    induct Int_set.empty c_alpha d0 [] [] q
+end

@@ -1,0 +1,50 @@
+(** The constructive adversary of Lemma 9 (§5).
+
+    Given an initial configuration [C] of a solo-terminating k-set agreement
+    algorithm from swap objects in which a set [Q] of processes share input
+    [v], and an execution [α] from [C] without steps by [Q] in which [k]
+    distinct values different from [v] are decided, the engine replays the
+    paper's induction: it repeatedly runs the next process of [Q] solo from a
+    shadow configuration [D] (all inputs [v]) until that process is about to
+    swap an object outside the already-covered set, mirrors the run from
+    [Cα], and applies the swap on both sides — overwriting the evidence of
+    [α] stored in that object.  Each process of [Q] is forced to access a
+    {e new} object, so [α] must have accessed at least [|Q|] objects.
+
+    Every indistinguishability claim of the proof is asserted during the
+    replay; a failure indicates the protocol under test violates agreement or
+    validity. *)
+
+exception Hypothesis_violated of string
+(** raised when the inputs do not satisfy the lemma's hypotheses (e.g. [α]
+    contains steps by [Q], or fewer than [k] distinct non-[v] values are
+    decided in [Cα]), or when the protocol under test is not swap-only *)
+
+module Make (P : Shmem.Protocol.S) : sig
+  module E : module type of Shmem.Exec.Make (P)
+
+  type certificate = {
+    objects_forced : int list;
+        (** the set [A_{|Q|}]: distinct objects that [α] must access,
+            ascending *)
+    gamma : Shmem.Trace.t;  (** the [Q]-only execution appended after [Cα] *)
+    delta : Shmem.Trace.t;  (** the [Q]-only execution from the shadow [D] *)
+  }
+
+  val run :
+    inputs:int array ->
+    alpha:Shmem.Trace.t ->
+    q:int list ->
+    v:int ->
+    ?required_distinct:int ->
+    ?solo_cap:int ->
+    unit ->
+    certificate
+  (** [run ~inputs ~alpha ~q ~v ()] plays the adversary from
+      [C = initial ~inputs].  [alpha] is the schedule of α (validated on
+      replay).  [required_distinct] is the number of distinct non-[v] values
+      that must be decided in [C·α] (defaults to the protocol's [k]; the
+      Theorem 10 driver passes the recursion level's parameter instead).
+      Default [solo_cap] is [1024 * (objects + 1)].
+      @raise Hypothesis_violated as documented above *)
+end

@@ -1,0 +1,198 @@
+module Make (P : Shmem.Protocol.S) = struct
+  module E = Shmem.Exec.Make (P)
+
+  type node = {
+    id : int;
+    repr : E.config;
+    mutable succs : (int * Shmem.Trace.step * int option) list;
+        (* successor node, the step, and the value decided by that step *)
+    mutable preds : int list;
+    mutable values : int;  (* bitmask of decidable values *)
+    mutable expanded : bool;
+  }
+
+  type t = {
+    allowed : int list;
+    tbl : (int, node list) Hashtbl.t;  (* restricted-key -> bucket *)
+    mutable nodes : node array;  (* id -> node, grown geometrically *)
+    mutable count : int;
+  }
+
+  let allowed t = t.allowed
+  let create ~allowed = { allowed; tbl = Hashtbl.create 1024; nodes = [||]; count = 0 }
+
+  let grow t =
+    if t.count >= Array.length t.nodes then begin
+      let fresh =
+        Array.make (max 64 (2 * Array.length t.nodes))
+          { id = -1
+          ; repr = Obj.magic ()
+          ; succs = []
+          ; preds = []
+          ; values = 0
+          ; expanded = false
+          }
+      in
+      Array.blit t.nodes 0 fresh 0 t.count;
+      t.nodes <- fresh
+    end
+
+  let node_of t config =
+    let key = E.restricted_key ~pids:t.allowed config in
+    let bucket = Option.value ~default:[] (Hashtbl.find_opt t.tbl key) in
+    match
+      List.find_opt
+        (fun n -> E.equal_restricted ~pids:t.allowed n.repr config)
+        bucket
+    with
+    | Some n -> n
+    | None ->
+      grow t;
+      let n =
+        { id = t.count; repr = config; succs = []; preds = []; values = 0
+        ; expanded = false }
+      in
+      t.nodes.(t.count) <- n;
+      t.count <- t.count + 1;
+      Hashtbl.replace t.tbl key (n :: bucket);
+      n
+
+  let expand t n =
+    if not n.expanded then begin
+      n.expanded <- true;
+      List.iter
+        (fun pid ->
+          if E.decision n.repr pid = None then begin
+            let c', step = E.step n.repr pid in
+            let decided = E.decision c' pid in
+            let succ = node_of t c' in
+            n.succs <- (succ.id, step, decided) :: n.succs;
+            succ.preds <- n.id :: succ.preds
+          end)
+        t.allowed
+    end
+
+  (* explore everything reachable from [root], then propagate decidable
+     values backwards to a fixpoint *)
+  let ensure t root =
+    let n0 = node_of t root in
+    let stack = Stack.create () in
+    if not n0.expanded then Stack.push n0.id stack;
+    let touched = ref [] in
+    while not (Stack.is_empty stack) do
+      let id = Stack.pop stack in
+      let n = t.nodes.(id) in
+      if not n.expanded then begin
+        expand t n;
+        touched := id :: !touched;
+        List.iter
+          (fun (succ, _, _) ->
+            if not t.nodes.(succ).expanded then Stack.push succ stack)
+          n.succs
+      end
+    done;
+    (* seed base values from decision edges, then fixpoint over predecessors *)
+    let work = Queue.create () in
+    List.iter
+      (fun id ->
+        let n = t.nodes.(id) in
+        let base =
+          List.fold_left
+            (fun acc (_, _, decided) ->
+              match decided with Some v -> acc lor (1 lsl v) | None -> acc)
+            0 n.succs
+        in
+        if base land lnot n.values <> 0 then begin
+          n.values <- n.values lor base;
+          Queue.push id work
+        end;
+        (* a freshly expanded node may point at old nodes with known values *)
+        let inherited =
+          List.fold_left
+            (fun acc (succ, _, _) -> acc lor t.nodes.(succ).values)
+            0 n.succs
+        in
+        if inherited land lnot n.values <> 0 then begin
+          n.values <- n.values lor inherited;
+          Queue.push id work
+        end)
+      !touched;
+    while not (Queue.is_empty work) do
+      let id = Queue.pop work in
+      let n = t.nodes.(id) in
+      List.iter
+        (fun pred ->
+          let p = t.nodes.(pred) in
+          if n.values land lnot p.values <> 0 then begin
+            p.values <- p.values lor n.values;
+            Queue.push pred work
+          end)
+        n.preds
+    done;
+    n0
+
+  let decidable_values t config =
+    let n = ensure t config in
+    List.filter (fun v -> n.values land (1 lsl v) <> 0)
+      (List.init P.num_inputs Fun.id)
+
+  let bivalent t config =
+    match decidable_values t config with
+    | [ _; _ ] -> true
+    | _ -> false
+
+  let univalent_value t config =
+    match decidable_values t config with
+    | [ v ] -> Some v
+    | [] ->
+      failwith
+        "Valency.univalent_value: allowed set cannot decide at all (protocol \
+         is not solo-terminating on this region)"
+    | _ -> None
+
+  let witness t config ~value =
+    let n0 = ensure t config in
+    if n0.values land (1 lsl value) = 0 then None
+    else begin
+      (* BFS for a decision edge with the target value, following only nodes
+         from which [value] is decidable (guaranteed to reach one) *)
+      let parent = Hashtbl.create 256 in
+      let queue = Queue.create () in
+      Hashtbl.replace parent n0.id None;
+      Queue.push n0.id queue;
+      let found = ref None in
+      while !found = None && not (Queue.is_empty queue) do
+        let id = Queue.pop queue in
+        let n = t.nodes.(id) in
+        List.iter
+          (fun (succ, step, decided) ->
+            if !found = None then
+              if decided = Some value then
+                found := Some (id, step)
+              else if
+                t.nodes.(succ).values land (1 lsl value) <> 0
+                && not (Hashtbl.mem parent succ)
+              then begin
+                Hashtbl.replace parent succ (Some (id, step));
+                Queue.push succ queue
+              end)
+          n.succs
+      done;
+      match !found with
+      | None -> None (* unreachable: fixpoint said the value was decidable *)
+      | Some (last_id, last_step) ->
+        let rec unwind id acc =
+          match Hashtbl.find parent id with
+          | None -> acc
+          | Some (pred, step) -> unwind pred (step :: acc)
+        in
+        Some (unwind last_id [ last_step ])
+    end
+
+  let stats t =
+    let edges = ref 0 in
+    for i = 0 to t.count - 1 do
+      edges := !edges + List.length t.nodes.(i).succs
+    done;
+    t.count, !edges
+end

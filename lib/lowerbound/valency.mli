@@ -1,0 +1,47 @@
+(** Valency of process sets (§1, §6).
+
+    A set of processes [P] is {e bivalent} in configuration [C] of a binary
+    consensus algorithm if, for each value [v ∈ {0,1}], there is a [P]-only
+    execution from [C] in which some process of [P] decides [v]; otherwise it
+    is {e univalent} ({e v-univalent} if only [v] can be decided).
+
+    {!Make.create} builds a valency oracle for a fixed set of allowed
+    processes.  The oracle lazily explores the allowed-only reachable
+    configuration graph (identifying configurations that agree on the allowed
+    processes' states and all object values — such configurations have
+    identical allowed-only futures) and computes decidable-value sets by a
+    backward fixpoint, so repeated queries share work.  This terminates on
+    protocols whose allowed-only reachable space is finite; racing protocols
+    are explored through lap-capped instances (see DESIGN.md). *)
+
+module Make (P : Shmem.Protocol.S) : sig
+  module E : module type of Shmem.Exec.Make (P)
+
+  type t
+  (** an oracle for a fixed allowed set *)
+
+  val create : allowed:int list -> t
+
+  val allowed : t -> int list
+
+  val decidable_values : t -> E.config -> int list
+  (** the values [v] for which some allowed-only execution from the
+      configuration lets an allowed process decide [v], ascending *)
+
+  val bivalent : t -> E.config -> bool
+  (** exactly the paper's bivalence for binary consensus: both 0 and 1
+      are decidable *)
+
+  val univalent_value : t -> E.config -> int option
+  (** [Some v] if the allowed set is v-univalent, [None] if bivalent.
+      @raise Failure if no value is decidable (allowed set cannot decide at
+      all — impossible for solo-terminating algorithms with a nonempty
+      allowed set of undecided processes) *)
+
+  val witness : t -> E.config -> value:int -> Shmem.Trace.t option
+  (** an allowed-only schedule from the configuration in which some allowed
+      process decides [value], if one exists *)
+
+  val stats : t -> int * int
+  (** (nodes explored, edges) — for reporting *)
+end

@@ -1,0 +1,5 @@
+type 'a t = 'a Atomic.t
+
+let make = Atomic.make
+let swap = Atomic.exchange
+let read = Atomic.get

@@ -1,0 +1,22 @@
+(** Real hardware swap objects.
+
+    OCaml 5's [Atomic.exchange] compiles to an atomic exchange instruction,
+    which is exactly the paper's [Swap] operation: it sets the value and
+    returns the previous one in a single atomic step.  A value of type
+    ['a t] used only through {!swap} is a swap object; adding {!read} makes
+    it a readable swap object.
+
+    Stored values must be treated as immutable: mutating an array after
+    swapping it in would break the object's sequential semantics. *)
+
+type 'a t
+
+val make : 'a -> 'a t
+
+val swap : 'a t -> 'a -> 'a
+(** [swap b v] atomically sets [b] to [v] and returns the previous value —
+    the paper's [Swap(B, v)] *)
+
+val read : 'a t -> 'a
+(** the [Read] operation of a readable swap object; do not use on objects
+    meant to model the paper's swap-only objects *)

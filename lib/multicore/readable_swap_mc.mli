@@ -1,0 +1,30 @@
+(** The readable-swap racing-counters consensus (the simulator's
+    {!Baselines.Readable_swap_consensus}) on real shared memory: [n-1]
+    readable swap objects implemented by [Atomic.get] / [Atomic.exchange].
+
+    Same structure as the simulated protocol — a read pass that merges lap
+    counters, then a swap pass that must return only the process's own
+    pair, deciding at a 2-lap lead — plus the same randomized backoff as
+    {!Swap_ksa_mc}. *)
+
+type outcome = {
+  decisions : int array;
+  passes : int array;
+  reads : int array;
+  swaps : int array;
+  elapsed : float;
+}
+
+val run :
+  n:int ->
+  m:int ->
+  inputs:int array ->
+  ?seed:int ->
+  ?max_passes:int ->
+  unit ->
+  outcome
+(** @raise Invalid_argument unless [n >= 2], [m >= 2] and inputs are in
+    range *)
+
+val check : inputs:int array -> outcome -> (unit, string) result
+(** verify agreement (consensus: a single decided value) and validity *)

@@ -1,0 +1,11 @@
+let run ~input0 ~input1 =
+  let cell = Atomic_swap.make None in
+  let propose input =
+    match Atomic_swap.swap cell (Some input) with
+    | None -> input  (* first to swap: decide own input *)
+    | Some other -> other  (* second: decide the winner's input *)
+  in
+  let d1 = Domain.spawn (fun () -> propose input1) in
+  let decision0 = propose input0 in
+  let decision1 = Domain.join d1 in
+  decision0, decision1

@@ -1,0 +1,7 @@
+(** The folklore wait-free 2-process consensus from one hardware swap object
+    (§1), on real domains: both processes [Atomic.exchange] their input into
+    a shared cell initialised to ⊥; whoever gets ⊥ back wins. *)
+
+val run : input0:int -> input1:int -> int * int
+(** [run ~input0 ~input1] spawns two domains and returns their decisions;
+    wait-free, one swap each. *)

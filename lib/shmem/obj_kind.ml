@@ -1,0 +1,71 @@
+type domain = Unbounded | Bounded of int
+
+type t =
+  | Register of domain
+  | Swap_only of domain
+  | Readable_swap of domain
+  | Test_and_set
+  | Test_and_set_reset
+  | Compare_and_swap of domain
+
+exception Illegal_operation of string
+
+let domain = function
+  | Register d | Swap_only d | Readable_swap d | Compare_and_swap d -> d
+  | Test_and_set | Test_and_set_reset -> Bounded 2
+
+let is_historyless = function
+  | Register _ | Swap_only _ | Readable_swap _ | Test_and_set
+  | Test_and_set_reset ->
+    true
+  | Compare_and_swap _ -> false
+
+let value_in_domain dom v =
+  match dom with
+  | Unbounded -> true
+  | Bounded b -> ( match v with Value.Int i -> 0 <= i && i < b | _ -> false)
+
+let supports kind (action : Op.action) =
+  match kind, action with
+  | Register d, Op.Write v -> value_in_domain d v
+  | Register _, Op.Read -> true
+  | Swap_only d, Op.Swap v -> value_in_domain d v
+  | Readable_swap d, Op.Swap v -> value_in_domain d v
+  | Readable_swap _, Op.Read -> true
+  | Test_and_set, Op.Swap (Value.Int 1) -> true
+  | Test_and_set, Op.Read -> true
+  | Test_and_set_reset, (Op.Swap (Value.Int 1) | Op.Write (Value.Int 0)) ->
+    true
+  | Test_and_set_reset, Op.Read -> true
+  | Compare_and_swap d, Op.Cas (_, desired) -> value_in_domain d desired
+  | Compare_and_swap _, Op.Read -> true
+  | ( ( Register _ | Swap_only _ | Readable_swap _ | Test_and_set
+      | Test_and_set_reset | Compare_and_swap _ ),
+      _ ) ->
+    false
+
+let pp ppf kind =
+  let pp_dom ppf = function
+    | Unbounded -> Fmt.string ppf "ℕ"
+    | Bounded b -> Fmt.pf ppf "%d" b
+  in
+  match kind with
+  | Register d -> Fmt.pf ppf "register(%a)" pp_dom d
+  | Swap_only d -> Fmt.pf ppf "swap(%a)" pp_dom d
+  | Readable_swap d -> Fmt.pf ppf "readable-swap(%a)" pp_dom d
+  | Test_and_set -> Fmt.string ppf "test-and-set"
+  | Test_and_set_reset -> Fmt.string ppf "test-and-set-reset"
+  | Compare_and_swap d -> Fmt.pf ppf "compare-and-swap(%a)" pp_dom d
+
+let apply kind ~current (action : Op.action) =
+  if not (supports kind action) then
+    raise
+      (Illegal_operation
+         (Fmt.str "%a does not support %a" pp kind Op.pp { obj = -1; action }));
+  match action with
+  | Op.Read -> current, current
+  | Op.Write v -> v, Value.Unit
+  | Op.Swap v -> v, current
+  | Op.Cas (expected, desired) ->
+    if Value.equal current expected then desired, Value.one
+    else current, Value.zero

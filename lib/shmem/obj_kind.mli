@@ -1,0 +1,43 @@
+(** Kinds of shared objects provided by the system, with their sequential
+    semantics and the set of operations each supports.
+
+    All kinds except [Compare_and_swap] are {e historyless}: the value of the
+    object depends only on the last nontrivial operation applied to it. *)
+
+type domain =
+  | Unbounded  (** values range over all of [Value.t] (ℕ and encodings) *)
+  | Bounded of int
+      (** domain size [b]: legal stored values are [Int 0 .. Int (b-1)];
+          [Bot] is additionally legal as an initial value only when the
+          algorithm never relies on it being in-domain *)
+
+type t =
+  | Register of domain  (** supports [Read] and [Write] *)
+  | Swap_only of domain  (** supports [Swap] only — no [Read] (§3) *)
+  | Readable_swap of domain  (** supports [Read] and [Swap] *)
+  | Test_and_set
+      (** binary; initially [Int 0]; supports [Swap (Int 1)] (= TAS) and
+          [Read] (§2) *)
+  | Test_and_set_reset
+      (** [Test_and_set] plus [Write (Int 0)] (§2) *)
+  | Compare_and_swap of domain  (** supports [Read] and [Cas]; not historyless *)
+
+exception Illegal_operation of string
+(** Raised when a protocol applies an operation its object kind does not
+    support, or stores a value outside the object's domain.  This always
+    indicates a bug in the protocol under test, never in the engine. *)
+
+val domain : t -> domain
+val is_historyless : t -> bool
+
+val value_in_domain : domain -> Value.t -> bool
+
+val supports : t -> Op.action -> bool
+(** Whether the kind supports the action (including domain checks on the
+    value being stored). *)
+
+val apply : t -> current:Value.t -> Op.action -> Value.t * Value.t
+(** [apply kind ~current action] is [(new_value, response)].
+    @raise Illegal_operation if the kind does not support the action. *)
+
+val pp : Format.formatter -> t -> unit

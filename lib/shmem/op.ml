@@ -1,0 +1,35 @@
+type action =
+  | Read
+  | Write of Value.t
+  | Swap of Value.t
+  | Cas of Value.t * Value.t
+
+type t = { obj : int; action : action }
+
+let read obj = { obj; action = Read }
+let write obj v = { obj; action = Write v }
+let swap obj v = { obj; action = Swap v }
+let cas obj ~expected ~desired = { obj; action = Cas (expected, desired) }
+
+let is_nontrivial op =
+  match op.action with
+  | Read -> false
+  | Write _ | Swap _ | Cas _ -> true
+
+let targets op i = op.obj = i
+
+let equal_action a1 a2 =
+  match a1, a2 with
+  | Read, Read -> true
+  | Write v1, Write v2 | Swap v1, Swap v2 -> Value.equal v1 v2
+  | Cas (e1, d1), Cas (e2, d2) -> Value.equal e1 e2 && Value.equal d1 d2
+  | (Read | Write _ | Swap _ | Cas _), _ -> false
+
+let equal o1 o2 = o1.obj = o2.obj && equal_action o1.action o2.action
+
+let pp ppf op =
+  match op.action with
+  | Read -> Fmt.pf ppf "Read(B%d)" op.obj
+  | Write v -> Fmt.pf ppf "Write(B%d,%a)" op.obj Value.pp v
+  | Swap v -> Fmt.pf ppf "Swap(B%d,%a)" op.obj Value.pp v
+  | Cas (e, d) -> Fmt.pf ppf "Cas(B%d,%a,%a)" op.obj Value.pp e Value.pp d

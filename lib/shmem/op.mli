@@ -1,0 +1,34 @@
+(** Operations that a process can apply to a shared object.
+
+    An operation names the object it targets (by index into the algorithm's
+    object array) and the action applied to it.  Following §3 of the paper, an
+    action is {e trivial} if it can never modify the value of the object
+    ([Read]) and {e nontrivial} otherwise. *)
+
+type action =
+  | Read  (** returns the current value; trivial *)
+  | Write of Value.t  (** sets the value, returns [Unit]; nontrivial *)
+  | Swap of Value.t
+      (** sets the value, returns the previous value; nontrivial *)
+  | Cas of Value.t * Value.t
+      (** [Cas (expected, desired)]: conditional swap, returns [Int 1] on
+          success and [Int 0] on failure; nontrivial (and {e not}
+          historyless — only used by the CAS baseline) *)
+
+type t = { obj : int; action : action }
+
+val read : int -> t
+val write : int -> Value.t -> t
+val swap : int -> Value.t -> t
+val cas : int -> expected:Value.t -> desired:Value.t -> t
+
+val is_nontrivial : t -> bool
+(** Whether the action can modify the value of the object (as an operation,
+    per the paper's definition — a [Swap v] is nontrivial even when the object
+    currently holds [v]). *)
+
+val targets : t -> int -> bool
+(** [targets op i] is true iff [op] is applied to object [i]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,75 @@
+(** Deterministic protocol state machines.
+
+    A protocol packages an instance of a distributed algorithm: the shared
+    objects it uses (with their kinds and initial values) and, for each
+    process, a deterministic state machine.  A process that has decided takes
+    no further steps, matching the paper's model of one-shot agreement tasks.
+
+    Engines that need to run a protocol are functors over this signature
+    (see {!Exec.Make}); protocol constructors such as [Swap_ksa.make] return
+    first-class [(module S)] values. *)
+
+module type S = sig
+  val name : string
+
+  val n : int
+  (** number of processes; pids are [0 .. n-1] *)
+
+  val k : int
+  (** the agreement parameter: at most [k] distinct values may be decided *)
+
+  val num_inputs : int
+  (** [m]: inputs range over [0 .. m-1] *)
+
+  val objects : Obj_kind.t array
+  (** the shared objects, [B_0 .. B_{len-1}] *)
+
+  val init_object : int -> Value.t
+  (** initial value of each object *)
+
+  type state
+
+  val init : pid:int -> input:int -> state
+  val poised : state -> Op.t
+  (** the next operation of an undecided process; never called after
+      [decision] returns [Some _] *)
+
+  val on_response : state -> Value.t -> state
+  (** local computation after receiving the response to the poised
+      operation *)
+
+  val decision : state -> int option
+  val equal_state : state -> state -> bool
+  val hash_state : state -> int
+  val pp_state : Format.formatter -> state -> unit
+end
+
+type t = (module S)
+
+(** Check basic well-formedness of a protocol description: object array
+    nonempty unless [n <= k] (trivial tasks may use no objects), every initial
+    value within its object's domain, and parameters in range. *)
+let validate (module P : S) =
+  if P.n <= 0 then invalid_arg "protocol: n must be positive";
+  if P.k <= 0 then invalid_arg "protocol: k must be positive";
+  if P.num_inputs <= 0 then invalid_arg "protocol: num_inputs must be positive";
+  Array.iteri
+    (fun i kind ->
+      let v = P.init_object i in
+      let dom = Obj_kind.domain kind in
+      if not (Obj_kind.value_in_domain dom v || Value.equal v Value.Bot) then
+        invalid_arg
+          (Fmt.str "protocol %s: initial value %a of B%d outside domain"
+             P.name Value.pp v i))
+    P.objects
+
+let name (module P : S) = P.name
+let num_objects (module P : S) = Array.length P.objects
+
+let uses_only_historyless (module P : S) =
+  Array.for_all Obj_kind.is_historyless P.objects
+
+let uses_only_swap (module P : S) =
+  Array.for_all
+    (function Obj_kind.Swap_only _ -> true | _ -> false)
+    P.objects

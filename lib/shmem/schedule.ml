@@ -1,0 +1,77 @@
+let of_trace trace = List.map (fun s -> s.Trace.pid) trace
+
+(* tokenizer: ints, 'x', '(', ')'; commas count as whitespace *)
+type token = Int of int | Times | Open | Close
+
+let tokenize s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then Ok (List.rev acc)
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | ',' -> go (i + 1) acc
+      | '(' -> go (i + 1) (Open :: acc)
+      | ')' -> go (i + 1) (Close :: acc)
+      | 'x' | '*' -> go (i + 1) (Times :: acc)
+      | '0' .. '9' ->
+        let j = ref i in
+        while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do
+          incr j
+        done;
+        go !j (Int (int_of_string (String.sub s i (!j - i))) :: acc)
+      | c -> Error (Fmt.str "unexpected character %c at offset %d" c i)
+  in
+  go 0 []
+
+(* atoms ::= atom* ; atom ::= (INT | '(' atoms ')') ('x' INT)? *)
+let parse s =
+  let ( let* ) = Result.bind in
+  let* tokens = tokenize s in
+  let rec atoms toks acc =
+    match toks with
+    | [] | Close :: _ -> Ok (List.concat (List.rev acc), toks)
+    | _ ->
+      let* unit_, toks = atom toks in
+      atoms toks (unit_ :: acc)
+  and atom toks =
+    let* base, toks =
+      match toks with
+      | Int pid :: rest -> Ok ([ pid ], rest)
+      | Open :: rest -> (
+        let* inner, rest = atoms rest [] in
+        match rest with
+        | Close :: rest -> Ok (inner, rest)
+        | _ -> Error "unclosed parenthesis")
+      | Times :: _ -> Error "repetition without a preceding atom"
+      | Close :: _ -> Error "unexpected ')'"
+      | [] -> Error "unexpected end of schedule"
+    in
+    match toks with
+    | Times :: Int count :: rest ->
+      if count < 0 then Error "negative repetition"
+      else
+        Ok (List.concat (List.init count (fun _ -> base)), rest)
+    | Times :: _ -> Error "repetition count missing"
+    | _ -> Ok (base, toks)
+  in
+  let* result, leftover = atoms tokens [] in
+  match leftover with
+  | [] -> Ok result
+  | _ -> Error "trailing tokens"
+
+let to_string pids =
+  (* run-length encode consecutive repeats *)
+  let rec runs = function
+    | [] -> []
+    | pid :: rest ->
+      let rec count n = function
+        | p :: tl when p = pid -> count (n + 1) tl
+        | tl -> n, tl
+      in
+      let n, rest = count 1 rest in
+      (pid, n) :: runs rest
+  in
+  runs pids
+  |> List.map (fun (pid, n) ->
+         if n = 1 then string_of_int pid else Fmt.str "%dx%d" pid n)
+  |> String.concat " "

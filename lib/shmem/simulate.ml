@@ -1,0 +1,86 @@
+(** Executable object simulations.
+
+    [6] (Ellen, Fatourou, Ruppert) shows that any historyless object can be
+    simulated by a readable swap object with the same domain, and that any
+    nontrivial operation on a historyless object can be simulated by [Swap].
+    These functors realise both simulations as protocol transformers: they
+    rewrite a protocol's object kinds and operations, leaving its state
+    machine untouched.  The transformed protocol can be re-run through the
+    checker to confirm behavioural equivalence. *)
+
+(** Replace every historyless object by a readable swap object with the same
+    domain.  [Write v] becomes [Swap v] with the response discarded.
+
+    @raise Invalid_argument at application time if [P] uses a
+    compare-and-swap object (CAS is not historyless). *)
+module To_readable_swap (P : Protocol.S) : Protocol.S with type state = P.state =
+struct
+  include P
+
+  let name = P.name ^ "/readable-swap"
+
+  let objects =
+    Array.map
+      (fun kind ->
+        match (kind : Obj_kind.t) with
+        | Register d | Swap_only d | Readable_swap d -> Obj_kind.Readable_swap d
+        | Test_and_set | Test_and_set_reset ->
+          Obj_kind.Readable_swap (Obj_kind.Bounded 2)
+        | Compare_and_swap _ ->
+          invalid_arg
+            (Fmt.str "To_readable_swap: %s uses CAS, which is not historyless"
+               P.name))
+      P.objects
+
+  let translate (op : Op.t) =
+    match op.Op.action with
+    | Op.Write v -> { op with Op.action = Op.Swap v }
+    | Op.Read | Op.Swap _ -> op
+    | Op.Cas _ -> assert false (* ruled out by [objects] above *)
+
+  let poised s = translate (P.poised s)
+
+  let on_response s resp =
+    match (P.poised s).Op.action with
+    | Op.Write _ ->
+      (* the original protocol expects the [Unit] response of a [Write]; the
+         simulating [Swap]'s response (the overwritten value) is discarded *)
+      P.on_response s Value.Unit
+    | Op.Read | Op.Swap _ | Op.Cas _ -> P.on_response s resp
+end
+
+(** Replace every object by a swap-only object (no [Read]).  Only valid for
+    protocols that never read; a [Read] by the transformed protocol raises
+    {!Obj_kind.Illegal_operation} when executed. *)
+module To_swap_only (P : Protocol.S) : Protocol.S with type state = P.state =
+struct
+  include P
+
+  let name = P.name ^ "/swap-only"
+
+  let objects =
+    Array.map
+      (fun kind ->
+        match (kind : Obj_kind.t) with
+        | Register d | Swap_only d | Readable_swap d -> Obj_kind.Swap_only d
+        | Test_and_set | Test_and_set_reset ->
+          Obj_kind.Swap_only (Obj_kind.Bounded 2)
+        | Compare_and_swap _ ->
+          invalid_arg
+            (Fmt.str "To_swap_only: %s uses CAS, which is not historyless"
+               P.name))
+      P.objects
+
+  let translate (op : Op.t) =
+    match op.Op.action with
+    | Op.Write v -> { op with Op.action = Op.Swap v }
+    | Op.Read | Op.Swap _ -> op
+    | Op.Cas _ -> assert false
+
+  let poised s = translate (P.poised s)
+
+  let on_response s resp =
+    match (P.poised s).Op.action with
+    | Op.Write _ -> P.on_response s Value.Unit
+    | Op.Read | Op.Swap _ | Op.Cas _ -> P.on_response s resp
+end

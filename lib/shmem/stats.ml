@@ -1,0 +1,51 @@
+type t = {
+  total_steps : int;
+  steps_per_pid : (int * int) list;
+  objects_accessed : int;
+  objects_swapped : int;
+  reads : int;
+  nontrivial_ops : int;
+}
+
+let of_trace trace =
+  let per_pid = Hashtbl.create 16 in
+  let reads = ref 0 in
+  let nontrivial = ref 0 in
+  List.iter
+    (fun { Trace.pid; op; _ } ->
+      Hashtbl.replace per_pid pid
+        (1 + Option.value ~default:0 (Hashtbl.find_opt per_pid pid));
+      if Op.is_nontrivial op then incr nontrivial else incr reads)
+    trace;
+  { total_steps = Trace.length trace
+  ; steps_per_pid =
+      Hashtbl.fold (fun pid c acc -> (pid, c) :: acc) per_pid []
+      |> List.sort Stdlib.compare
+  ; objects_accessed = List.length (Trace.objects_accessed trace)
+  ; objects_swapped = List.length (Trace.objects_swapped trace)
+  ; reads = !reads
+  ; nontrivial_ops = !nontrivial
+  }
+
+let pp ppf s =
+  Fmt.pf ppf
+    "steps=%d accessed=%d swapped=%d reads=%d nontrivial=%d per-pid=[%a]"
+    s.total_steps s.objects_accessed s.objects_swapped s.reads s.nontrivial_ops
+    Fmt.(list ~sep:(any ";") (pair ~sep:(any ":") int int))
+    s.steps_per_pid
+
+let merge a b =
+  let merged_pids =
+    List.sort_uniq Stdlib.compare (List.map fst a.steps_per_pid @ List.map fst b.steps_per_pid)
+  in
+  let count l pid = Option.value ~default:0 (List.assoc_opt pid l) in
+  { total_steps = a.total_steps + b.total_steps
+  ; steps_per_pid =
+      List.map
+        (fun pid -> pid, count a.steps_per_pid pid + count b.steps_per_pid pid)
+        merged_pids
+  ; objects_accessed = max a.objects_accessed b.objects_accessed
+  ; objects_swapped = max a.objects_swapped b.objects_swapped
+  ; reads = a.reads + b.reads
+  ; nontrivial_ops = a.nontrivial_ops + b.nontrivial_ops
+  }

@@ -1,0 +1,19 @@
+(** Instrumentation over traces: the quantities the benchmark tables report
+    (space actually touched, steps to decision, per-process work). *)
+
+type t = {
+  total_steps : int;
+  steps_per_pid : (int * int) list;  (** (pid, steps), ascending by pid *)
+  objects_accessed : int;  (** distinct objects accessed *)
+  objects_swapped : int;  (** distinct objects receiving a nontrivial op *)
+  reads : int;
+  nontrivial_ops : int;
+}
+
+val of_trace : Trace.t -> t
+val pp : Format.formatter -> t -> unit
+
+val merge : t -> t -> t
+(** componentwise combination treating the two traces as disjoint phases of
+    one execution: sums for counters, max for distinct-object counts (an
+    over-approximation documented where used) *)

@@ -1,0 +1,45 @@
+let cell_of_step step ~decides =
+  let letter =
+    match step.Trace.op.Op.action with
+    | Op.Read -> "r"
+    | Op.Write _ -> "W"
+    | Op.Swap _ -> "S"
+    | Op.Cas _ -> "C"
+  in
+  let obj = string_of_int step.Trace.op.Op.obj in
+  letter ^ obj ^ if decides then "*" else ""
+
+let render ?(columns = 24) ~n ppf trace =
+  let steps = Array.of_list trace in
+  let total = Array.length steps in
+  (* a process decides on its last step iff the trace records no further
+     steps by it — callers pass complete traces, so mark last occurrences *)
+  let last_step_of = Hashtbl.create 16 in
+  Array.iteri (fun i s -> Hashtbl.replace last_step_of s.Trace.pid i) steps;
+  let cell i =
+    let s = steps.(i) in
+    cell_of_step s ~decides:(Hashtbl.find last_step_of s.Trace.pid = i)
+  in
+  let width =
+    let w = ref 2 in
+    for i = 0 to total - 1 do
+      w := max !w (String.length (cell i))
+    done;
+    !w
+  in
+  let bands = (total + columns - 1) / max 1 columns in
+  for band = 0 to max 0 (bands - 1) do
+    let lo = band * columns in
+    let hi = min total (lo + columns) - 1 in
+    if band > 0 then Fmt.pf ppf "@,";
+    Fmt.pf ppf "@[<v>";
+    for pid = 0 to n - 1 do
+      Fmt.pf ppf "p%-2d |" pid;
+      for i = lo to hi do
+        let content = if steps.(i).Trace.pid = pid then cell i else "" in
+        Fmt.pf ppf " %-*s" width content
+      done;
+      Fmt.pf ppf "@,"
+    done;
+    Fmt.pf ppf "     %s@]" (String.make ((hi - lo + 1) * (width + 1)) '-')
+  done

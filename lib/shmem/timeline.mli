@@ -1,0 +1,10 @@
+(** Space-time diagrams of executions: one row per process, one column per
+    step, in the style of the executions drawn in distributed-computing
+    papers.  Nontrivial operations are uppercase ([S3] = Swap on B3,
+    [W1] = Write on B1, [C0] = Cas on B0), reads lowercase ([r2]); [*] marks
+    each process's last recorded step. *)
+
+val render :
+  ?columns:int -> n:int -> Format.formatter -> Trace.t -> unit
+(** [render ~n ppf trace] draws the diagram, wrapping after [columns] steps
+    per band (default 24).  [n] is the number of processes (rows). *)

@@ -1,0 +1,31 @@
+type step = { pid : int; op : Op.t; resp : Value.t }
+type t = step list
+
+let pp_step ppf { pid; op; resp } =
+  Fmt.pf ppf "p%d: %a -> %a" pid Op.pp op Value.pp resp
+
+let pp ppf t = Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_step) t
+let history t = List.map (fun s -> s.pid, s.op) t
+
+let sorted_unique xs =
+  List.sort_uniq Stdlib.compare xs
+
+let pids t = sorted_unique (List.map (fun s -> s.pid) t)
+let is_p_only ~allowed t = List.for_all (fun s -> allowed s.pid) t
+let objects_accessed t = sorted_unique (List.map (fun s -> s.op.Op.obj) t)
+
+let objects_swapped t =
+  sorted_unique
+    (List.filter_map
+       (fun s -> if Op.is_nontrivial s.op then Some s.op.Op.obj else None)
+       t)
+
+let steps_by ~pid t =
+  List.fold_left (fun acc s -> if s.pid = pid then acc + 1 else acc) 0 t
+
+let length = List.length
+
+let indistinguishable_to ~pid t1 t2 =
+  let mine t = List.filter (fun s -> s.pid = pid) t in
+  let same s1 s2 = Op.equal s1.op s2.op && Value.equal s1.resp s2.resp in
+  List.equal same (mine t1) (mine t2)

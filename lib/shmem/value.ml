@@ -1,0 +1,69 @@
+type t =
+  | Unit
+  | Bot
+  | Int of int
+  | Pid of int
+  | Ints of int array
+  | Pair of t * t
+
+let rec equal v1 v2 =
+  match v1, v2 with
+  | Unit, Unit | Bot, Bot -> true
+  | Int i, Int j | Pid i, Pid j -> i = j
+  | Ints a, Ints b ->
+    Array.length a = Array.length b
+    &&
+    let rec go i = i >= Array.length a || (a.(i) = b.(i) && go (i + 1)) in
+    go 0
+  | Pair (a1, b1), Pair (a2, b2) -> equal a1 a2 && equal b1 b2
+  | (Unit | Bot | Int _ | Pid _ | Ints _ | Pair _), _ -> false
+
+let rec compare v1 v2 =
+  let tag = function
+    | Unit -> 0
+    | Bot -> 1
+    | Int _ -> 2
+    | Pid _ -> 3
+    | Ints _ -> 4
+    | Pair _ -> 5
+  in
+  match v1, v2 with
+  | Unit, Unit | Bot, Bot -> 0
+  | Int i, Int j | Pid i, Pid j -> Stdlib.compare i j
+  | Ints a, Ints b ->
+    let c = Stdlib.compare (Array.length a) (Array.length b) in
+    if c <> 0 then c
+    else
+      let rec go i =
+        if i >= Array.length a then 0
+        else
+          let c = Stdlib.compare a.(i) b.(i) in
+          if c <> 0 then c else go (i + 1)
+      in
+      go 0
+  | Pair (a1, b1), Pair (a2, b2) ->
+    let c = compare a1 a2 in
+    if c <> 0 then c else compare b1 b2
+  | (Unit | Bot | Int _ | Pid _ | Ints _ | Pair _), _ ->
+    Stdlib.compare (tag v1) (tag v2)
+
+let hash v = Hashtbl.hash v
+
+let rec pp ppf v =
+  match v with
+  | Unit -> Fmt.string ppf "()"
+  | Bot -> Fmt.string ppf "⊥"
+  | Int i -> Fmt.int ppf i
+  | Pid p -> Fmt.pf ppf "p%d" p
+  | Ints a ->
+    Fmt.pf ppf "[%a]" Fmt.(array ~sep:(any ";") int) a
+  | Pair (a, b) -> Fmt.pf ppf "⟨%a,%a⟩" pp a pp b
+
+let to_string v = Fmt.str "%a" pp v
+let zero = Int 0
+let one = Int 1
+let ints a = Ints (Array.copy a)
+
+let as_int = function
+  | Int i -> i
+  | v -> invalid_arg (Fmt.str "Value.as_int: %a" pp v)

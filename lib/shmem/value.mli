@@ -1,0 +1,34 @@
+(** Values stored in shared objects and returned as operation responses.
+
+    The paper's swap objects store natural numbers; structured values such as
+    the pair [⟨lap counter array, process identifier⟩] used by Algorithm 1 are
+    a finite encoding of naturals, so we represent them directly rather than
+    Gödel-numbering them.  All values are immutable: [Ints] arrays must never
+    be mutated after construction. *)
+
+type t =
+  | Unit  (** response of a [Write]; never stored in an object *)
+  | Bot  (** the distinguished initial value ⊥ *)
+  | Int of int
+  | Pid of int  (** a process identifier *)
+  | Ints of int array  (** an immutable integer vector (e.g. a lap counter) *)
+  | Pair of t * t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val zero : t
+(** [Int 0]. *)
+
+val one : t
+(** [Int 1]. *)
+
+val ints : int array -> t
+(** [ints a] is [Ints (Array.copy a)]; copies so later mutation of [a] cannot
+    alias into a stored value. *)
+
+val as_int : t -> int
+(** @raise Invalid_argument if the value is not [Int _]. *)

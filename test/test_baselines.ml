@@ -1,0 +1,262 @@
+(* Tests for the baseline algorithms: register k-set agreement (BRS-style),
+   readable-swap consensus (EGSZ-style), binary-track consensus and CAS
+   consensus.  Small instances are checked exhaustively (with lap caps where
+   counters are unbounded); larger ones with randomized schedules. *)
+
+let test_register_object_count () =
+  List.iter
+    (fun (n, k) ->
+      let (module P) = Baselines.Register_ksa.make ~n ~k ~m:(k + 1) in
+      Alcotest.(check int)
+        (Fmt.str "n=%d k=%d uses n-k+1 registers" n k)
+        (n - k + 1)
+        (Array.length P.objects))
+    [ 2, 1; 5, 1; 5, 2; 8, 4 ]
+
+let test_register_exhaustive_n2 () =
+  let (module P) = Baselines.Register_ksa.make ~n:2 ~k:1 ~m:2 in
+  let module C = Checker.Make (P) in
+  let prune (c : C.E.config) = Util.lap_prune_pair 3 c.C.E.mem in
+  Util.check_ok "register-ksa n=2"
+    (C.explore_all_inputs ~prune ~max_configs:400_000 ())
+
+let test_register_exhaustive_n3_k2 () =
+  let (module P) = Baselines.Register_ksa.make ~n:3 ~k:2 ~m:3 in
+  let module C = Checker.Make (P) in
+  let prune (c : C.E.config) = Util.lap_prune_pair 3 c.C.E.mem in
+  Util.check_ok "register-ksa n=3 k=2 inputs 012"
+    (C.explore ~prune ~max_configs:400_000 ~check_solo:false
+       ~inputs:[| 0; 1; 2 |] ())
+
+let test_register_random () =
+  let (module P) = Baselines.Register_ksa.make ~n:5 ~k:2 ~m:3 in
+  let module C = Checker.Make (P) in
+  Util.check_ok "register-ksa n=5 k=2 random"
+    (C.random_runs ~runs:10 ~max_steps:30_000 ~solo_check_every:1_000 ())
+
+let test_readable_swap_object_count () =
+  List.iter
+    (fun n ->
+      let (module P) = Baselines.Readable_swap_consensus.make ~n ~m:2 in
+      Alcotest.(check int)
+        (Fmt.str "n=%d uses n-1 objects" n)
+        (n - 1) (Array.length P.objects))
+    [ 2; 5; 9 ]
+
+let test_readable_swap_exhaustive_n2 () =
+  let (module P) = Baselines.Readable_swap_consensus.make ~n:2 ~m:2 in
+  let module C = Checker.Make (P) in
+  let prune (c : C.E.config) = Util.lap_prune_pair 4 c.C.E.mem in
+  Util.check_ok "readable-swap n=2"
+    (C.explore_all_inputs ~prune ~max_configs:200_000 ())
+
+let test_readable_swap_random () =
+  let (module P) = Baselines.Readable_swap_consensus.make ~n:6 ~m:4 in
+  let module C = Checker.Make (P) in
+  Util.check_ok "readable-swap n=6 random"
+    (C.random_runs ~runs:10 ~max_steps:30_000 ~solo_check_every:1_000 ())
+
+let test_binary_track_exhaustive_n2 () =
+  let (module B) = Baselines.Binary_track_consensus.make ~n:2 ~cap:8 in
+  let module C = Checker.Make (B) in
+  let prune (c : C.E.config) = B.near_cap ~margin:3 c.C.E.mem in
+  Util.check_ok "binary-track n=2"
+    (C.explore_all_inputs ~prune ~max_configs:200_000 ())
+
+let test_binary_track_exhaustive_n3 () =
+  let (module B) = Baselines.Binary_track_consensus.make ~n:3 ~cap:7 in
+  let module C = Checker.Make (B) in
+  let prune (c : C.E.config) = B.near_cap ~margin:3 c.C.E.mem in
+  Util.check_ok "binary-track n=3 inputs 010"
+    (C.explore ~prune ~max_configs:300_000 ~inputs:[| 0; 1; 0 |] ())
+
+let test_binary_track_random () =
+  let (module B) = Baselines.Binary_track_consensus.make ~n:5 ~cap:64 in
+  let module C = Checker.Make (B) in
+  Util.check_ok "binary-track n=5 random"
+    (C.random_runs ~runs:10 ~max_steps:20_000 ())
+
+let test_binary_track_positions () =
+  let (module B) = Baselines.Binary_track_consensus.make ~n:2 ~cap:4 in
+  let module E = Shmem.Exec.Make (B) in
+  let c = E.initial ~inputs:[| 0; 1 |] in
+  Alcotest.(check (pair int int)) "initially 0,0" (0, 0)
+    (B.positions c.E.mem);
+  (* p0 solo: decides 0 after advancing its track twice *)
+  (match E.run_solo ~pid:0 ~max_steps:100 c with
+  | None -> Alcotest.fail "solo run stuck"
+  | Some (c', _) ->
+    Alcotest.(check (option int)) "p0 decided 0" (Some 0) (E.decision c' 0);
+    let p0, p1 = B.positions c'.E.mem in
+    Alcotest.(check (pair int int)) "track 0 two ahead" (2, 0) (p0, p1))
+
+let test_eager_track_exhaustive_n2 () =
+  let (module B) = Baselines.Binary_track_consensus.make_eager ~n:2 ~cap:8 in
+  let module C = Checker.Make (B) in
+  let prune (c : C.E.config) = B.near_cap ~margin:3 c.C.E.mem in
+  Util.check_ok "eager-track n=2"
+    (C.explore_all_inputs ~prune ~max_configs:300_000 ())
+
+let test_eager_track_random () =
+  let (module B) = Baselines.Binary_track_consensus.make_eager ~n:5 ~cap:64 in
+  let module C = Checker.Make (B) in
+  Util.check_ok "eager-track n=5 random"
+    (C.random_runs ~runs:10 ~max_steps:20_000 ())
+
+let test_tas_track_exhaustive_n2 () =
+  let (module B) = Baselines.Binary_track_consensus.make_tas ~n:2 ~cap:8 in
+  let module C = Checker.Make (B) in
+  let prune (c : C.E.config) = B.near_cap ~margin:3 c.C.E.mem in
+  Util.check_ok "tas-track n=2"
+    (C.explore_all_inputs ~prune ~max_configs:200_000 ());
+  Alcotest.(check bool) "all objects are TAS" true
+    (Array.for_all (fun k -> k = Shmem.Obj_kind.Test_and_set) B.objects)
+
+let test_tas_track_random () =
+  let (module B) = Baselines.Binary_track_consensus.make_tas ~n:4 ~cap:64 in
+  let module C = Checker.Make (B) in
+  Util.check_ok "tas-track n=4 random"
+    (C.random_runs ~runs:10 ~max_steps:20_000 ())
+
+let test_bitwise_bits_needed () =
+  List.iter
+    (fun (m, expect) ->
+      Alcotest.(check int) (Fmt.str "bits for m=%d" m) expect
+        (Baselines.Bitwise_consensus.bits_needed m))
+    [ 2, 1; 3, 2; 4, 2; 5, 3; 8, 3; 9, 4 ]
+
+let test_bitwise_exhaustive_n2 () =
+  let n = 2 and m = 3 and cap = 6 in
+  let (module P) = Baselines.Bitwise_consensus.make ~n ~m ~cap in
+  let module C = Checker.Make (P) in
+  let prune (c : C.E.config) =
+    Baselines.Bitwise_consensus.near_cap ~n ~m ~cap ~margin:3 c.C.E.mem
+  in
+  Util.check_ok "bitwise n=2 m=3 inputs 02"
+    (C.explore ~prune ~max_configs:300_000 ~inputs:[| 0; 2 |] ())
+
+let test_bitwise_random () =
+  let (module P) = Baselines.Bitwise_consensus.make ~n:4 ~m:5 ~cap:48 in
+  let module C = Checker.Make (P) in
+  Util.check_ok "bitwise n=4 m=5 random"
+    (C.random_runs ~runs:10 ~max_steps:30_000 ())
+
+let test_bitwise_decides_posted_value () =
+  (* bursty runs decide, agree, and the decision is one of the inputs *)
+  let (module P) = Baselines.Bitwise_consensus.make ~n:3 ~m:7 ~cap:32 in
+  let module E = Shmem.Exec.Make (P) in
+  let rng = Random.State.make [| 31 |] in
+  for _ = 1 to 10 do
+    let inputs = Array.init 3 (fun _ -> Random.State.int rng 7) in
+    let c, _, outcome =
+      E.run ~sched:(E.bursty rng ~burst:300) ~max_steps:200_000
+        (E.initial ~inputs)
+    in
+    Alcotest.(check bool) "decided" true (outcome = E.All_decided);
+    Alcotest.(check bool) "agreement" true (E.check_agreement c);
+    Alcotest.(check bool) "validity" true (E.check_validity ~inputs c)
+  done
+
+let test_bitwise_all_binary_objects () =
+  let (module P) = Baselines.Bitwise_consensus.make ~n:3 ~m:4 ~cap:8 in
+  Alcotest.(check bool) "all objects are binary readable swap" true
+    (Array.for_all
+       (function
+         | Shmem.Obj_kind.Readable_swap (Shmem.Obj_kind.Bounded 2) -> true
+         | _ -> false)
+       P.objects)
+
+let test_cas_wait_free () =
+  let (module P) = Baselines.Cas_consensus.make ~n:6 ~m:4 in
+  let module E = Shmem.Exec.Make (P) in
+  let inputs = [| 3; 1; 0; 2; 1; 3 |] in
+  let c = E.initial ~inputs in
+  (* every interleaving decides within 2 steps per process *)
+  let c', trace, outcome = E.run ~sched:E.round_robin ~max_steps:100 c in
+  Alcotest.(check bool) "all decided" true (outcome = E.All_decided);
+  Alcotest.(check bool) "at most 2 steps each" true
+    (List.for_all
+       (fun pid -> Shmem.Trace.steps_by ~pid trace <= 2)
+       (List.init 6 Fun.id));
+  Alcotest.(check (list int)) "agreement on first value" [ 3 ]
+    (E.decided_values c')
+
+let test_cas_exhaustive () =
+  let (module P) = Baselines.Cas_consensus.make ~n:3 ~m:3 in
+  let module C = Checker.Make (P) in
+  Util.check_ok "cas n=3" (C.explore_all_inputs ())
+
+let test_two_proc_swap_exhaustive () =
+  let (module P) = Core.Two_proc_swap.make ~m:4 in
+  let module C = Checker.Make (P) in
+  Util.check_ok "two-proc-swap" (C.explore_all_inputs ())
+
+let test_pair_ksa_exhaustive () =
+  let (module P) = Core.Pair_ksa.make ~n:4 ~m:3 in
+  let module C = Checker.Make (P) in
+  Util.check_ok "pair-ksa n=4" (C.explore_all_inputs ())
+
+let test_pair_ksa_wait_free () =
+  (* every process decides within one step (n-1-set agreement from a single
+     swap object is wait-free) *)
+  let (module P) = Core.Pair_ksa.make ~n:5 ~m:5 in
+  let module E = Shmem.Exec.Make (P) in
+  let c = E.initial ~inputs:[| 0; 1; 2; 3; 4 |] in
+  let c', _, outcome = E.run ~sched:E.round_robin ~max_steps:10 c in
+  Alcotest.(check bool) "all decided fast" true (outcome = E.All_decided);
+  Alcotest.(check bool) "at most n-1 values" true
+    (List.length (E.decided_values c') <= 4)
+
+let () =
+  Alcotest.run "baselines"
+    [ ( "register-ksa",
+        [ Alcotest.test_case "object count" `Quick test_register_object_count
+        ; Alcotest.test_case "exhaustive n=2" `Slow test_register_exhaustive_n2
+        ; Alcotest.test_case "exhaustive n=3 k=2" `Slow
+            test_register_exhaustive_n3_k2
+        ; Alcotest.test_case "random n=5 k=2" `Quick test_register_random
+        ] )
+    ; ( "readable-swap",
+        [ Alcotest.test_case "object count" `Quick
+            test_readable_swap_object_count
+        ; Alcotest.test_case "exhaustive n=2" `Slow
+            test_readable_swap_exhaustive_n2
+        ; Alcotest.test_case "random n=6" `Quick test_readable_swap_random
+        ] )
+    ; ( "binary-track",
+        [ Alcotest.test_case "exhaustive n=2" `Slow
+            test_binary_track_exhaustive_n2
+        ; Alcotest.test_case "exhaustive n=3" `Slow
+            test_binary_track_exhaustive_n3
+        ; Alcotest.test_case "random n=5" `Quick test_binary_track_random
+        ; Alcotest.test_case "positions" `Quick test_binary_track_positions
+        ; Alcotest.test_case "eager variant exhaustive n=2" `Slow
+            test_eager_track_exhaustive_n2
+        ; Alcotest.test_case "eager variant random n=5" `Quick
+            test_eager_track_random
+        ; Alcotest.test_case "TAS variant exhaustive n=2" `Slow
+            test_tas_track_exhaustive_n2
+        ; Alcotest.test_case "TAS variant random n=4" `Quick
+            test_tas_track_random
+        ] )
+    ; ( "bitwise multivalued consensus",
+        [ Alcotest.test_case "bits needed" `Quick test_bitwise_bits_needed
+        ; Alcotest.test_case "exhaustive n=2 m=3" `Slow
+            test_bitwise_exhaustive_n2
+        ; Alcotest.test_case "random n=4 m=5" `Quick test_bitwise_random
+        ; Alcotest.test_case "decides a posted value" `Quick
+            test_bitwise_decides_posted_value
+        ; Alcotest.test_case "binary objects only" `Quick
+            test_bitwise_all_binary_objects
+        ] )
+    ; ( "one-object algorithms",
+        [ Alcotest.test_case "cas wait-free" `Quick test_cas_wait_free
+        ; Alcotest.test_case "cas exhaustive" `Quick test_cas_exhaustive
+        ; Alcotest.test_case "two-proc swap exhaustive" `Quick
+            test_two_proc_swap_exhaustive
+        ; Alcotest.test_case "pair-ksa exhaustive" `Quick
+            test_pair_ksa_exhaustive
+        ; Alcotest.test_case "pair-ksa wait-free" `Quick
+            test_pair_ksa_wait_free
+        ] )
+    ]

@@ -1,0 +1,112 @@
+(* Mutation tests for the model checker: deliberately broken protocols must
+   be caught, and the counterexample traces must replay to a violating
+   configuration.  Without these, "checker says ok" would be untrustworthy. *)
+
+let find_violation property report =
+  List.find_opt
+    (fun v -> String.equal v.Checker.property property)
+    report.Checker.violations
+
+let test_catches_agreement_violation () =
+  let (module P) = Util.stubborn_protocol () in
+  let module C = Checker.Make (P) in
+  let report = C.explore ~inputs:[| 0; 1 |] () in
+  match find_violation "k-agreement" report with
+  | None -> Alcotest.fail "stubborn protocol passed the checker"
+  | Some v ->
+    (* the counterexample schedule must replay to a violating config *)
+    let module E = Shmem.Exec.Make (P) in
+    let c = E.replay (E.initial ~inputs:[| 0; 1 |]) v.Checker.trace in
+    Alcotest.(check bool) "replayed violation" false (E.check_agreement c)
+
+let test_catches_validity_violation () =
+  let (module P) = Util.invalid_protocol () in
+  let module C = Checker.Make (P) in
+  let report = C.explore ~inputs:[| 0; 0 |] () in
+  Alcotest.(check bool) "validity violation found" true
+    (find_violation "validity" report <> None)
+
+let test_catches_solo_nontermination () =
+  let (module P) = Util.spinner_protocol () in
+  let module C = Checker.Make (P) in
+  let report = C.explore ~solo_cap:64 ~inputs:[| 0; 1 |] () in
+  Alcotest.(check bool) "solo-termination violation found" true
+    (find_violation "solo-termination" report <> None)
+
+let test_truncation_reported () =
+  let (module P) = Core.Swap_ksa.make ~n:2 ~k:1 ~m:2 in
+  let module C = Checker.Make (P) in
+  (* the unbounded protocol must hit the config cap and say so *)
+  let report = C.explore ~max_configs:500 ~check_solo:false ~inputs:[| 0; 1 |] () in
+  Alcotest.(check bool) "truncated" true report.Checker.truncated
+
+let test_exhaustive_without_prune_terminates () =
+  (* CAS consensus has a finite reachable space: exploration must complete
+     without truncation *)
+  let (module P) = Baselines.Cas_consensus.make ~n:2 ~m:2 in
+  let module C = Checker.Make (P) in
+  let report = C.explore ~inputs:[| 0; 1 |] () in
+  Alcotest.(check bool) "not truncated" false report.Checker.truncated;
+  Util.check_ok "cas" report
+
+let test_all_input_vectors () =
+  let (module P) = Core.Two_proc_swap.make ~m:3 in
+  let module C = Checker.Make (P) in
+  Alcotest.(check int) "m^n vectors" 9 (List.length (C.all_input_vectors ()))
+
+let test_shrink_violation () =
+  (* pad a genuine counterexample with junk steps; shrinking must recover a
+     minimal violating schedule (for the stubborn protocol: 4 steps — both
+     processes swap then decide) *)
+  let (module P) = Util.stubborn_protocol () in
+  let module C = Checker.Make (P) in
+  let inputs = [| 0; 1 |] in
+  let report = C.explore ~inputs () in
+  match
+    List.find_opt (fun v -> v.Checker.property = "k-agreement")
+      report.Checker.violations
+  with
+  | None -> Alcotest.fail "no violation to shrink"
+  | Some v ->
+    let small = C.shrink_violation ~inputs v in
+    Alcotest.(check bool) "no longer than original" true
+      (Shmem.Trace.length small.Checker.trace
+      <= Shmem.Trace.length v.Checker.trace);
+    (* replay the shrunk schedule: it must still violate agreement *)
+    let module E = Shmem.Exec.Make (P) in
+    let c = E.replay (E.initial ~inputs) small.Checker.trace in
+    Alcotest.(check bool) "still violating" false (E.check_agreement c);
+    (* the stubborn protocol violates with exactly one step per process *)
+    Alcotest.(check int) "minimal length" 2
+      (Shmem.Trace.length small.Checker.trace)
+
+let test_random_runs_catch_agreement () =
+  let (module P) = Util.stubborn_protocol () in
+  let module C = Checker.Make (P) in
+  let report = C.random_runs ~runs:50 ~max_steps:100 () in
+  Alcotest.(check bool) "random runs catch the violation" false
+    (Checker.ok report)
+
+let () =
+  Alcotest.run "checker"
+    [ ( "mutation",
+        [ Alcotest.test_case "agreement violation caught" `Quick
+            test_catches_agreement_violation
+        ; Alcotest.test_case "validity violation caught" `Quick
+            test_catches_validity_violation
+        ; Alcotest.test_case "solo non-termination caught" `Quick
+            test_catches_solo_nontermination
+        ; Alcotest.test_case "random runs catch violations" `Quick
+            test_random_runs_catch_agreement
+        ; Alcotest.test_case "counterexample shrinking" `Quick
+            test_shrink_violation
+        ] )
+    ; ( "reporting",
+        [ Alcotest.test_case "truncation reported" `Quick
+            test_truncation_reported
+        ; Alcotest.test_case "finite space completes" `Quick
+            test_exhaustive_without_prune_terminates
+        ; Alcotest.test_case "input vector enumeration" `Quick
+            test_all_input_vectors
+        ] )
+    ]

@@ -1,0 +1,91 @@
+(* The parametric conformance suite: every algorithm in the registry is
+   pushed through the same battery — structural validation, randomized
+   safety, bursty termination, solo validity, and (at n = 2) bounded
+   exhaustive checking.  Adding a protocol to [Baselines.Registry] enrolls
+   it here automatically. *)
+
+let with_entry (e : Baselines.Registry.entry) f =
+  let (module P : Shmem.Protocol.S) = e.Baselines.Registry.protocol in
+  f (module P : Shmem.Protocol.S)
+
+let test_structure (e : Baselines.Registry.entry) () =
+  with_entry e (fun (module P) ->
+      Shmem.Protocol.validate (module P);
+      Alcotest.(check bool) "has objects" true (Array.length P.objects > 0);
+      Alcotest.(check bool) "k in range" true (P.k >= 1))
+
+let test_random_safety (e : Baselines.Registry.entry) () =
+  with_entry e (fun (module P) ->
+      let module C = Checker.Make (P) in
+      Util.check_ok e.Baselines.Registry.name
+        (C.random_runs ~runs:5 ~max_steps:10_000 ()))
+
+let test_bursty_termination (e : Baselines.Registry.entry) () =
+  with_entry e (fun (module P) ->
+      let module E = Shmem.Exec.Make (P) in
+      let rng = Random.State.make [| 3 |] in
+      for _ = 1 to 5 do
+        let inputs =
+          Array.init P.n (fun _ -> Random.State.int rng P.num_inputs)
+        in
+        let c, _, outcome =
+          E.run
+            ~sched:(E.bursty rng ~burst:e.Baselines.Registry.burst)
+            ~max_steps:400_000 (E.initial ~inputs)
+        in
+        Alcotest.(check bool)
+          (Fmt.str "%s decides" e.Baselines.Registry.name)
+          true (outcome = E.All_decided);
+        Alcotest.(check bool) "agreement" true (E.check_agreement c);
+        Alcotest.(check bool) "validity" true (E.check_validity ~inputs c)
+      done)
+
+let test_solo_validity (e : Baselines.Registry.entry) () =
+  with_entry e (fun (module P) ->
+      (* a process running alone from an initial configuration must decide
+         its own input (validity plus solo termination) *)
+      let module E = Shmem.Exec.Make (P) in
+      List.iter
+        (fun pid ->
+          let inputs = Array.init P.n (fun i -> i mod P.num_inputs) in
+          let c = E.initial ~inputs in
+          if E.decision c pid = None then
+            match E.run_solo ~pid ~max_steps:100_000 c with
+            | None ->
+              Alcotest.fail
+                (Fmt.str "%s: p%d stuck solo" e.Baselines.Registry.name pid)
+            | Some (c', _) ->
+              Alcotest.(check (option int))
+                (Fmt.str "%s: p%d decides its input" e.Baselines.Registry.name
+                   pid)
+                (Some inputs.(pid)) (E.decision c' pid))
+        [ 0; P.n - 1 ])
+
+let test_exhaustive_n2 (e : Baselines.Registry.entry) () =
+  with_entry e (fun (module P) ->
+      let module C = Checker.Make (P) in
+      let prune (c : C.E.config) = e.Baselines.Registry.prune c.C.E.mem in
+      Util.check_ok e.Baselines.Registry.name
+        (C.explore_all_inputs ~prune ~max_configs:150_000 ()))
+
+let () =
+  let battery n =
+    List.concat_map
+      (fun (e : Baselines.Registry.entry) ->
+        let name suffix = Fmt.str "%s %s" e.Baselines.Registry.name suffix in
+        [ Alcotest.test_case (name "structure") `Quick (test_structure e)
+        ; Alcotest.test_case (name "random safety") `Quick
+            (test_random_safety e)
+        ; Alcotest.test_case (name "bursty termination") `Quick
+            (test_bursty_termination e)
+        ; Alcotest.test_case (name "solo validity") `Quick
+            (test_solo_validity e)
+        ]
+        @
+        if n = 2 then
+          [ Alcotest.test_case (name "exhaustive") `Slow (test_exhaustive_n2 e) ]
+        else [])
+      (Baselines.Registry.standard ~n ())
+  in
+  Alcotest.run "conformance"
+    [ "n=2", battery 2; "n=4", battery 4; "n=6", battery 6 ]
