@@ -18,15 +18,29 @@
      T6  Contention behaviour (not in the paper): steps to decision under
          solo windows vs uniformly random scheduling.
      T7  Real multicore runs over Atomic.exchange.
+     T9  Exploration throughput (not in the paper): the seed checker's flat
+         BFS vs lib/explore's interned store + memoized solo oracle, serial
+         and domain-parallel.
      F1  The Lemma 15 induction chain (paper Figure 1).
      F2  The Lemma 19 induction chain (paper Figure 2).
 
-   Usage: dune exec bench/main.exe [-- section ...] [--csv DIR]
-   where section ∈ {t0..t8 f1 f2 bechamel all}; default all.  With
-   [--csv DIR], every table is additionally written to DIR/<section>.csv. *)
+   Usage: dune exec bench/main.exe [-- section ...] [--csv DIR] [--json FILE]
+   where section ∈ {t0..t9 f1 f2 bechamel all}; default all.  With
+   [--csv DIR], every table is additionally written to DIR/<section>.csv;
+   with [--json FILE], all tables of the run are written to FILE as one
+   machine-readable JSON document (section id, title, header, rows, wall
+   time). *)
 
 let csv_dir = ref None
+let json_path = ref None
 let current_section = ref "table"
+let current_title = ref ""
+let section_start = ref 0.
+
+(* (section id, section title, header, rows, seconds since section start),
+   accumulated by [print_table] in emission order *)
+let json_tables : (string * string * string list * string list list * float) list ref =
+  ref []
 
 (* repackage extended protocol modules at the plain signature *)
 let sksa ~n ~k ~m : (module Shmem.Protocol.S) =
@@ -39,6 +53,8 @@ let btrack ~n ~cap : (module Shmem.Protocol.S) =
 
 let section_header id title =
   current_section := id;
+  current_title := title;
+  section_start := Unix.gettimeofday ();
   Fmt.pr "@.============ %s: %s ============@." (String.uppercase_ascii id)
     title
 
@@ -88,7 +104,63 @@ let print_table header rows =
   hline widths;
   List.iter (row widths) rows;
   hline widths;
-  write_csv header rows
+  write_csv header rows;
+  json_tables :=
+    ( !current_section
+    , !current_title
+    , header
+    , rows
+    , Unix.gettimeofday () -. !section_start )
+    :: !json_tables
+
+let write_json () =
+  match !json_path with
+  | None -> ()
+  | Some path ->
+    let buf = Buffer.create 4096 in
+    let str s =
+      Buffer.add_char buf '"';
+      String.iter
+        (fun c ->
+          match c with
+          | '"' -> Buffer.add_string buf "\\\""
+          | '\\' -> Buffer.add_string buf "\\\\"
+          | '\n' -> Buffer.add_string buf "\\n"
+          | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+          | c -> Buffer.add_char buf c)
+        s;
+      Buffer.add_char buf '"'
+    in
+    let list f xs =
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          f x)
+        xs;
+      Buffer.add_char buf ']'
+    in
+    Buffer.add_string buf "{\"tables\":";
+    list
+      (fun (section, title, header, rows, wall) ->
+        Buffer.add_string buf "{\"section\":";
+        str section;
+        Buffer.add_string buf ",\"title\":";
+        str title;
+        Buffer.add_string buf ",\"wall_s\":";
+        Buffer.add_string buf (Printf.sprintf "%.3f" wall);
+        Buffer.add_string buf ",\"header\":";
+        list str header;
+        Buffer.add_string buf ",\"rows\":";
+        list (list str) rows;
+        Buffer.add_string buf "}")
+      (List.rev !json_tables);
+    Buffer.add_string buf "}\n";
+    let oc = open_out path in
+    Buffer.output_buffer oc buf;
+    close_out oc;
+    Fmt.pr "(json written to %s)@." path
 
 (* ------------------------------------------------------------------ T0 *)
 
@@ -479,6 +551,143 @@ let t8 () =
      1-lap lead breaks agreement, as does dropping the merge of lines \
      11-12.@."
 
+(* ------------------------------------------------------------------ T9 *)
+
+(* The seed checker's traversal (commit 1298ebb) inlined as the throughput
+   baseline: one flat hash table, a Queue of whole configurations, and —
+   the dominant cost — solo-termination checks that re-run [run_solo] from
+   scratch for every undecided process of every visited configuration.
+   lib/explore replaces this with an interned configuration store and a
+   memoized solo oracle, and optionally shards the frontier across domains;
+   T9 quantifies the gain on identical state spaces. *)
+module Seed_bfs (P : Shmem.Protocol.S) = struct
+  module E = Shmem.Exec.Make (P)
+
+  module Cfg_tbl = Hashtbl.Make (struct
+    type t = E.config
+
+    let equal = E.equal_config
+    let hash = E.hash_config
+  end)
+
+  let solo_cap = 64 * (Array.length P.objects + 1)
+
+  let explore ?(max_configs = 200_000) ?(prune = fun _ -> false) ~inputs () =
+    let c0 = E.initial ~inputs in
+    let seen = Cfg_tbl.create 4096 in
+    let parents = Cfg_tbl.create 4096 in
+    let queue = Queue.create () in
+    let bad = ref 0 in
+    let check c =
+      if not (E.check_agreement c) then incr bad;
+      if not (E.check_validity ~inputs c) then incr bad;
+      List.iter
+        (fun pid ->
+          match E.run_solo ~pid ~max_steps:solo_cap c with
+          | Some _ -> ()
+          | None -> incr bad)
+        (E.undecided c)
+    in
+    Cfg_tbl.replace seen c0 ();
+    Cfg_tbl.replace parents c0 None;
+    Queue.push c0 queue;
+    let explored = ref 0 in
+    while not (Queue.is_empty queue) do
+      let c = Queue.pop queue in
+      incr explored;
+      check c;
+      if prune c then ()
+      else if Cfg_tbl.length seen >= max_configs then ()
+      else
+        List.iter
+          (fun pid ->
+            let c', step = E.step c pid in
+            if not (Cfg_tbl.mem seen c') then begin
+              Cfg_tbl.replace seen c' ();
+              Cfg_tbl.replace parents c' (Some (c, step));
+              Queue.push c' queue
+            end)
+          (E.undecided c)
+    done;
+    !explored, !bad
+end
+
+let t9 () =
+  section_header "t9"
+    "exploration throughput: seed BFS vs lib/explore (Swap_ksa)";
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    r, Unix.gettimeofday () -. t0
+  in
+  let rate cfgs t = float_of_int cfgs /. t in
+  let rows =
+    List.map
+      (fun (n, k, m, lap, max_configs) ->
+        let (module P) = Core.Swap_ksa.make ~n ~k ~m in
+        let module S = Seed_bfs (P) in
+        let module C = Checker.Make (P) in
+        (* bound the total lap progress so the reachable space is finite
+           (and the budget is never hit — truncation order would differ
+           between FIFO and level-parallel BFS); the same predicate goes to
+           all three engines *)
+        let prune (c : C.E.config) =
+          let total = ref 0 in
+          Array.iter
+            (fun v ->
+              match v with
+              | Shmem.Value.Pair (Shmem.Value.Ints u, _) ->
+                Array.iter (fun x -> total := !total + x) u
+              | _ -> ())
+            c.C.E.mem;
+          !total > lap
+        in
+        let inputs = Array.init n (fun i -> i mod m) in
+        let (seed_cfgs, seed_bad), seed_t =
+          time (fun () -> S.explore ~max_configs ~prune ~inputs ())
+        in
+        let serial_r, serial_t =
+          time (fun () -> C.explore ~max_configs ~prune ~inputs ())
+        in
+        let par_r, par_t =
+          time (fun () ->
+              C.explore_parallel ~domains:4 ~max_configs ~prune ~inputs ())
+        in
+        (* all three engines must have visited the same state space *)
+        assert (seed_cfgs = serial_r.Checker.configs_explored);
+        assert (seed_cfgs = par_r.Checker.configs_explored);
+        assert (seed_bad = List.length serial_r.Checker.violations);
+        [ string_of_int n
+        ; string_of_int k
+        ; string_of_int seed_cfgs
+        ; Fmt.str "%.0f" (rate seed_cfgs seed_t)
+        ; Fmt.str "%.0f" (rate seed_cfgs serial_t)
+        ; Fmt.str "%.0f" (rate seed_cfgs par_t)
+        ; Fmt.str "%.1fx" (seed_t /. serial_t)
+        ; Fmt.str "%.1fx" (seed_t /. par_t)
+        ])
+      [ 4, 1, 2, 4, 2_000_000
+      ; 5, 1, 2, 3, 2_000_000
+      ; 6, 1, 2, 2, 2_000_000
+      ; 7, 1, 2, 2, 2_000_000
+      ]
+  in
+  print_table
+    [ "n"
+    ; "k"
+    ; "configs"
+    ; "seed cfg/s"
+    ; "explore cfg/s"
+    ; "explore par(4) cfg/s"
+    ; "serial speedup"
+    ; "par(4) speedup"
+    ]
+    rows;
+  Fmt.pr
+    "same configurations, same violations; the gain is the memoized solo \
+     oracle (the seed re-ran every solo execution from scratch) plus \
+     level-parallel expansion.@."
+
 (* ------------------------------------------------------------- figures *)
 
 let f1 () =
@@ -577,19 +786,25 @@ let bechamel () =
 
 let sections =
   [ "t0", t0; "t1", t1; "t2", t2; "t3", t3; "t4", t4; "t5", t5; "t6", t6; "t7", t7
-  ; "t8", t8; "f1", f1; "f2", f2; "bechamel", bechamel ]
+  ; "t8", t8; "t9", t9; "f1", f1; "f2", f2; "bechamel", bechamel ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  (* accept "--csv DIR" and "--csv=DIR" *)
+  (* accept "--csv DIR", "--csv=DIR", "--json FILE" and "--json=FILE" *)
   let rec strip = function
     | "--csv" :: dir :: rest ->
       csv_dir := Some dir;
+      strip rest
+    | "--json" :: path :: rest ->
+      json_path := Some path;
       strip rest
     | a :: rest -> (
       match String.index_opt a '=' with
       | Some i when String.sub a 0 i = "--csv" ->
         csv_dir := Some (String.sub a (i + 1) (String.length a - i - 1));
+        strip rest
+      | Some i when String.sub a 0 i = "--json" ->
+        json_path := Some (String.sub a (i + 1) (String.length a - i - 1));
         strip rest
       | _ -> a :: strip rest)
     | [] -> []
@@ -609,4 +824,5 @@ let () =
           (String.concat " " (List.map fst sections));
         exit 1)
     requested;
+  write_json ();
   Fmt.pr "@.done.@."

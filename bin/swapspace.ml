@@ -151,7 +151,7 @@ let run_cmd =
 (* -------------------------------------------------------------- check *)
 
 let check_cmd =
-  let go algo n k m cap inputs all_inputs lap_cap max_configs no_solo =
+  let go algo n k m cap inputs all_inputs lap_cap max_configs no_solo domains =
     let (module P) = protocol_of ~algo ~n ~k ~m ~cap in
     let module C = Checker.Make (P) in
     let prune (c : C.E.config) =
@@ -168,7 +168,10 @@ let check_cmd =
         C.explore_all_inputs ~prune ~max_configs ~check_solo:(not no_solo) ()
       else
         let inputs = parse_inputs ~n:P.n ~m:P.num_inputs inputs in
-        C.explore ~prune ~max_configs ~check_solo:(not no_solo) ~inputs ()
+        if domains > 1 then
+          C.explore_parallel ~domains ~prune ~max_configs
+            ~check_solo:(not no_solo) ~inputs ()
+        else C.explore ~prune ~max_configs ~check_solo:(not no_solo) ~inputs ()
     in
     Fmt.pr "%s: %a@." P.name Checker.pp_report report;
     if not (Checker.ok report) then exit 1
@@ -189,11 +192,17 @@ let check_cmd =
   let no_solo =
     Arg.(value & flag & info [ "no-solo" ] ~doc:"Skip solo-termination checks.")
   in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains"; "j" ] ~docv:"D"
+          ~doc:"Explore on this many domains (single-input checks only).")
+  in
   Cmd.v
     (Cmd.info "check" ~doc:"Model-check agreement, validity, solo termination.")
     Term.(
       const go $ algo $ n $ k $ m $ cap $ inputs_arg $ all_inputs $ lap_cap
-      $ max_configs $ no_solo)
+      $ max_configs $ no_solo $ domains)
 
 (* ------------------------------------------------------------- lemma9 *)
 

@@ -29,89 +29,85 @@ let combine r1 r2 =
   }
 
 module Make (P : Shmem.Protocol.S) = struct
-  module E = Shmem.Exec.Make (P)
+  module X = Explore.Make (P)
+  module E = X.E
 
-  module Cfg_tbl = Hashtbl.Make (struct
-    type t = E.config
-
-    let equal = E.equal_config
-    let hash = E.hash_config
-  end)
-
-  let default_solo_cap = 64 * (Array.length P.objects + 1)
-
-  (* Reconstruct the schedule leading to [c] from predecessor links. *)
-  let trace_to parents c =
-    let rec go c acc =
-      match Cfg_tbl.find_opt parents c with
-      | None | Some None -> acc
-      | Some (Some (parent, step)) -> go parent (step :: acc)
+  (* The property layer: one visitor checking the paper's three properties
+     at a configuration.  All traversal (frontier, interning, back-edges,
+     solo-verdict memoization) lives in [Explore]. *)
+  let property_visitor ~t ~inputs ~solo_cap ~check_solo ~record
+      (v : X.visit) =
+    let c = v.X.config in
+    let add property detail =
+      record { property; detail; trace = Lazy.force v.X.path }
     in
-    go c []
+    if not (E.check_agreement c) then
+      add "k-agreement"
+        (Fmt.str "values %a decided (k=%d)"
+           Fmt.(list ~sep:(any ",") int)
+           (E.decided_values c) P.k);
+    if not (E.check_validity ~inputs c) then
+      add "validity"
+        (Fmt.str "decided values %a, inputs %a"
+           Fmt.(list ~sep:(any ",") int)
+           (E.decided_values c)
+           Fmt.(array ~sep:(any ",") int)
+           inputs);
+    if check_solo then
+      List.iter
+        (fun pid ->
+          if not (X.solo_ok t ~pid c) then
+            add "solo-termination"
+              (Fmt.str "p%d does not decide within %d solo steps" pid
+                 solo_cap))
+        (E.undecided c)
 
-  let explore ?(max_configs = 200_000) ?(solo_cap = default_solo_cap)
+  let explore ?(max_configs = 200_000) ?(solo_cap = X.default_solo_cap)
       ?(check_solo = true) ?(prune = fun _ -> false) ~inputs () =
-    let c0 = E.initial ~inputs in
-    let seen = Cfg_tbl.create 4096 in
-    let parents = Cfg_tbl.create 4096 in
-    let queue = Queue.create () in
+    let t = X.create ~solo_cap ~inputs () in
     let violations = ref [] in
-    let truncated = ref false in
-    let add_violation property detail c =
-      violations :=
-        { property; detail; trace = trace_to parents c } :: !violations
+    let record v = violations := v :: !violations in
+    let visit v =
+      property_visitor ~t ~inputs ~solo_cap ~check_solo ~record v;
+      if prune v.X.config then X.Prune else X.Continue
     in
-    let check c =
-      if not (E.check_agreement c) then
-        add_violation "k-agreement"
-          (Fmt.str "values %a decided (k=%d)"
-             Fmt.(list ~sep:(any ",") int)
-             (E.decided_values c) P.k)
-          c;
-      if not (E.check_validity ~inputs c) then
-        add_violation "validity"
-          (Fmt.str "decided values %a, inputs %a"
-             Fmt.(list ~sep:(any ",") int)
-             (E.decided_values c)
-             Fmt.(array ~sep:(any ",") int)
-             inputs)
-          c;
-      if check_solo then
-        List.iter
-          (fun pid ->
-            match E.run_solo ~pid ~max_steps:solo_cap c with
-            | Some _ -> ()
-            | None ->
-              add_violation "solo-termination"
-                (Fmt.str "p%d does not decide within %d solo steps" pid
-                   solo_cap)
-                c)
-          (E.undecided c)
-    in
-    Cfg_tbl.replace seen c0 ();
-    Cfg_tbl.replace parents c0 None;
-    Queue.push c0 queue;
-    let explored = ref 0 in
-    while not (Queue.is_empty queue) do
-      let c = Queue.pop queue in
-      incr explored;
-      check c;
-      if prune c then truncated := true
-      else if Cfg_tbl.length seen >= max_configs then truncated := true
-      else
-        List.iter
-          (fun pid ->
-            let c', step = E.step c pid in
-            if not (Cfg_tbl.mem seen c') then begin
-              Cfg_tbl.replace seen c' ();
-              Cfg_tbl.replace parents c' (Some (c, step));
-              Queue.push c' queue
-            end)
-          (E.undecided c)
-    done;
-    { configs_explored = !explored
+    let stats = X.bfs t ~max_configs ~visit () in
+    { configs_explored = stats.X.visited
     ; violations = List.rev !violations
-    ; truncated = !truncated
+    ; truncated = stats.X.truncated
+    }
+
+  let explore_parallel ?(domains = 4) ?(max_configs = 200_000)
+      ?(solo_cap = X.default_solo_cap) ?(check_solo = true)
+      ?(prune = fun _ -> false) ~inputs () =
+    let t = X.create ~shards:(max 1 domains) ~solo_cap ~inputs () in
+    let violations = ref [] in
+    let lock = Mutex.create () in
+    let record v =
+      Mutex.lock lock;
+      violations := v :: !violations;
+      Mutex.unlock lock
+    in
+    let visit v =
+      property_visitor ~t ~inputs ~solo_cap ~check_solo ~record v;
+      if prune v.X.config then X.Prune else X.Continue
+    in
+    let stats = X.bfs_parallel t ~domains ~max_configs ~visit () in
+    (* workers record concurrently: order violations for reproducibility *)
+    let ordered =
+      List.sort
+        (fun v1 v2 ->
+          let c =
+            Stdlib.compare
+              (Shmem.Trace.length v1.trace, v1.property, v1.detail)
+              (Shmem.Trace.length v2.trace, v2.property, v2.detail)
+          in
+          if c <> 0 then c else Stdlib.compare v1 v2)
+        !violations
+    in
+    { configs_explored = stats.X.visited
+    ; violations = ordered
+    ; truncated = stats.X.truncated
     }
 
   let all_input_vectors () =
@@ -146,7 +142,7 @@ module Make (P : Shmem.Protocol.S) = struct
     in
     go (E.initial ~inputs) pids
 
-  let shrink_violation ?(solo_cap = default_solo_cap) ~inputs v =
+  let shrink_violation ?(solo_cap = X.default_solo_cap) ~inputs v =
     let violates =
       match v.property with
       | "k-agreement" -> fun c -> not (E.check_agreement c)
@@ -197,12 +193,13 @@ module Make (P : Shmem.Protocol.S) = struct
     let total = ref 0 in
     for _ = 1 to runs do
       let inputs = Array.init P.n (fun _ -> Random.State.int rng P.num_inputs) in
-      let c0 = E.initial ~inputs in
-      let rec go c rev_steps i =
+      let t = X.create ~inputs () in
+      let visit (v : X.visit) =
         incr total;
+        let c = v.X.config in
         let record property detail =
           violations :=
-            { property; detail; trace = List.rev rev_steps } :: !violations
+            { property; detail; trace = Lazy.force v.X.path } :: !violations
         in
         if not (E.check_agreement c) then
           record "k-agreement"
@@ -211,27 +208,17 @@ module Make (P : Shmem.Protocol.S) = struct
                (E.decided_values c));
         if not (E.check_validity ~inputs c) then
           record "validity" "decided value is no process's input";
-        if solo_check_every > 0 && i mod solo_check_every = 0 then
+        if solo_check_every > 0 && v.X.depth mod solo_check_every = 0 then
           List.iter
             (fun pid ->
-              match E.run_solo ~pid ~max_steps:default_solo_cap c with
-              | Some _ -> ()
-              | None ->
+              if not (X.solo_ok t ~pid c) then
                 record "solo-termination"
                   (Fmt.str "p%d stuck after %d solo steps" pid
-                     default_solo_cap))
+                     X.default_solo_cap))
             (E.undecided c);
-        if i < max_steps then
-          match E.undecided c with
-          | [] -> ()
-          | enabled ->
-            let pid =
-              List.nth enabled (Random.State.int rng (List.length enabled))
-            in
-            let c', step = E.step c pid in
-            go c' (step :: rev_steps) (i + 1)
+        X.Continue
       in
-      go c0 [] 0
+      ignore (X.walk t ~sched:(E.random rng) ~max_steps ~visit ())
     done;
     { configs_explored = !total
     ; violations = List.rev !violations

@@ -12,7 +12,15 @@
       obstruction-free on the explored region (§3).
 
     {!Make.random_runs} complements this with long randomized-scheduler runs
-    for instances whose state spaces are too large to enumerate. *)
+    for instances whose state spaces are too large to enumerate.
+
+    Since PR 1 the checker is a thin property layer over the unified
+    exploration engine ({!Explore.Make}): the engine owns the frontier, the
+    interned configuration store, violation-trace reconstruction and the
+    memoized solo-termination oracle; this module contributes only the
+    property hooks (agreement, validity, solo termination) and report
+    assembly.  {!Make.explore_parallel} exposes the engine's multi-domain
+    mode. *)
 
 type violation = {
   property : string;
@@ -32,6 +40,9 @@ val ok : report -> bool
 val pp_report : Format.formatter -> report -> unit
 
 module Make (P : Shmem.Protocol.S) : sig
+  module X : module type of Explore.Make (P)
+  (** the underlying exploration engine instance *)
+
   module E : module type of Shmem.Exec.Make (P)
 
   val explore :
@@ -42,11 +53,28 @@ module Make (P : Shmem.Protocol.S) : sig
     inputs:int array ->
     unit ->
     report
-  (** BFS over the reachable configuration graph from [initial ~inputs].
-      [solo_cap] bounds solo executions when checking solo termination
-      (default 64 * (number of objects + 1)); [prune c = true] stops
-      expanding [c] (the configuration itself is still checked).
+  (** BFS over the reachable configuration graph from [initial ~inputs],
+      via {!Explore.Make.bfs}.  [solo_cap] bounds solo executions when
+      checking solo termination (default {!Explore.Make.default_solo_cap}
+      = 64 * (number of objects + 1)); [prune c = true] stops expanding [c]
+      (the configuration itself is still checked).
       Defaults: [max_configs = 200_000], [check_solo = true]. *)
+
+  val explore_parallel :
+    ?domains:int ->
+    ?max_configs:int ->
+    ?solo_cap:int ->
+    ?check_solo:bool ->
+    ?prune:(E.config -> bool) ->
+    inputs:int array ->
+    unit ->
+    report
+  (** same properties over {!Explore.Make.bfs_parallel} with [domains]
+      workers (default 4).  Every reachable configuration is checked exactly
+      once, but visit order is nondeterministic, so [violations] are sorted
+      (by schedule length, then property and detail) rather than listed in
+      discovery order, and on truncated runs [configs_explored] may differ
+      slightly from the serial count. *)
 
   val all_input_vectors : unit -> int array list
   (** all [num_inputs ^ n] input assignments *)

@@ -1,0 +1,52 @@
+(** Executable monitors for the invariants §4 proves about Algorithm 1.
+
+    Each check corresponds to a numbered statement of the paper and raises
+    {!Invariant_violation} if an execution falsifies it, so test suites and
+    long random runs double as machine checks of the proofs' premises:
+
+    - Observation 3: a process's local lap counter only grows (domination).
+    - Observation 4 + line 16: on decision of [x], the deciding counter has
+      [U.(x) >= 2] and leads every other component by at least 2.
+    - Observation 1 (externally visible form): for each component [j], the
+      maximum of [U.(j)] over all local lap counters and all object fields
+      never increases by more than 1 in a single step (new laps are minted
+      only by line 20, one at a time).
+    - Lemma 8: from any reachable configuration, each undecided process
+      decides within [8*(n-k)] solo steps.
+    - [⟨V,p⟩]-totality (used by Observation 2 and Lemma 5) is exposed as a
+      predicate for tests. *)
+
+exception Invariant_violation of string
+
+module Make (P : Swap_ksa.S) : sig
+  module E : module type of Shmem.Exec.Make (P)
+
+  val global_max : E.config -> int array
+  (** componentwise max of the lap vector [U] over all local lap counters
+      and all object fields *)
+
+  val total : E.config -> (int array * int) option
+  (** [total c] is [Some (v, p)] iff [c] is a ⟨V,p⟩-total configuration:
+      every object holds [⟨V,p⟩] and [p]'s local lap counter is [V] *)
+
+  val check_step : E.config -> int -> E.config -> unit
+  (** [check_step before pid after] checks the per-step invariants
+      (Observations 1, 3 and 4, line 16) for the step [before -pid-> after].
+      @raise Invariant_violation if one fails *)
+
+  val check_solo_bound : E.config -> unit
+  (** Lemma 8 at configuration [c]: every undecided process decides within
+      [Swap_ksa.solo_step_bound ~n ~k] solo steps.
+      @raise Invariant_violation if one does not *)
+
+  val run_checked :
+    ?solo_check_every:int ->
+    sched:E.scheduler ->
+    max_steps:int ->
+    E.config ->
+    E.config * Shmem.Trace.t * E.outcome
+  (** Run under [sched], checking the per-step invariants throughout and the
+      solo bound at every [solo_check_every]-th configuration (checking it at
+      every configuration is quadratic; tests choose a small stride, and the
+      default [0] disables it). *)
+end

@@ -1,0 +1,374 @@
+module Make (P : Shmem.Protocol.S) = struct
+  module E = Shmem.Exec.Make (P)
+
+  type id = int
+
+  let default_solo_cap = 64 * (Array.length P.objects + 1)
+
+  (* Configurations enter the index paired with their hash, computed once
+     per [intern] call: shard selection, bucket lookup and insertion all
+     reuse it instead of re-walking the configuration. *)
+  module Cfg_key = struct
+    type t = { h : int; c : E.config }
+
+    let equal a b = a.h = b.h && E.equal_config a.c b.c
+    let hash k = k.h
+  end
+
+  module Cfg_tbl = Hashtbl.Make (Cfg_key)
+
+  type entry = { config : E.config; parent : (id * Shmem.Trace.step) option }
+
+  (* One lockable partition of the store.  Ids interleave across shards
+     ([slot * nshards + shard]), so id allocation needs no global lock. *)
+  type shard = {
+    index : int Cfg_tbl.t;  (* configuration -> slot within this shard *)
+    mutable entries : entry array;
+    mutable len : int;
+    lock : Mutex.t;
+  }
+
+  (* The solo oracle's key: only [pid]'s state and the memory can influence
+     a solo execution of [pid], so verdicts are shared between all
+     configurations agreeing on that restriction.  The restricted hash is
+     computed once per query (memory part + one state) and stored in the
+     key. *)
+  module Solo_key = struct
+    type t = { h : int; pid : int; c : E.config }
+
+    let equal a b =
+      a.h = b.h && Int.equal a.pid b.pid
+      && E.equal_restricted ~pids:[ a.pid ] a.c b.c
+
+    let hash k = k.h
+  end
+
+  module Solo_tbl = Hashtbl.Make (Solo_key)
+
+  let mem_hash (c : E.config) =
+    let h = ref 19 in
+    Array.iter (fun v -> h := (!h * 31) + Shmem.Value.hash v) c.E.mem;
+    !h land max_int
+
+  type solo_shard = { verdicts : bool Solo_tbl.t; solo_lock : Mutex.t }
+
+  type t = {
+    shards : shard array;
+    nshards : int;
+    total : int Atomic.t;  (* interned configurations across all shards *)
+    solo : solo_shard array;
+    cap : int;
+    ins : int array;
+    root : id;
+  }
+
+  let locked lock f =
+    Mutex.lock lock;
+    match f () with
+    | v ->
+      Mutex.unlock lock;
+      v
+    | exception e ->
+      Mutex.unlock lock;
+      raise e
+
+  let intern t ?parent c =
+    let h = E.hash_config c in
+    let sh = h mod t.nshards in
+    let s = t.shards.(sh) in
+    let key = { Cfg_key.h; c } in
+    locked s.lock (fun () ->
+        match Cfg_tbl.find_opt s.index key with
+        | Some slot -> (slot * t.nshards) + sh, false
+        | None ->
+          let slot = s.len in
+          if slot >= Array.length s.entries then begin
+            let grown =
+              Array.make (max 16 (2 * Array.length s.entries)) { config = c; parent }
+            in
+            Array.blit s.entries 0 grown 0 s.len;
+            s.entries <- grown
+          end;
+          s.entries.(slot) <- { config = c; parent };
+          s.len <- slot + 1;
+          Cfg_tbl.replace s.index key slot;
+          Atomic.incr t.total;
+          (slot * t.nshards) + sh, true)
+
+  let create ?(shards = 1) ?(solo_cap = default_solo_cap) ~inputs () =
+    let nshards = max 1 shards in
+    let c0 = E.initial ~inputs in
+    let dummy = { config = c0; parent = None } in
+    let t =
+      { shards =
+          Array.init nshards (fun _ ->
+              { index = Cfg_tbl.create 1024
+              ; entries = Array.make 64 dummy
+              ; len = 0
+              ; lock = Mutex.create ()
+              })
+      ; nshards
+      ; total = Atomic.make 0
+      ; solo =
+          Array.init nshards (fun _ ->
+              { verdicts = Solo_tbl.create 1024; solo_lock = Mutex.create () })
+      ; cap = solo_cap
+      ; ins = Array.copy inputs
+      ; root = 0 (* patched below *)
+      }
+    in
+    let root, _ = intern t c0 in
+    { t with root }
+
+  let root t = t.root
+  let inputs t = Array.copy t.ins
+  let size t = Atomic.get t.total
+  let solo_cap t = t.cap
+
+  let entry t id =
+    let s = t.shards.(id mod t.nshards) in
+    locked s.lock (fun () -> s.entries.(id / t.nshards))
+
+  let config t id = (entry t id).config
+
+  let trace_to t id =
+    let rec go id acc =
+      match (entry t id).parent with
+      | None -> acc
+      | Some (parent, step) -> go parent (step :: acc)
+    in
+    go id []
+
+  let solo_ok t ~pid c =
+    let rk =
+      ((mem_hash c * 31) + P.hash_state c.E.states.(pid)) land max_int
+    in
+    let s = t.solo.((rk + pid) mod t.nshards) in
+    let key = { Solo_key.h = ((rk * 31) + pid) land max_int; pid; c } in
+    match locked s.solo_lock (fun () -> Solo_tbl.find_opt s.verdicts key) with
+    | Some verdict -> verdict
+    | None ->
+      (* computed outside the lock: a racing duplicate computation is
+         harmless (the verdict is deterministic) *)
+      let verdict = E.run_solo ~pid ~max_steps:t.cap c <> None in
+      locked s.solo_lock (fun () -> Solo_tbl.replace s.verdicts key verdict);
+      verdict
+
+  type verdict = Continue | Prune | Stop
+
+  type visit = {
+    id : id;
+    config : E.config;
+    depth : int;
+    path : Shmem.Trace.t Lazy.t;
+  }
+
+  type stats = { visited : int; truncated : bool; stopped : bool }
+
+  (* Serial traversal generic over the frontier discipline.  The seed
+     checker's loop is reproduced exactly: visit, then prune/budget, then
+     expand enabled processes in ascending pid order. *)
+  let traverse ~push ~pop t ?(max_configs = max_int) ~visit () =
+    push (t.root, 0);
+    let visited = ref 0 and truncated = ref false and stopped = ref false in
+    let rec loop () =
+      match pop () with
+      | None -> ()
+      | Some (id, depth) ->
+        let c = config t id in
+        incr visited;
+        (match visit { id; config = c; depth; path = lazy (trace_to t id) } with
+        | Stop -> stopped := true
+        | Prune -> truncated := true
+        | Continue ->
+          if size t >= max_configs then truncated := true
+          else
+            List.iter
+              (fun pid ->
+                let c', step = E.step c pid in
+                let id', fresh = intern t ~parent:(id, step) c' in
+                if fresh then push (id', depth + 1))
+              (E.undecided c));
+        if not !stopped then loop ()
+    in
+    loop ();
+    { visited = !visited; truncated = !truncated; stopped = !stopped }
+
+  let bfs t ?max_configs ~visit () =
+    let q = Queue.create () in
+    traverse
+      ~push:(fun x -> Queue.push x q)
+      ~pop:(fun () -> Queue.take_opt q)
+      t ?max_configs ~visit ()
+
+  let dfs t ?max_configs ~visit () =
+    let st = ref [] in
+    traverse
+      ~push:(fun x -> st := x :: !st)
+      ~pop:(fun () ->
+        match !st with
+        | [] -> None
+        | x :: rest ->
+          st := rest;
+          Some x)
+      t ?max_configs ~visit ()
+
+  (* Split [items] into [n] chunks of near-equal length. *)
+  let chunks n items =
+    let len = List.length items in
+    let per = (len + n - 1) / n in
+    let rec go acc cur cnt = function
+      | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+      | x :: rest ->
+        if cnt = per then go (List.rev cur :: acc) [ x ] 1 rest
+        else go acc (x :: cur) (cnt + 1) rest
+    in
+    go [] [] 0 items
+
+  let bfs_parallel t ~domains ?(max_configs = max_int) ~visit () =
+    let visited = Atomic.make 0 in
+    let truncated = Atomic.make false in
+    let stopped = Atomic.make false in
+    (* expand one slice of a frontier level, returning the fresh ids *)
+    let expand slice =
+      List.fold_left
+        (fun acc (id, depth) ->
+          if Atomic.get stopped then acc
+          else begin
+            let c = config t id in
+            Atomic.incr visited;
+            match
+              visit { id; config = c; depth; path = lazy (trace_to t id) }
+            with
+            | Stop ->
+              Atomic.set stopped true;
+              acc
+            | Prune ->
+              Atomic.set truncated true;
+              acc
+            | Continue ->
+              if size t >= max_configs then begin
+                Atomic.set truncated true;
+                acc
+              end
+              else
+                List.fold_left
+                  (fun acc pid ->
+                    let c', step = E.step c pid in
+                    let id', fresh = intern t ~parent:(id, step) c' in
+                    if fresh then (id', depth + 1) :: acc else acc)
+                  acc (E.undecided c)
+          end)
+        [] slice
+    in
+    (* Persistent worker pool: [domains - 1] spawned domains plus the
+       caller, synchronised once per BFS level through a generation counter
+       (spawning a domain per level costs more than expanding a whole small
+       level).  Workers block on the condition variable between levels, so
+       idle domains burn no cpu. *)
+    let nworkers = max 0 (domains - 1) in
+    let pool_lock = Mutex.create () in
+    let pool_cond = Condition.create () in
+    let slices = Array.make (max 1 nworkers) [] in
+    let results = Array.make (max 1 nworkers) [] in
+    let generation = ref 0 in
+    let pending = ref 0 in
+    let quit = ref false in
+    let worker i =
+      let my_gen = ref 0 in
+      let rec serve () =
+        Mutex.lock pool_lock;
+        while !generation = !my_gen && not !quit do
+          Condition.wait pool_cond pool_lock
+        done;
+        if !quit then Mutex.unlock pool_lock
+        else begin
+          my_gen := !generation;
+          let slice = slices.(i) in
+          Mutex.unlock pool_lock;
+          let r = expand slice in
+          Mutex.lock pool_lock;
+          results.(i) <- r;
+          decr pending;
+          Condition.broadcast pool_cond;
+          Mutex.unlock pool_lock;
+          serve ()
+        end
+      in
+      serve ()
+    in
+    let workers =
+      Array.init nworkers (fun i -> Domain.spawn (fun () -> worker i))
+    in
+    let expand_level frontier =
+      (* fan the level out to the pool; the caller expands its own slice
+         while the workers run *)
+      match chunks (nworkers + 1) frontier with
+      | [] -> []
+      | mine :: others ->
+        let others = Array.of_list others in
+        Mutex.lock pool_lock;
+        for i = 0 to nworkers - 1 do
+          slices.(i) <- (if i < Array.length others then others.(i) else []);
+          results.(i) <- []
+        done;
+        pending := nworkers;
+        incr generation;
+        Condition.broadcast pool_cond;
+        Mutex.unlock pool_lock;
+        let here = expand mine in
+        Mutex.lock pool_lock;
+        while !pending > 0 do
+          Condition.wait pool_cond pool_lock
+        done;
+        Mutex.unlock pool_lock;
+        List.concat (here :: Array.to_list results)
+    in
+    let rec level frontier =
+      if frontier <> [] && not (Atomic.get stopped) then begin
+        let next =
+          (* below this size, level fan-out costs more than it saves *)
+          if nworkers = 0 || List.length frontier < 4 * domains then
+            expand frontier
+          else expand_level frontier
+        in
+        level next
+      end
+    in
+    level [ t.root, 0 ];
+    Mutex.lock pool_lock;
+    quit := true;
+    Condition.broadcast pool_cond;
+    Mutex.unlock pool_lock;
+    Array.iter Domain.join workers;
+    { visited = Atomic.get visited
+    ; truncated = Atomic.get truncated
+    ; stopped = Atomic.get stopped
+    }
+
+  type walk_stop = Visit_stop | Visit_prune | Stuck | Max_steps
+
+  type walk_result = { last : id; steps : int; stop : walk_stop }
+
+  let walk t ~sched ?(enabled = E.undecided) ~max_steps ~visit () =
+    let rec go id c rev_steps i =
+      match
+        visit { id; config = c; depth = i; path = lazy (List.rev rev_steps) }
+      with
+      | Stop -> { last = id; steps = i; stop = Visit_stop }
+      | Prune -> { last = id; steps = i; stop = Visit_prune }
+      | Continue ->
+        if i >= max_steps then { last = id; steps = i; stop = Max_steps }
+        else (
+          match enabled c with
+          | [] -> { last = id; steps = i; stop = Stuck }
+          | en -> (
+            match sched ~step_index:i c en with
+            | None -> { last = id; steps = i; stop = Stuck }
+            | Some pid ->
+              let c', step = E.step c pid in
+              let id', _ = intern t ~parent:(id, step) c' in
+              go id' c' (step :: rev_steps) (i + 1)))
+    in
+    go t.root (config t t.root) [] 0
+end

@@ -1,0 +1,149 @@
+(** A unified state-space exploration engine over protocol configurations.
+
+    Every traverser in the repository — the model checker's exhaustive
+    enumeration, the Theorem 10 driver's sampled-schedule search, the bench
+    throughput probes — walks the same object: the graph of configurations
+    reachable from [Exec.Make(P).initial ~inputs] under single process
+    steps.  This engine owns that graph once:
+
+    - {b Interned store}: every configuration is hash-consed into an integer
+      {!Make.id} with a parent back-edge (predecessor id + step), so
+      traversals carry ids instead of whole configurations and violation
+      schedules are reconstructed on demand by {!Make.trace_to}.
+    - {b Strategies}: breadth-first ({!Make.bfs}), depth-first ({!Make.dfs})
+      and sampled random walks ({!Make.walk}, the Theorem-10-style search)
+      share one visitor interface: the strategy calls the visitor at every
+      configuration and the visitor's {!Make.verdict} steers pruning and
+      early exit.
+    - {b Memoized solo oracle}: {!Make.solo_ok} caches solo-termination
+      verdicts keyed by the deciding process's state plus the shared memory
+      ({!Exec.Make.restricted_key}), the only inputs a solo execution can
+      read.  The seed checker re-ran [run_solo] from scratch at every
+      explored configuration, which dominated its running time.
+    - {b Parallel mode}: {!Make.bfs_parallel} runs a level-synchronized BFS
+      over [Domain.spawn] workers; the store and oracle are sharded with
+      per-shard mutexes so workers intern concurrently. *)
+
+module Make (P : Shmem.Protocol.S) : sig
+  module E : module type of Shmem.Exec.Make (P)
+
+  type id = int
+  (** dense configuration identifier; the root is {!root} *)
+
+  type t
+  (** an exploration: the interned store, the solo oracle cache and the
+      root configuration.  One [t] per initial configuration. *)
+
+  val default_solo_cap : int
+  (** [64 * (number of objects + 1)]: the single definition of the solo
+      step budget used by every layer (checker, monitors, bench) unless a
+      caller overrides it *)
+
+  val create :
+    ?shards:int -> ?solo_cap:int -> inputs:int array -> unit -> t
+  (** [create ~inputs ()] interns [E.initial ~inputs] as the root.
+      [shards] (default 1) is the number of independently locked store and
+      oracle partitions; use [>= domains] for parallel exploration.
+      [solo_cap] (default {!default_solo_cap}) bounds the oracle's solo
+      executions. *)
+
+  val root : t -> id
+  val inputs : t -> int array
+  (** the input vector of the root configuration (a copy) *)
+
+  val config : t -> id -> E.config
+  val size : t -> int
+  (** number of interned configurations *)
+
+  val solo_cap : t -> int
+
+  val intern :
+    t -> ?parent:id * Shmem.Trace.step -> E.config -> id * bool
+  (** hash-cons a configuration; the boolean is [true] iff it was fresh.
+      [parent] is recorded only on fresh insertion (first discovery wins,
+      so BFS back-edges spell shortest-known schedules). *)
+
+  val trace_to : t -> id -> Shmem.Trace.t
+  (** the schedule from {!root} to [id], reconstructed from back-edges *)
+
+  val solo_ok : t -> pid:int -> E.config -> bool
+  (** whether [pid] decides within [solo_cap t] solo steps from the given
+      configuration.  Memoized on [(pid's state, memory)] — sound because a
+      solo execution of [pid] reads nothing else. *)
+
+  (** {1 Strategies}
+
+      All strategies call [visit] exactly once per discovered configuration
+      (walks may revisit interned configurations; they still call [visit]
+      at every position of the walk). *)
+
+  type verdict =
+    | Continue  (** expand this configuration *)
+    | Prune  (** check it but do not expand; marks the result truncated *)
+    | Stop  (** abort the whole traversal *)
+
+  type visit = {
+    id : id;
+    config : E.config;
+    depth : int;  (** BFS level / walk step index *)
+    path : Shmem.Trace.t Lazy.t;
+        (** schedule from the root: the discovery back-edges for [bfs]/[dfs],
+            the walk's own steps for [walk] *)
+  }
+
+  type stats = {
+    visited : int;  (** number of visitor calls *)
+    truncated : bool;
+        (** a visitor returned [Prune] or the store hit [max_configs] *)
+    stopped : bool;  (** a visitor returned [Stop] *)
+  }
+
+  val bfs : t -> ?max_configs:int -> visit:(visit -> verdict) -> unit -> stats
+  (** breadth-first over the reachable graph from the root, expanding
+      enabled processes in ascending pid order.  Once [size t] reaches
+      [max_configs] no further configurations are interned (already queued
+      ones are still visited) and the result is marked truncated. *)
+
+  val dfs : t -> ?max_configs:int -> visit:(visit -> verdict) -> unit -> stats
+  (** same contract with a LIFO frontier *)
+
+  val bfs_parallel :
+    t ->
+    domains:int ->
+    ?max_configs:int ->
+    visit:(visit -> verdict) ->
+    unit ->
+    stats
+  (** level-synchronized parallel BFS: each frontier level is split among
+      [domains] workers ([Domain.spawn]); small levels are expanded in the
+      calling domain to avoid spawn overhead.  [visit] runs concurrently and
+      must be thread-safe; visit order within a level is unspecified, but
+      every reachable configuration is visited exactly once.  [Stop] and the
+      [max_configs] budget are honoured at level granularity (best effort
+      within a level).  Create [t] with [~shards] at least [domains]. *)
+
+  (** {1 Sampled walks} *)
+
+  type walk_stop =
+    | Visit_stop  (** the visitor returned [Stop] *)
+    | Visit_prune  (** the visitor returned [Prune] *)
+    | Stuck  (** no enabled process, or the scheduler returned [None] *)
+    | Max_steps
+
+  type walk_result = { last : id; steps : int; stop : walk_stop }
+
+  val walk :
+    t ->
+    sched:E.scheduler ->
+    ?enabled:(E.config -> int list) ->
+    max_steps:int ->
+    visit:(visit -> verdict) ->
+    unit ->
+    walk_result
+  (** one sampled schedule from the root: at each configuration call
+      [visit] (its [path] is the walk's own step list, its [depth] the step
+      index), then — unless the verdict ended the walk or [max_steps] is
+      reached — offer [enabled config] (default [E.undecided]) to [sched]
+      and take the chosen step.  Configurations along the walk are interned,
+      so repeated walks share discovery with other strategies. *)
+end

@@ -1,6 +1,7 @@
 module Make (P : Shmem.Protocol.S) = struct
   module L9 = Lemma9.Make (P)
   module E = L9.E
+  module X = Explore.Make (P)
 
   type level =
     | Base of L9.certificate
@@ -50,26 +51,23 @@ module Make (P : Shmem.Protocol.S) = struct
     L9.run ~inputs ~alpha ~q:rest ~v:1 ~required_distinct:1 ~solo_cap ()
 
   (* Search for an R-only execution (inputs of R in {0..kk-1}, inputs of Q
-     fixed to kk) that decides kk distinct values. *)
+     fixed to kk) that decides kk distinct values.  Each attempt is one
+     [Explore] random walk: the engine interns the configurations along the
+     walk and the visitor stops it as soon as kk values are decided. *)
   let search ~rng ~rounds ~kk ~r ~q ~max_steps =
     let try_one ~inputs ~sched =
-      let c0 = E.initial ~inputs in
-      let rec go c rev_trace i seen =
-        if List.length (E.decided_values c) >= kk then
-          Some (inputs, List.rev rev_trace)
-        else if i >= max_steps then None
-        else
-          let enabled = List.filter (fun p -> List.mem p r) (E.undecided c) in
-          match enabled with
-          | [] -> None
-          | _ -> (
-            match sched ~step_index:i enabled with
-            | None -> None
-            | Some pid ->
-              let c', s = E.step c pid in
-              go c' (s :: rev_trace) (i + 1) seen)
+      let t = X.create ~inputs () in
+      let found = ref None in
+      let visit (v : X.visit) =
+        if List.length (E.decided_values v.X.config) >= kk then begin
+          found := Some (inputs, Lazy.force v.X.path);
+          X.Stop
+        end
+        else X.Continue
       in
-      go c0 [] 0 []
+      let enabled c = List.filter (fun p -> List.mem p r) (E.undecided c) in
+      ignore (X.walk t ~sched ~enabled ~max_steps ~visit ());
+      !found
     in
     let structured_inputs =
       (* lanes: the j-th process of R prefers value j mod kk *)
@@ -83,19 +81,13 @@ module Make (P : Shmem.Protocol.S) = struct
       List.iter (fun pid -> inputs.(pid) <- Random.State.int rng kk) r;
       inputs
     in
-    let random_sched ~step_index:_ enabled =
-      Some (List.nth enabled (Random.State.int rng (List.length enabled)))
-    in
-    let round_robin ~step_index enabled =
-      Some (List.nth enabled (step_index mod List.length enabled))
-    in
     let rec attempt i =
       if i >= rounds then None
       else
         let inputs =
           if i = 0 then structured_inputs else random_inputs ()
         in
-        let sched = if i mod 2 = 0 then random_sched else round_robin in
+        let sched = if i mod 2 = 0 then E.random rng else E.round_robin in
         match try_one ~inputs ~sched with
         | Some res -> Some res
         | None -> attempt (i + 1)

@@ -12,7 +12,9 @@
 
     - Inductive step (k > 1): restrict attention to the first
       ⌈|active|·(k-1)/k⌉ processes [R].  Search (over structured and random
-      [R]-only schedules) for an execution from an initial configuration with
+      [R]-only schedules, each attempt an {!Explore.Make.walk} whose visitor
+      stops at the first configuration with [k] decided values) for an
+      execution from an initial configuration with
       inputs in [{0..k-1}] that decides [k] distinct values; if one is found,
       Lemma 9 applied to the remaining processes (input [k]) forces
       [|active| - |R|] objects.  Otherwise the algorithm solves (k-1)-set

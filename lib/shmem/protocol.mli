@@ -1,0 +1,64 @@
+(** Deterministic protocol state machines.
+
+    A protocol packages an instance of a distributed algorithm: the shared
+    objects it uses (with their kinds and initial values) and, for each
+    process, a deterministic state machine.  A process that has decided takes
+    no further steps, matching the paper's model of one-shot agreement tasks.
+
+    Engines that need to run a protocol are functors over this signature
+    (see {!Exec.Make} and [Explore.Make]); protocol constructors such as
+    [Swap_ksa.make] return first-class [(module S)] values. *)
+
+module type S = sig
+  val name : string
+
+  val n : int
+  (** number of processes; pids are [0 .. n-1] *)
+
+  val k : int
+  (** the agreement parameter: at most [k] distinct values may be decided *)
+
+  val num_inputs : int
+  (** [m]: inputs range over [0 .. m-1] *)
+
+  val objects : Obj_kind.t array
+  (** the shared objects, [B_0 .. B_{len-1}] *)
+
+  val init_object : int -> Value.t
+  (** initial value of each object *)
+
+  type state
+
+  val init : pid:int -> input:int -> state
+
+  val poised : state -> Op.t
+  (** the next operation of an undecided process; never called after
+      [decision] returns [Some _] *)
+
+  val on_response : state -> Value.t -> state
+  (** local computation after receiving the response to the poised
+      operation *)
+
+  val decision : state -> int option
+  val equal_state : state -> state -> bool
+  val hash_state : state -> int
+  val pp_state : Format.formatter -> state -> unit
+end
+
+type t = (module S)
+
+val validate : t -> unit
+(** Check basic well-formedness of a protocol description: every initial
+    value within its object's domain and parameters in range.
+    @raise Invalid_argument otherwise *)
+
+val name : t -> string
+val num_objects : t -> int
+
+val uses_only_historyless : t -> bool
+(** no object of the protocol is a compare-and-swap (§2's historyless
+    restriction, the hypothesis of the Lemma 9 adversary) *)
+
+val uses_only_swap : t -> bool
+(** every object is [Swap_only] (not even readable) — the model of
+    Theorem 10 *)

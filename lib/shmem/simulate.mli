@@ -1,0 +1,24 @@
+(** Executable object simulations.
+
+    [6] (Ellen, Fatourou, Ruppert) shows that any historyless object can be
+    simulated by a readable swap object with the same domain, and that any
+    nontrivial operation on a historyless object can be simulated by [Swap].
+    These functors realise both simulations as protocol transformers: they
+    rewrite a protocol's object kinds and operations, leaving its state
+    machine untouched.  The transformed protocol can be re-run through the
+    checker to confirm behavioural equivalence. *)
+
+module To_readable_swap (P : Protocol.S) : Protocol.S with type state = P.state
+(** Replace every historyless object by a readable swap object with the same
+    domain.  [Write v] becomes [Swap v] with the response discarded.
+
+    @raise Invalid_argument at application time if [P] uses a
+    compare-and-swap object (CAS is not historyless). *)
+
+module To_swap_only (P : Protocol.S) : Protocol.S with type state = P.state
+(** Replace every object by a swap-only object (no [Read]).  Only valid for
+    protocols that never read; a [Read] by the transformed protocol raises
+    {!Obj_kind.Illegal_operation} when executed.
+
+    @raise Invalid_argument at application time if [P] uses a
+    compare-and-swap object. *)

@@ -1,0 +1,285 @@
+(* Frozen copies of the seed (pre-lib/explore) traversal implementations,
+   kept verbatim as differential-testing references.  The production
+   [Checker.Make] and [Lowerbound.Theorem10.Make] are now thin layers over
+   [Explore.Make]; these copies pin down the seed semantics so
+   [test_explore.ml] can assert the refactor changed nothing observable:
+   identical reports (violation order, traces, counts, truncation) and
+   identical Theorem 10 certificates on the same seeds.
+
+   Do not "improve" this file — its value is being byte-for-byte the seed
+   algorithm (commit 1298ebb), modulo the module paths. *)
+
+module Checker_ref (P : Shmem.Protocol.S) = struct
+  module E = Shmem.Exec.Make (P)
+
+  module Cfg_tbl = Hashtbl.Make (struct
+    type t = E.config
+
+    let equal = E.equal_config
+    let hash = E.hash_config
+  end)
+
+  let default_solo_cap = 64 * (Array.length P.objects + 1)
+
+  (* Reconstruct the schedule leading to [c] from predecessor links. *)
+  let trace_to parents c =
+    let rec go c acc =
+      match Cfg_tbl.find_opt parents c with
+      | None | Some None -> acc
+      | Some (Some (parent, step)) -> go parent (step :: acc)
+    in
+    go c []
+
+  let explore ?(max_configs = 200_000) ?(solo_cap = default_solo_cap)
+      ?(check_solo = true) ?(prune = fun _ -> false) ~inputs () =
+    let c0 = E.initial ~inputs in
+    let seen = Cfg_tbl.create 4096 in
+    let parents = Cfg_tbl.create 4096 in
+    let queue = Queue.create () in
+    let violations = ref [] in
+    let truncated = ref false in
+    let add_violation property detail c =
+      violations :=
+        { Checker.property; detail; trace = trace_to parents c } :: !violations
+    in
+    let check c =
+      if not (E.check_agreement c) then
+        add_violation "k-agreement"
+          (Fmt.str "values %a decided (k=%d)"
+             Fmt.(list ~sep:(any ",") int)
+             (E.decided_values c) P.k)
+          c;
+      if not (E.check_validity ~inputs c) then
+        add_violation "validity"
+          (Fmt.str "decided values %a, inputs %a"
+             Fmt.(list ~sep:(any ",") int)
+             (E.decided_values c)
+             Fmt.(array ~sep:(any ",") int)
+             inputs)
+          c;
+      if check_solo then
+        List.iter
+          (fun pid ->
+            match E.run_solo ~pid ~max_steps:solo_cap c with
+            | Some _ -> ()
+            | None ->
+              add_violation "solo-termination"
+                (Fmt.str "p%d does not decide within %d solo steps" pid
+                   solo_cap)
+                c)
+          (E.undecided c)
+    in
+    Cfg_tbl.replace seen c0 ();
+    Cfg_tbl.replace parents c0 None;
+    Queue.push c0 queue;
+    let explored = ref 0 in
+    while not (Queue.is_empty queue) do
+      let c = Queue.pop queue in
+      incr explored;
+      check c;
+      if prune c then truncated := true
+      else if Cfg_tbl.length seen >= max_configs then truncated := true
+      else
+        List.iter
+          (fun pid ->
+            let c', step = E.step c pid in
+            if not (Cfg_tbl.mem seen c') then begin
+              Cfg_tbl.replace seen c' ();
+              Cfg_tbl.replace parents c' (Some (c, step));
+              Queue.push c' queue
+            end)
+          (E.undecided c)
+    done;
+    { Checker.configs_explored = !explored
+    ; violations = List.rev !violations
+    ; truncated = !truncated
+    }
+
+  let random_runs ?(seed = 0xC0FFEE) ?(max_steps = 100_000)
+      ?(solo_check_every = 0) ~runs () =
+    let rng = Random.State.make [| seed |] in
+    let violations = ref [] in
+    let total = ref 0 in
+    for _ = 1 to runs do
+      let inputs = Array.init P.n (fun _ -> Random.State.int rng P.num_inputs) in
+      let c0 = E.initial ~inputs in
+      let rec go c rev_steps i =
+        incr total;
+        let record property detail =
+          violations :=
+            { Checker.property; detail; trace = List.rev rev_steps }
+            :: !violations
+        in
+        if not (E.check_agreement c) then
+          record "k-agreement"
+            (Fmt.str "values %a decided"
+               Fmt.(list ~sep:(any ",") int)
+               (E.decided_values c));
+        if not (E.check_validity ~inputs c) then
+          record "validity" "decided value is no process's input";
+        if solo_check_every > 0 && i mod solo_check_every = 0 then
+          List.iter
+            (fun pid ->
+              match E.run_solo ~pid ~max_steps:default_solo_cap c with
+              | Some _ -> ()
+              | None ->
+                record "solo-termination"
+                  (Fmt.str "p%d stuck after %d solo steps" pid
+                     default_solo_cap))
+            (E.undecided c);
+        if i < max_steps then
+          match E.undecided c with
+          | [] -> ()
+          | enabled ->
+            let pid =
+              List.nth enabled (Random.State.int rng (List.length enabled))
+            in
+            let c', step = E.step c pid in
+            go c' (step :: rev_steps) (i + 1)
+      in
+      go c0 [] 0
+    done;
+    { Checker.configs_explored = !total
+    ; violations = List.rev !violations
+    ; truncated = false
+    }
+end
+
+(* The seed Theorem 10 driver: identical induction, with the hand-rolled
+   per-attempt walk of [search] that the production module now delegates to
+   [Explore.Make.walk].  Level/certificate types are re-declared locally;
+   [test_explore.ml] compares field by field. *)
+module Theorem10_ref (P : Shmem.Protocol.S) = struct
+  module L9 = Lowerbound.Lemma9.Make (P)
+  module E = L9.E
+
+  type level =
+    | Base of L9.certificate
+    | Found_k_values of {
+        r : int list;
+        alpha : Shmem.Trace.t;
+        cert : L9.certificate;
+      }
+    | Recursed of { r : int list }
+
+  type certificate = {
+    levels : level list;
+    objects_forced : int list;
+    bound : int;
+  }
+
+  let bound ~n ~k = Lowerbound.Bounds.ksa_swap_lb ~n ~k
+
+  let base_case ~active ~solo_cap =
+    let p0, rest =
+      match active with
+      | p0 :: rest -> p0, rest
+      | [] -> invalid_arg "Theorem10: empty active set"
+    in
+    let inputs = Array.make P.n 1 in
+    inputs.(p0) <- 0;
+    let c0 = E.initial ~inputs in
+    let alpha =
+      match E.run_solo ~pid:p0 ~max_steps:solo_cap c0 with
+      | Some (c1, trace) ->
+        (match E.decision c1 p0 with
+        | Some 0 -> trace
+        | Some w ->
+          raise
+            (Lowerbound.Lemma9.Hypothesis_violated
+               (Fmt.str "p%d decided %d solo, violating validity" p0 w))
+        | None -> assert false)
+      | None ->
+        raise
+          (Lowerbound.Lemma9.Hypothesis_violated
+             (Fmt.str "p%d did not decide within %d solo steps" p0 solo_cap))
+    in
+    L9.run ~inputs ~alpha ~q:rest ~v:1 ~required_distinct:1 ~solo_cap ()
+
+  let search ~rng ~rounds ~kk ~r ~q ~max_steps =
+    let try_one ~inputs ~sched =
+      let c0 = E.initial ~inputs in
+      let rec go c rev_trace i seen =
+        if List.length (E.decided_values c) >= kk then
+          Some (inputs, List.rev rev_trace)
+        else if i >= max_steps then None
+        else
+          let enabled = List.filter (fun p -> List.mem p r) (E.undecided c) in
+          match enabled with
+          | [] -> None
+          | _ -> (
+            match sched ~step_index:i enabled with
+            | None -> None
+            | Some pid ->
+              let c', s = E.step c pid in
+              go c' (s :: rev_trace) (i + 1) seen)
+      in
+      go c0 [] 0 []
+    in
+    let structured_inputs =
+      let inputs = Array.make P.n kk in
+      List.iteri (fun j pid -> inputs.(pid) <- j mod kk) r;
+      List.iter (fun pid -> inputs.(pid) <- kk) q;
+      inputs
+    in
+    let random_inputs () =
+      let inputs = Array.make P.n kk in
+      List.iter (fun pid -> inputs.(pid) <- Random.State.int rng kk) r;
+      inputs
+    in
+    let random_sched ~step_index:_ enabled =
+      Some (List.nth enabled (Random.State.int rng (List.length enabled)))
+    in
+    let round_robin ~step_index enabled =
+      Some (List.nth enabled (step_index mod List.length enabled))
+    in
+    let rec attempt i =
+      if i >= rounds then None
+      else
+        let inputs = if i = 0 then structured_inputs else random_inputs () in
+        let sched = if i mod 2 = 0 then random_sched else round_robin in
+        match try_one ~inputs ~sched with
+        | Some res -> Some res
+        | None -> attempt (i + 1)
+    in
+    attempt 0
+
+  let run ?(search_rounds = 200) ?(seed = 42)
+      ?(solo_cap = 1024 * (Array.length P.objects + 1)) () =
+    let rng = Random.State.make [| seed |] in
+    let rec go active kk levels =
+      if kk = 1 then
+        let cert = base_case ~active ~solo_cap in
+        { levels = List.rev (Base cert :: levels)
+        ; objects_forced = cert.L9.objects_forced
+        ; bound = bound ~n:P.n ~k:P.k
+        }
+      else begin
+        let a = List.length active in
+        let r_size = (a * (kk - 1) + kk - 1) / kk in
+        let rec split i = function
+          | [] -> [], []
+          | x :: xs ->
+            if i = 0 then [], x :: xs
+            else
+              let l, r = split (i - 1) xs in
+              x :: l, r
+        in
+        let r, q = split r_size active in
+        match
+          search ~rng ~rounds:search_rounds ~kk ~r ~q
+            ~max_steps:(200 * P.n * (Array.length P.objects + 1))
+        with
+        | Some (inputs, alpha) ->
+          let cert =
+            L9.run ~inputs ~alpha ~q ~v:kk ~required_distinct:kk ~solo_cap ()
+          in
+          { levels = List.rev (Found_k_values { r; alpha; cert } :: levels)
+          ; objects_forced = cert.L9.objects_forced
+          ; bound = bound ~n:P.n ~k:P.k
+          }
+        | None -> go r (kk - 1) (Recursed { r } :: levels)
+      end
+    in
+    go (List.init P.n Fun.id) P.k []
+end

@@ -213,6 +213,68 @@ let test_with_crashes () =
   Alcotest.(check bool) "p0 decided" true (E.decision c' 0 <> None);
   Alcotest.(check bool) "p1 undecided" true (E.decision c' 1 = None)
 
+let test_with_crashes_never_reschedules () =
+  (* crashed pids take no step at or after their crash time, under any
+     scheduler and crash pattern; the full trace positions prove it *)
+  let (module P) = Core.Swap_ksa.make ~n:4 ~k:1 ~m:2 in
+  let module E4 = Shmem.Exec.Make (P) in
+  let rng = Random.State.make [| 11 |] in
+  for trial = 1 to 20 do
+    let crash_at =
+      [ Random.State.int rng 4, Random.State.int rng 30
+      ; Random.State.int rng 4, Random.State.int rng 30
+      ]
+    in
+    let sched =
+      E4.with_crashes ~crash_at
+        (if trial mod 2 = 0 then E4.round_robin else E4.random rng)
+    in
+    let inputs = [| 0; 1; 0; 1 |] in
+    let _, trace, _ = E4.run ~sched ~max_steps:200 (E4.initial ~inputs) in
+    List.iteri
+      (fun i s ->
+        let pid = s.Shmem.Trace.pid in
+        match List.assoc_opt pid crash_at with
+        | Some t when i >= t ->
+          Alcotest.failf "trial %d: crashed p%d scheduled at step %d >= %d"
+            trial pid i t
+        | _ -> ())
+      trace
+  done;
+  (* crashing everyone from step 0 stops the run immediately *)
+  let sched =
+    E4.with_crashes ~crash_at:[ 0, 0; 1, 0; 2, 0; 3, 0 ] E4.round_robin
+  in
+  let _, trace, outcome =
+    E4.run ~sched ~max_steps:100 (E4.initial ~inputs:[| 0; 1; 0; 1 |])
+  in
+  Alcotest.(check int) "no step taken" 0 (Shmem.Trace.length trace);
+  Alcotest.(check bool) "outcome stopped" true (outcome = E4.Stopped)
+
+let test_replay_reproduces_run () =
+  (* replaying a recorded random run reproduces identical responses (the
+     asserts inside [replay]) and the identical final configuration *)
+  let (module P) = Core.Swap_ksa.make ~n:3 ~k:1 ~m:2 in
+  let module E3 = Shmem.Exec.Make (P) in
+  let rng = Random.State.make [| 13 |] in
+  for _ = 1 to 10 do
+    let inputs = Array.init 3 (fun _ -> Random.State.int rng 2) in
+    let c0 = E3.initial ~inputs in
+    let c_end, trace, _ =
+      E3.run ~sched:(E3.bursty rng ~burst:20) ~max_steps:500 c0
+    in
+    let c_replayed = E3.replay c0 trace in
+    Alcotest.(check bool) "replay reaches the recorded configuration" true
+      (E3.equal_config c_end c_replayed)
+  done;
+  (* a trace replayed against the wrong initial configuration must trip the
+     response assertions rather than silently diverge *)
+  let c0 = initial () in
+  let _, trace = E.run_script c0 [ 0; 1; 0 ] in
+  match E.replay (E.initial ~inputs:[| 1; 1 |]) trace with
+  | _ -> Alcotest.fail "replay accepted a mismatched initial configuration"
+  | exception Assert_failure _ -> ()
+
 let test_timeline_wraps () =
   let c = initial () in
   let _, trace = E.run_script c [ 0; 1; 0; 1 ] in
@@ -287,6 +349,10 @@ let () =
         ; Alcotest.test_case "timeline rendering" `Quick test_timeline_render
         ; Alcotest.test_case "timeline wrapping" `Quick test_timeline_wraps
         ; Alcotest.test_case "crash scheduling" `Quick test_with_crashes
+        ; Alcotest.test_case "crashed pids never rescheduled" `Quick
+            test_with_crashes_never_reschedules
+        ; Alcotest.test_case "replay reproduces runs" `Quick
+            test_replay_reproduces_run
         ; Alcotest.test_case "stats merge" `Quick test_stats_merge
         ; Alcotest.test_case "protocol validation" `Quick
             test_protocol_validate
