@@ -21,13 +21,15 @@ let protocol_of ~algo ~n ~k ~m ~cap : (module Shmem.Protocol.S) =
   | "binary-track" ->
     let (module B) = Baselines.Binary_track_consensus.make ~n ~cap in
     (module B)
+  | "bitwise" -> Baselines.Bitwise_consensus.make ~n ~m ~cap
+  | "grouped" -> Baselines.Grouped_ksa.make ~n ~k ~m
   | "cas" -> Baselines.Cas_consensus.make ~n ~m
   | "two-proc" -> Core.Two_proc_swap.make ~m
   | "pair-ksa" -> Core.Pair_ksa.make ~n ~m
   | other ->
     Fmt.failwith
       "unknown algorithm %s (try swap-ksa, register-ksa, readable-swap, \
-       binary-track, cas, two-proc, pair-ksa)"
+       binary-track, bitwise, grouped, cas, two-proc, pair-ksa)"
       other
 
 (* --------------------------------------------------------------- args *)
@@ -297,25 +299,57 @@ let bounds_cmd =
 (* ---------------------------------------------------------- multicore *)
 
 let multicore_cmd =
-  let go n k m seed inputs =
-    let inputs = parse_inputs ~n ~m inputs in
-    let o = Multicore.Swap_ksa_mc.run ~n ~k ~m ~inputs ~seed () in
-    (match Multicore.Swap_ksa_mc.check ~inputs ~k o with
-    | Ok () -> ()
-    | Error e -> Fmt.failwith "%s" e);
-    Fmt.pr
-      "n=%d k=%d m=%d: decided=[%a] in %.4fs; passes=[%a] swaps=[%a]@." n k m
-      Fmt.(array ~sep:(any ",") int)
-      o.Multicore.Swap_ksa_mc.decisions o.Multicore.Swap_ksa_mc.elapsed
-      Fmt.(array ~sep:(any ",") int)
-      o.Multicore.Swap_ksa_mc.passes
-      Fmt.(array ~sep:(any ",") int)
-      o.Multicore.Swap_ksa_mc.swaps
+  let go algo n k m cap seed inputs hand =
+    if hand then begin
+      (* the hand-optimized Algorithm 1 kept as a comparison point *)
+      if algo <> "swap-ksa" then
+        Fmt.failwith "--hand only applies to --algo swap-ksa";
+      let inputs = parse_inputs ~n ~m inputs in
+      let o = Multicore.Swap_ksa_mc.run ~n ~k ~m ~inputs ~seed () in
+      (match Multicore.Swap_ksa_mc.check ~inputs ~k o with
+      | Ok () -> ()
+      | Error e -> Fmt.failwith "%s" e);
+      Fmt.pr
+        "swap-ksa (hand-optimized) n=%d k=%d m=%d: decided=[%a] in %.4fs; \
+         passes=[%a] swaps=[%a]@."
+        n k m
+        Fmt.(array ~sep:(any ",") int)
+        o.Multicore.Swap_ksa_mc.decisions o.Multicore.Swap_ksa_mc.elapsed
+        Fmt.(array ~sep:(any ",") int)
+        o.Multicore.Swap_ksa_mc.passes
+        Fmt.(array ~sep:(any ",") int)
+        o.Multicore.Swap_ksa_mc.swaps
+    end
+    else begin
+      let (module P) = protocol_of ~algo ~n ~k ~m ~cap in
+      let module R = Runtime.Make (P) in
+      let inputs = parse_inputs ~n:P.n ~m:P.num_inputs inputs in
+      let o = R.run ~inputs ~seed () in
+      (match R.check ~inputs o with
+      | Ok () -> ()
+      | Error e -> Fmt.failwith "%s (k-agreement/validity check)" e);
+      Fmt.pr
+        "%s: decided=[%a] in %.4fs; ops=[%a] backoffs=[%a]@." P.name
+        Fmt.(array ~sep:(any ",") int)
+        o.R.decisions o.R.elapsed
+        Fmt.(array ~sep:(any ",") int)
+        o.R.ops
+        Fmt.(array ~sep:(any ",") int)
+        o.R.backoffs
+    end
+  in
+  let hand =
+    Arg.(
+      value & flag
+      & info [ "hand" ]
+          ~doc:"Run the hand-optimized Algorithm 1 (swap-ksa only) instead \
+                of the generic runtime.")
   in
   Cmd.v
     (Cmd.info "multicore"
-       ~doc:"Run Algorithm 1 on real domains over Atomic.exchange.")
-    Term.(const go $ n $ k $ m $ seed $ inputs_arg)
+       ~doc:"Run any algorithm on real domains via the generic runtime \
+             (atomic objects, one domain per process).")
+    Term.(const go $ algo $ n $ k $ m $ cap $ seed $ inputs_arg $ hand)
 
 let () =
   let doc =

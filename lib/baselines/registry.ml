@@ -4,6 +4,7 @@ type entry = {
   prune : Shmem.Value.t array -> bool;
   burst : int;
   stated_objects : string;
+  multicore_runnable : bool;
 }
 
 let lap_prune bound mem =
@@ -20,6 +21,9 @@ let no_prune _ = false
 let standard ?(n = 4) () =
   let k2 = min 2 (n - 1) in
   let cap = 48 in
+  (* the cap-bounded unary-track algorithms are obstruction-free only while
+     positions stay below [cap], so a real-concurrency run may livelock at
+     the cap; they stay on the simulator backend *)
   let track make name stated =
     let (module B : Binary_track_consensus.S) = make ~n ~cap in
     { name
@@ -27,6 +31,7 @@ let standard ?(n = 4) () =
     ; prune = B.near_cap ~margin:3
     ; burst = 8 * cap
     ; stated_objects = stated
+    ; multicore_runnable = false
     }
   in
   [ (let (module P) = Core.Swap_ksa.make ~n ~k:1 ~m:2 in
@@ -35,6 +40,7 @@ let standard ?(n = 4) () =
      ; prune = lap_prune 3
      ; burst = 2 * Core.Swap_ksa.solo_step_bound ~n ~k:1
      ; stated_objects = "n-1 (optimal)"
+     ; multicore_runnable = true
      })
   ; (let (module P) = Core.Swap_ksa.make ~n ~k:k2 ~m:(k2 + 1) in
      { name = Fmt.str "swap-ksa k=%d" k2
@@ -42,18 +48,21 @@ let standard ?(n = 4) () =
      ; prune = lap_prune 3
      ; burst = 2 * Core.Swap_ksa.solo_step_bound ~n ~k:k2
      ; stated_objects = "n-k"
+     ; multicore_runnable = true
      })
   ; { name = "register-ksa k=1"
     ; protocol = Register_ksa.make ~n ~k:1 ~m:2
     ; prune = lap_prune 3
     ; burst = 8 * (n + 1) * (n + 1)
     ; stated_objects = "n-k+1"
+    ; multicore_runnable = true
     }
   ; { name = "readable-swap"
     ; protocol = Readable_swap_consensus.make ~n ~m:2
     ; prune = lap_prune 3
     ; burst = 32 * n
     ; stated_objects = "n-1"
+    ; multicore_runnable = true
     }
   ; track Binary_track_consensus.make "binary-track" "2n-1 binary [17]"
   ; track Binary_track_consensus.make_eager "binary-track eager"
@@ -64,6 +73,7 @@ let standard ?(n = 4) () =
     ; prune = Bitwise_consensus.near_cap ~n ~m:3 ~cap ~margin:3
     ; burst = 16 * cap
     ; stated_objects = "O(n log m) binary"
+    ; multicore_runnable = false
     }
   ; (let k = max 1 ((n + 1) / 2) in
      { name = "grouped-ksa"
@@ -71,24 +81,40 @@ let standard ?(n = 4) () =
      ; prune = no_prune
      ; burst = 4
      ; stated_objects = "k (n <= 2k)"
+     ; multicore_runnable = true
      })
   ; { name = "cas"
     ; protocol = Cas_consensus.make ~n ~m:2
     ; prune = no_prune
     ; burst = 4
     ; stated_objects = "1 (not historyless)"
+    ; multicore_runnable = true
     }
   ; { name = "pair-ksa"
     ; protocol = Core.Pair_ksa.make ~n ~m:2
     ; prune = no_prune
     ; burst = 4
     ; stated_objects = "1"
+    ; multicore_runnable = true
     }
   ]
 
-let find prefix ~n =
-  List.find_opt
-    (fun e ->
-      String.length e.name >= String.length prefix
-      && String.sub e.name 0 (String.length prefix) = prefix)
-    (standard ~n ())
+let find name ~n =
+  let entries = standard ~n () in
+  let is_prefix e =
+    String.length e.name >= String.length name
+    && String.sub e.name 0 (String.length name) = name
+  in
+  match List.find_opt (fun e -> e.name = name) entries with
+  | Some e -> Ok e
+  | None -> (
+    match List.filter is_prefix entries with
+    | [ e ] -> Ok e
+    | [] ->
+      Error
+        (Fmt.str "unknown algorithm %S (available: %s)" name
+           (String.concat ", " (List.map (fun e -> e.name) entries)))
+    | ambiguous ->
+      Error
+        (Fmt.str "ambiguous algorithm prefix %S (matches: %s)" name
+           (String.concat ", " (List.map (fun e -> e.name) ambiguous))))

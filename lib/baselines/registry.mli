@@ -15,6 +15,12 @@ type entry = {
           for protocols with finite reachable space) *)
   burst : int;  (** a solo window guaranteeing progress under bursty runs *)
   stated_objects : string;  (** the bound from the paper / related work *)
+  multicore_runnable : bool;
+      (** whether the protocol can be executed on real domains by
+          [Runtime.Make]: true for the algorithms whose obstruction-freedom
+          is unconditional, false for the cap-bounded unary-track
+          constructions (binary-track, tas-track, bitwise), which may
+          livelock at the cap under real concurrency *)
 }
 
 val standard : ?n:int -> unit -> entry list
@@ -22,5 +28,8 @@ val standard : ?n:int -> unit -> entry list
     k=2, the register / readable-swap / binary-track (plain, eager, TAS) /
     bitwise / grouped / CAS / one-object algorithms. *)
 
-val find : string -> n:int -> entry option
-(** look up a registry entry by name prefix at a given [n] *)
+val find : string -> n:int -> (entry, string) result
+(** look up a registry entry at a given [n]: an exact name match wins;
+    otherwise the name is treated as a prefix, which must select a single
+    entry.  [Error] describes unknown names (listing the available entries)
+    and ambiguous prefixes (listing the matches) *)

@@ -1,3 +1,84 @@
+(* Linearizability checking.  The generic Wing & Gong engine works over any
+   shared-object kind of the model ([Obj_history]); the original int-valued
+   swap-cell interface below is a thin façade over it. *)
+
+module Obj_history = struct
+  type event = {
+    thread : int;
+    action : Shmem.Op.action;
+    response : Shmem.Value.t;
+    start : int;
+    finish : int;
+  }
+
+  let pp_action ppf (a : Shmem.Op.action) =
+    match a with
+    | Shmem.Op.Read -> Fmt.string ppf "Read"
+    | Shmem.Op.Write v -> Fmt.pf ppf "Write(%a)" Shmem.Value.pp v
+    | Shmem.Op.Swap v -> Fmt.pf ppf "Swap(%a)" Shmem.Value.pp v
+    | Shmem.Op.Cas (e, d) ->
+      Fmt.pf ppf "Cas(%a,%a)" Shmem.Value.pp e Shmem.Value.pp d
+
+  let pp_event ppf e =
+    Fmt.pf ppf "t%d %a -> %a @@ [%d,%d]" e.thread pp_action e.action
+      Shmem.Value.pp e.response e.start e.finish
+
+  (* Wing & Gong: search for a permutation respecting real-time order in
+     which every response matches the kind's sequential specification
+     ([Obj_kind.apply]). *)
+  let search ~kind ~init history =
+    let events = Array.of_list history in
+    let total = Array.length events in
+    if total > 62 then invalid_arg "Linearize: history too long";
+    let full = (1 lsl total) - 1 in
+    (* memo on (linearized set, current value): a failed sub-search never
+       needs revisiting *)
+    let failed = Hashtbl.create 1024 in
+    let rec go mask value acc =
+      if mask = full then Some (List.rev acc)
+      else if Hashtbl.mem failed (mask, value) then None
+      else begin
+        let result = ref None in
+        let i = ref 0 in
+        while !result = None && !i < total do
+          let e = events.(!i) in
+          let pending j = mask land (1 lsl j) = 0 in
+          if pending !i then begin
+            (* minimality: no pending operation finished before e started *)
+            let minimal = ref true in
+            for j = 0 to total - 1 do
+              if pending j && j <> !i && events.(j).finish < e.start then
+                minimal := false
+            done;
+            if !minimal then begin
+              match Shmem.Obj_kind.apply kind ~current:value e.action with
+              | value', response when Shmem.Value.equal response e.response ->
+                result := go (mask lor (1 lsl !i)) value' (e :: acc)
+              | _ -> ()
+              | exception Shmem.Obj_kind.Illegal_operation _ -> ()
+            end
+          end;
+          incr i
+        done;
+        if !result = None then Hashtbl.replace failed (mask, value) ();
+        !result
+      end
+    in
+    go 0 init []
+
+  let linearizable ~kind ~init history = search ~kind ~init history <> None
+
+  let explain ~kind ~init history =
+    match search ~kind ~init history with
+    | Some order -> Ok order
+    | None ->
+      Error
+        (Fmt.str "no linearization of %d events exists (first events: %a)"
+           (List.length history)
+           Fmt.(list ~sep:(any "; ") pp_event)
+           (List.filteri (fun i _ -> i < 4) history))
+end
+
 type op = Read | Swap of int
 
 type event = {
@@ -48,59 +129,36 @@ let record ~threads ~ops_per_thread ?(seed = 7) ~exchange () =
   Array.iter Domain.join domains;
   Array.to_list results |> List.concat
 
-(* Wing & Gong: search for a permutation respecting real-time order in which
-   every result matches the sequential swap-object specification. *)
-let search ~init history =
-  let events = Array.of_list history in
-  let total = Array.length events in
-  if total > 62 then invalid_arg "Linearize: history too long";
-  let full = (1 lsl total) - 1 in
-  (* memo on (linearized set, current value): a failed sub-search never
-     needs revisiting *)
-  let failed = Hashtbl.create 1024 in
-  let rec go mask value acc =
-    if mask = full then Some (List.rev acc)
-    else if Hashtbl.mem failed (mask, value) then None
-    else begin
-      let result = ref None in
-      let i = ref 0 in
-      while !result = None && !i < total do
-        let e = events.(!i) in
-        let pending j = mask land (1 lsl j) = 0 in
-        if pending !i then begin
-          (* minimality: no pending operation finished before e started *)
-          let minimal = ref true in
-          for j = 0 to total - 1 do
-            if pending j && j <> !i && events.(j).finish < e.start then
-              minimal := false
-          done;
-          if !minimal then begin
-            let legal, value' =
-              match e.op with
-              | Read -> e.result = value, value
-              | Swap v -> e.result = value, v
-            in
-            if legal then
-              result := go (mask lor (1 lsl !i)) value' (e :: acc)
-          end
-        end;
-        incr i
-      done;
-      if !result = None then Hashtbl.replace failed (mask, value) ();
-      !result
-    end
-  in
-  go 0 init []
+(* the int-valued swap cell is a readable swap object over Int values *)
+let int_kind = Shmem.Obj_kind.Readable_swap Shmem.Obj_kind.Unbounded
 
-let linearizable ~init history = search ~init history <> None
+let to_generic e =
+  { Obj_history.thread = e.thread
+  ; action =
+      (match e.op with
+      | Read -> Shmem.Op.Read
+      | Swap v -> Shmem.Op.Swap (Shmem.Value.Int v))
+  ; response = Shmem.Value.Int e.result
+  ; start = e.start
+  ; finish = e.finish
+  }
+
+let linearizable ~init history =
+  Obj_history.linearizable ~kind:int_kind ~init:(Shmem.Value.Int init)
+    (List.map to_generic history)
 
 let explain ~init history =
-  match search ~init history with
-  | Some order -> Ok order
+  (* generic events are created one per original event, so the witness maps
+     back by physical identity *)
+  let pairs = List.map (fun e -> to_generic e, e) history in
+  match
+    Obj_history.search ~kind:int_kind ~init:(Shmem.Value.Int init)
+      (List.map fst pairs)
+  with
+  | Some order -> Ok (List.map (fun g -> List.assq g pairs) order)
   | None ->
     Error
-      (Fmt.str
-         "no linearization of %d events exists (first events: %a)"
+      (Fmt.str "no linearization of %d events exists (first events: %a)"
          (List.length history)
          Fmt.(list ~sep:(any "; ") pp_event)
          (List.filteri (fun i _ -> i < 4) history))

@@ -1,16 +1,54 @@
-(** Linearizability checking for readable swap objects.
+(** Linearizability checking for the shared objects of the model.
 
-    The multicore backend claims that [Atomic.exchange] implements the
-    paper's [Swap] operation.  This module substantiates that claim: it
-    records concurrent histories of operations applied to a shared cell by
-    real domains, then decides — with the Wing & Gong algorithm — whether
-    the history is linearizable with respect to the sequential swap-object
-    specification (the object holds a value; [Swap v] returns the held
-    value and replaces it with [v]; [Read] returns it).
+    The multicore backends claim that OCaml's [Atomic] primitives implement
+    the paper's objects.  This module substantiates that claim: it records
+    concurrent histories of operations applied to a shared cell by real
+    domains, then decides — with the Wing & Gong algorithm — whether the
+    history is linearizable with respect to the object's sequential
+    specification.
+
+    {!Obj_history} is the generic engine: events carry a model action
+    ([Shmem.Op.action]) and a model response ([Shmem.Value.t]), and legality
+    is delegated to [Shmem.Obj_kind.apply], so one checker covers registers,
+    swap objects, TAS and CAS alike.  [lib/runtime]'s generic interpreter
+    records histories in exactly this format.  The int-valued swap-cell
+    interface below (the original seed interface) is a façade over the
+    generic engine.
 
     A deliberately non-atomic exchange (read, pause, write) produces
     non-linearizable histories under contention, which the checker
     detects — see the mutation tests. *)
+
+(** Histories over any object kind of the model. *)
+module Obj_history : sig
+  type event = {
+    thread : int;
+    action : Shmem.Op.action;
+    response : Shmem.Value.t;  (** the value the operation returned *)
+    start : int;  (** global timestamp at invocation *)
+    finish : int;  (** global timestamp at response *)
+  }
+
+  val pp_event : Format.formatter -> event -> unit
+
+  val linearizable :
+    kind:Shmem.Obj_kind.t -> init:Shmem.Value.t -> event list -> bool
+  (** Wing & Gong search for a legal sequential ordering: an operation may
+      be linearized next only if no other pending operation finished before
+      it started, and its response must match [Obj_kind.apply] from the
+      value the prefix produced.  Memoized on the (linearized-set, value)
+      pair; exponential in the worst case, so keep histories small
+      (≲ 24 events).
+      @raise Invalid_argument on histories longer than 62 events *)
+
+  val explain :
+    kind:Shmem.Obj_kind.t ->
+    init:Shmem.Value.t ->
+    event list ->
+    (event list, string) result
+  (** like {!linearizable} but returns the witness order, or a message
+      describing why none exists *)
+end
 
 type op = Read | Swap of int
 
@@ -40,11 +78,8 @@ val record :
     linearization point lies in [[start, finish]]. *)
 
 val linearizable : init:int -> history -> bool
-(** Wing & Gong search for a legal sequential ordering: an operation may be
-    linearized next only if no other pending operation finished before it
-    started, and its result must match the specification.  Memoized on the
-    (linearized-set, object-value) pair; exponential in the worst case, so
-    keep histories small (≲ 24 events). *)
+(** {!Obj_history.linearizable} on an unbounded readable swap object over
+    [Int] values *)
 
 val explain : init:int -> history -> (event list, string) result
 (** like {!linearizable} but returns the witness order, or a message

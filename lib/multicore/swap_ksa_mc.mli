@@ -6,7 +6,14 @@
     after a conflicted pass; by Giakkoupis, Helmi, Higham and Woelfel [23]
     (cited in §2), obstruction-free algorithms can be transformed into
     randomized wait-free ones against an oblivious adversary using the same
-    objects, and backoff is the practical version of that transformation. *)
+    objects, and backoff is the practical version of that transformation.
+
+    This module is the {e hand-optimized} implementation of Algorithm 1:
+    it hard-codes the pass structure instead of interpreting the protocol
+    state machine.  The generic backend ([Runtime.Make] over
+    [Core.Swap_ksa]) executes the same algorithm from its [Protocol.S]
+    definition; the two are differentially tested against each other and
+    compared in bench T7. *)
 
 type outcome = {
   decisions : int array;  (** decision of each process, index = pid *)

@@ -1,0 +1,257 @@
+module Sh = Shmem
+
+(* ------------------------------------------------------------------ cells *)
+
+module Cell = struct
+  type t = {
+    kind : Sh.Obj_kind.t;
+    cell : Sh.Value.t Atomic.t;
+    exchange : Sh.Value.t Atomic.t -> Sh.Value.t -> Sh.Value.t;
+  }
+
+  let make ?(exchange = Atomic.exchange) kind init =
+    let dom = Sh.Obj_kind.domain kind in
+    if
+      not
+        (Sh.Obj_kind.value_in_domain dom init
+        || Sh.Value.equal init Sh.Value.Bot)
+    then
+      invalid_arg
+        (Fmt.str "Runtime.Cell.make: initial value %a outside domain"
+           Sh.Value.pp init);
+    { kind; cell = Atomic.make init; exchange }
+
+  let kind t = t.kind
+  let peek t = Atomic.get t.cell
+
+  (* structural compare-and-set: [Atomic.compare_and_set] compares
+     physically, so re-read until the witnessed value — the one the CAS is
+     performed against — is the one we structurally compared *)
+  let rec structural_cas t ~expected ~desired =
+    let current = Atomic.get t.cell in
+    if not (Sh.Value.equal current expected) then Sh.Value.zero
+    else if Atomic.compare_and_set t.cell current desired then Sh.Value.one
+    else structural_cas t ~expected ~desired
+
+  (* test-and-set as a compare-and-set loop: the only transition is 0 -> 1,
+     and once the cell holds 1 a TAS is a no-op returning 1 (linearized at
+     the read) *)
+  let rec tas t v =
+    let current = Atomic.get t.cell in
+    if Sh.Value.equal current Sh.Value.one then Sh.Value.one
+    else if Atomic.compare_and_set t.cell current v then current
+    else tas t v
+
+  let apply t (action : Sh.Op.action) =
+    if not (Sh.Obj_kind.supports t.kind action) then
+      raise
+        (Sh.Obj_kind.Illegal_operation
+           (Fmt.str "%a does not support %a" Sh.Obj_kind.pp t.kind Sh.Op.pp
+              { Sh.Op.obj = -1; action }));
+    match t.kind, action with
+    | _, Sh.Op.Read -> Atomic.get t.cell
+    | (Sh.Obj_kind.Register _ | Sh.Obj_kind.Test_and_set_reset), Sh.Op.Write v
+      ->
+      Atomic.set t.cell v;
+      Sh.Value.Unit
+    | (Sh.Obj_kind.Swap_only _ | Sh.Obj_kind.Readable_swap _), Sh.Op.Swap v ->
+      t.exchange t.cell v
+    | ( (Sh.Obj_kind.Test_and_set | Sh.Obj_kind.Test_and_set_reset),
+        Sh.Op.Swap v ) ->
+      tas t v
+    | Sh.Obj_kind.Compare_and_swap _, Sh.Op.Cas (expected, desired) ->
+      structural_cas t ~expected ~desired
+    | _ ->
+      (* unreachable: [supports] admits exactly the cases above *)
+      assert false
+end
+
+(* -------------------------------------------------------------- recording *)
+
+(* a timestamped operation on object [obj]; the per-object histories are
+   assembled after the domains join *)
+type tagged_event = { obj : int; event : Linearize.Obj_history.event }
+
+let assemble_histories ~num_objects per_process =
+  let histories = Array.make num_objects [] in
+  Array.iter
+    (List.iter (fun { obj; event } -> histories.(obj) <- event :: histories.(obj)))
+    per_process;
+  Array.map
+    (fun evs ->
+      List.sort
+        (fun (a : Linearize.Obj_history.event) b -> compare a.start b.start)
+        evs)
+    histories
+
+let record_cell ~kind ~init ~threads ~ops_per_thread ?(seed = 0xCE11)
+    ?exchange ~gen () =
+  let cell = Cell.make ?exchange kind init in
+  let clock = Atomic.make 0 in
+  let now () = Atomic.fetch_and_add clock 1 in
+  let results = Array.make threads [] in
+  let worker thread =
+    let rng = Random.State.make [| seed; thread |] in
+    let events = ref [] in
+    for step = 1 to ops_per_thread do
+      let action = gen ~thread ~step rng in
+      let start = now () in
+      let response = Cell.apply cell action in
+      let finish = now () in
+      events :=
+        { Linearize.Obj_history.thread; action; response; start; finish }
+        :: !events
+    done;
+    results.(thread) <- List.rev !events
+  in
+  let domains =
+    Array.init threads (fun t -> Domain.spawn (fun () -> worker t))
+  in
+  Array.iter Domain.join domains;
+  Array.to_list results |> List.concat
+  |> List.sort (fun (a : Linearize.Obj_history.event) b ->
+         compare a.start b.start)
+
+(* ------------------------------------------------------------ interpreter *)
+
+module Make (P : Sh.Protocol.S) = struct
+  type outcome = {
+    decisions : int array;
+    ops : int array;
+    backoffs : int array;
+    elapsed : float;
+    histories : Linearize.Obj_history.event list array;
+  }
+
+  let num_objects = Array.length P.objects
+
+  let run ~inputs ?(seed = 0x5EED) ?(max_ops = 4_000_000) ?backoff_window
+      ?(record = false) ?exchange () =
+    if Array.length inputs <> P.n then
+      invalid_arg
+        (Fmt.str "Runtime.run %s: expected %d inputs" P.name P.n);
+    Array.iter
+      (fun v ->
+        if v < 0 || v >= P.num_inputs then
+          invalid_arg (Fmt.str "Runtime.run %s: input out of range" P.name))
+      inputs;
+    let window =
+      match backoff_window with
+      | Some w ->
+        if w < 1 then invalid_arg "Runtime.run: backoff_window must be >= 1";
+        w
+      | None -> 8 * (num_objects + 1)
+    in
+    let cells =
+      Array.init num_objects (fun i ->
+          Cell.make ?exchange P.objects.(i) (P.init_object i))
+    in
+    let clock = Atomic.make 0 in
+    let now () = Atomic.fetch_and_add clock 1 in
+    let decisions = Array.make P.n (-1) in
+    let ops = Array.make P.n 0 in
+    let backoffs = Array.make P.n 0 in
+    let events = Array.make P.n [] in
+    let process pid =
+      let rng = Random.State.make [| seed; pid |] in
+      let state = ref (P.init ~pid ~input:inputs.(pid)) in
+      let my_ops = ref 0 in
+      let my_backoffs = ref 0 in
+      let my_events = ref [] in
+      let backoff = ref 1 in
+      let until_backoff = ref window in
+      while P.decision !state = None do
+        if !my_ops >= max_ops then
+          failwith
+            (Fmt.str "Runtime.run %s: p%d exceeded %d operations" P.name pid
+               max_ops);
+        let op = P.poised !state in
+        let response =
+          if record then begin
+            let start = now () in
+            let response = Cell.apply cells.(op.Sh.Op.obj) op.Sh.Op.action in
+            let finish = now () in
+            my_events :=
+              { obj = op.Sh.Op.obj
+              ; event =
+                  { Linearize.Obj_history.thread = pid
+                  ; action = op.Sh.Op.action
+                  ; response
+                  ; start
+                  ; finish
+                  }
+              }
+              :: !my_events;
+            response
+          end
+          else Cell.apply cells.(op.Sh.Op.obj) op.Sh.Op.action
+        in
+        incr my_ops;
+        state := P.on_response !state response;
+        decr until_backoff;
+        if !until_backoff <= 0 && P.decision !state = None then begin
+          (* randomized exponential backoff: obstruction-free protocols
+             need some process to eventually run effectively alone *)
+          incr my_backoffs;
+          let spins = Random.State.int rng !backoff in
+          for _ = 1 to spins do
+            Domain.cpu_relax ()
+          done;
+          if !backoff < 1 lsl 16 then backoff := !backoff * 2;
+          until_backoff := window
+        end
+      done;
+      (match P.decision !state with
+      | Some d -> decisions.(pid) <- d
+      | None -> assert false);
+      ops.(pid) <- !my_ops;
+      backoffs.(pid) <- !my_backoffs;
+      events.(pid) <- !my_events
+    in
+    let t0 = Unix.gettimeofday () in
+    let domains =
+      Array.init P.n (fun pid -> Domain.spawn (fun () -> process pid))
+    in
+    Array.iter Domain.join domains;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    { decisions
+    ; ops
+    ; backoffs
+    ; elapsed
+    ; histories = assemble_histories ~num_objects events
+    }
+
+  let check ~inputs outcome =
+    let distinct =
+      Array.to_list outcome.decisions |> List.sort_uniq Stdlib.compare
+    in
+    if List.exists (fun v -> v < 0) distinct then
+      Error "some process is undecided"
+    else if List.length distinct > P.k then
+      Error
+        (Fmt.str "%d distinct values decided, k=%d" (List.length distinct)
+           P.k)
+    else if
+      List.exists (fun v -> not (Array.exists (Int.equal v) inputs)) distinct
+    then Error "a decided value is no process's input"
+    else Ok ()
+
+  let check_histories ?(max_events = 24) outcome =
+    let checked = ref 0 in
+    let rec go i =
+      if i >= num_objects then Ok !checked
+      else
+        let history = outcome.histories.(i) in
+        if List.length history > max_events then go (i + 1)
+        else begin
+          incr checked;
+          match
+            Linearize.Obj_history.explain ~kind:P.objects.(i)
+              ~init:(P.init_object i) history
+          with
+          | Ok _ -> go (i + 1)
+          | Error e -> Error (Fmt.str "object B%d: %s" i e)
+        end
+    in
+    go 0
+end

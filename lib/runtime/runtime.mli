@@ -1,0 +1,117 @@
+(** The generic multicore backend: execute any [Shmem.Protocol.S] state
+    machine over {e real} atomic objects, one OCaml 5 domain per process.
+
+    The simulator ([Shmem.Exec.Make]) and this runtime interpret the same
+    protocol definition — [init] / [poised] / [on_response] / [decision] —
+    so every algorithm in the repository runs on both backends from a single
+    source of truth.  Each object kind of the model is realized by one
+    concrete implementation over ['a Atomic.t]:
+
+    - registers: [Atomic.get] / [Atomic.set]
+    - swap and readable swap: [Atomic.exchange]
+    - test-and-set, test-and-set-reset and compare-and-swap:
+      [Atomic.compare_and_set] retry loops (CAS on the model's structured
+      values compares {e structurally}; the loop re-reads until the
+      physically witnessed value is the one it installs against)
+
+    Obstruction-free protocols are only guaranteed to decide when some
+    process eventually runs long enough alone, so the driver inserts
+    randomized exponential backoff between operation windows — the same
+    technique as the hand-optimized [Multicore.Swap_ksa_mc], which this
+    runtime is differentially tested against.
+
+    With [~record:true] every operation is timestamped through a global
+    atomic clock and the per-object histories are returned in
+    [Linearize.Obj_history] format for post-hoc linearizability checking. *)
+
+(** One shared object realized over [Shmem.Value.t Atomic.t]. *)
+module Cell : sig
+  type t
+
+  val make :
+    ?exchange:(Shmem.Value.t Atomic.t -> Shmem.Value.t -> Shmem.Value.t) ->
+    Shmem.Obj_kind.t ->
+    Shmem.Value.t ->
+    t
+  (** [make kind init] is a fresh cell of the given kind holding [init].
+      [?exchange] overrides the primitive used for [Swap] on (readable) swap
+      objects — the mutation tests inject a deliberately torn read-pause-write
+      exchange here; the default is [Atomic.exchange]. *)
+
+  val kind : t -> Shmem.Obj_kind.t
+
+  val peek : t -> Shmem.Value.t
+  (** the current value, read without legality checks (debugging/assertions
+      only: [Swap_only] objects have no readable counterpart in the model) *)
+
+  val apply : t -> Shmem.Op.action -> Shmem.Value.t
+  (** apply one operation atomically and return its response, per the kind's
+      sequential specification ([Shmem.Obj_kind.apply]).
+      @raise Shmem.Obj_kind.Illegal_operation if the kind does not support
+      the action (same contract as the simulator) *)
+end
+
+val record_cell :
+  kind:Shmem.Obj_kind.t ->
+  init:Shmem.Value.t ->
+  threads:int ->
+  ops_per_thread:int ->
+  ?seed:int ->
+  ?exchange:(Shmem.Value.t Atomic.t -> Shmem.Value.t -> Shmem.Value.t) ->
+  gen:(thread:int -> step:int -> Random.State.t -> Shmem.Op.action) ->
+  unit ->
+  Linearize.Obj_history.event list
+(** run [threads] domains against one cell, each applying [ops_per_thread]
+    operations drawn from [gen], and return the timestamped history (sorted
+    by invocation time) for {!Linearize.Obj_history} checking.  [?exchange]
+    as in {!Cell.make}. *)
+
+module Make (P : Shmem.Protocol.S) : sig
+  type outcome = {
+    decisions : int array;  (** one per process *)
+    ops : int array;  (** shared-memory operations per process *)
+    backoffs : int array;  (** backoff rounds taken per process *)
+    elapsed : float;  (** wall-clock seconds, spawn to last join *)
+    histories : Linearize.Obj_history.event list array;
+        (** per object, sorted by invocation timestamp; all empty unless the
+            run recorded *)
+  }
+
+  val run :
+    inputs:int array ->
+    ?seed:int ->
+    ?max_ops:int ->
+    ?backoff_window:int ->
+    ?record:bool ->
+    ?exchange:(Shmem.Value.t Atomic.t -> Shmem.Value.t -> Shmem.Value.t) ->
+    unit ->
+    outcome
+  (** spawn one domain per process and drive each through
+      [init]/[poised]/[on_response] until [decision] returns.  After every
+      [backoff_window] operations without a decision a process spins a
+      random number of [Domain.cpu_relax] (exponentially growing bound, as
+      in [Multicore.Swap_ksa_mc]) so that obstruction-free protocols obtain
+      the solo windows they need; wait-free protocols decide within the
+      first window and never back off.
+
+      @param seed per-run RNG seed (processes derive independent streams)
+      @param max_ops per-process operation budget (default 4,000,000);
+             exceeding it raises [Failure] — for the protocols in this
+             repository that indicates a livelock bug, not bad luck
+      @param backoff_window default [8 * (num_objects + 1)]
+      @param record collect timestamped histories (default false)
+      @raise Invalid_argument on malformed [inputs] *)
+
+  val check : inputs:int array -> outcome -> (unit, string) result
+  (** every process decided, at most [P.k] distinct values (k-agreement),
+      and every decided value is some process's input (validity) *)
+
+  val check_histories :
+    ?max_events:int -> outcome -> (int, string) result
+  (** check every recorded per-object history against the object kind's
+      sequential specification; returns the number of histories checked.
+      Histories longer than [max_events] (default 24) are skipped — the
+      Wing & Gong search is exponential — so run with few processes and
+      operations when recording.  [Error] carries the first object whose
+      history fails to linearize. *)
+end

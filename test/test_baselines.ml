@@ -207,6 +207,50 @@ let test_pair_ksa_wait_free () =
   Alcotest.(check bool) "at most n-1 values" true
     (List.length (E.decided_values c') <= 4)
 
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let find_name name =
+  match Baselines.Registry.find name ~n:4 with
+  | Ok e -> Ok e.Baselines.Registry.name
+  | Error e -> Error e
+
+let test_registry_find_exact () =
+  Alcotest.(check (result string string))
+    "exact name" (Ok "swap-ksa k=1") (find_name "swap-ksa k=1");
+  (* an exact match wins even when it is also a prefix of another entry *)
+  Alcotest.(check (result string string))
+    "exact beats prefix" (Ok "binary-track") (find_name "binary-track")
+
+let test_registry_find_unique_prefix () =
+  Alcotest.(check (result string string))
+    "unique prefix" (Ok "register-ksa k=1") (find_name "reg");
+  Alcotest.(check (result string string))
+    "unique prefix" (Ok "readable-swap") (find_name "read")
+
+let test_registry_find_ambiguous_prefix () =
+  (match find_name "swap-ksa" with
+  | Error e ->
+    Alcotest.(check bool)
+      "message lists the matches" true
+      (contains e "ambiguous"
+      && contains e "swap-ksa k=1"
+      && contains e "swap-ksa k=2")
+  | Ok name -> Alcotest.failf "ambiguous prefix resolved to %S" name);
+  match find_name "b" with
+  | Error _ -> ()
+  | Ok name -> Alcotest.failf "ambiguous prefix resolved to %S" name
+
+let test_registry_find_unknown () =
+  match find_name "nonesuch" with
+  | Error e ->
+    Alcotest.(check bool)
+      "message lists available algorithms" true
+      (contains e "unknown" && contains e "pair-ksa")
+  | Ok name -> Alcotest.failf "unknown name resolved to %S" name
+
 let () =
   Alcotest.run "baselines"
     [ ( "register-ksa",
@@ -258,5 +302,14 @@ let () =
             test_pair_ksa_exhaustive
         ; Alcotest.test_case "pair-ksa wait-free" `Quick
             test_pair_ksa_wait_free
+        ] )
+    ; ( "registry lookup",
+        [ Alcotest.test_case "exact match" `Quick test_registry_find_exact
+        ; Alcotest.test_case "unique prefix" `Quick
+            test_registry_find_unique_prefix
+        ; Alcotest.test_case "ambiguous prefix is an error" `Quick
+            test_registry_find_ambiguous_prefix
+        ; Alcotest.test_case "unknown name is an error" `Quick
+            test_registry_find_unknown
         ] )
     ]

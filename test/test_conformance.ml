@@ -61,6 +61,22 @@ let test_solo_validity (e : Baselines.Registry.entry) () =
                 (Some inputs.(pid)) (E.decision c' pid))
         [ 0; P.n - 1 ])
 
+let test_multicore_backend (e : Baselines.Registry.entry) () =
+  with_entry e (fun (module P) ->
+      (* the same protocol definition on the other backend: real domains
+         over atomic objects via the generic runtime *)
+      let module R = Runtime.Make (P) in
+      let rng = Random.State.make [| 7; P.n |] in
+      let inputs =
+        Array.init P.n (fun _ -> Random.State.int rng P.num_inputs)
+      in
+      let o = R.run ~inputs ~seed:7 () in
+      match R.check ~inputs o with
+      | Ok () -> ()
+      | Error err ->
+        Alcotest.fail
+          (Fmt.str "%s on real domains: %s" e.Baselines.Registry.name err))
+
 let test_exhaustive_n2 (e : Baselines.Registry.entry) () =
   with_entry e (fun (module P) ->
       let module C = Checker.Make (P) in
@@ -81,6 +97,11 @@ let () =
         ; Alcotest.test_case (name "solo validity") `Quick
             (test_solo_validity e)
         ]
+        @ (if e.Baselines.Registry.multicore_runnable then
+             [ Alcotest.test_case (name "multicore backend") `Quick
+                 (test_multicore_backend e)
+             ]
+           else [])
         @
         if n = 2 then
           [ Alcotest.test_case (name "exhaustive") `Slow (test_exhaustive_n2 e) ]

@@ -1,0 +1,312 @@
+(* Tests for the generic multicore backend (lib/runtime): atomic cells
+   realize each object kind, every multicore_runnable registry entry
+   executes on real domains with k-agreement and validity, the generic
+   runtime agrees with the hand-optimized Algorithm 1, recorded histories
+   linearize, and a deliberately torn exchange is caught. *)
+
+module V = Shmem.Value
+module K = Shmem.Obj_kind
+module Op = Shmem.Op
+
+let value = Alcotest.testable V.pp V.equal
+
+(* ------------------------------------------------------------- cells *)
+
+let test_cell_register () =
+  let c = Runtime.Cell.make (K.Register K.Unbounded) V.Bot in
+  Alcotest.check value "read initial" V.Bot (Runtime.Cell.apply c Op.Read);
+  Alcotest.check value "write returns unit" V.Unit
+    (Runtime.Cell.apply c (Op.Write (V.Int 7)));
+  Alcotest.check value "read back" (V.Int 7) (Runtime.Cell.apply c Op.Read)
+
+let test_cell_swap () =
+  let c = Runtime.Cell.make (K.Swap_only K.Unbounded) (V.Int 0) in
+  Alcotest.check value "swap returns previous" (V.Int 0)
+    (Runtime.Cell.apply c (Op.Swap (V.Int 5)));
+  Alcotest.check value "swaps chain" (V.Int 5)
+    (Runtime.Cell.apply c (Op.Swap (V.Int 9)));
+  Alcotest.check value "peek" (V.Int 9) (Runtime.Cell.peek c)
+
+let test_cell_tas () =
+  let c = Runtime.Cell.make K.Test_and_set V.zero in
+  Alcotest.check value "first TAS wins" V.zero
+    (Runtime.Cell.apply c (Op.Swap V.one));
+  Alcotest.check value "second TAS loses" V.one
+    (Runtime.Cell.apply c (Op.Swap V.one));
+  let r = Runtime.Cell.make K.Test_and_set_reset V.zero in
+  Alcotest.check value "TAS" V.zero (Runtime.Cell.apply r (Op.Swap V.one));
+  Alcotest.check value "reset" V.Unit
+    (Runtime.Cell.apply r (Op.Write V.zero));
+  Alcotest.check value "TAS wins again after reset" V.zero
+    (Runtime.Cell.apply r (Op.Swap V.one))
+
+let test_cell_cas_structural () =
+  (* [Atomic.compare_and_set] compares physically; the runtime must CAS
+     structurally, so a freshly allocated (structurally equal) expected
+     value has to succeed *)
+  let stored () = V.Pair (V.ints [| 1; 2 |], V.Pid 0) in
+  let c = Runtime.Cell.make (K.Compare_and_swap K.Unbounded) (stored ()) in
+  Alcotest.check value "fresh expected succeeds" V.one
+    (Runtime.Cell.apply c (Op.Cas (stored (), V.Int 3)));
+  Alcotest.check value "installed" (V.Int 3) (Runtime.Cell.apply c Op.Read);
+  Alcotest.check value "stale expected fails" V.zero
+    (Runtime.Cell.apply c (Op.Cas (stored (), V.Int 9)));
+  Alcotest.check value "unchanged on failure" (V.Int 3)
+    (Runtime.Cell.apply c Op.Read)
+
+let test_cell_illegal_ops () =
+  let reg = Runtime.Cell.make (K.Register K.Unbounded) V.Bot in
+  (try
+     ignore (Runtime.Cell.apply reg (Op.Swap (V.Int 1)));
+     Alcotest.fail "register accepted Swap"
+   with K.Illegal_operation _ -> ());
+  let swap = Runtime.Cell.make (K.Swap_only K.Unbounded) V.Bot in
+  (try
+     ignore (Runtime.Cell.apply swap Op.Read);
+     Alcotest.fail "swap-only accepted Read"
+   with K.Illegal_operation _ -> ());
+  let bounded = Runtime.Cell.make (K.Register (K.Bounded 2)) V.zero in
+  try
+    ignore (Runtime.Cell.apply bounded (Op.Write (V.Int 5)));
+    Alcotest.fail "bounded register accepted out-of-domain write"
+  with K.Illegal_operation _ -> ()
+
+(* ---------------------------------------------------- registry entries *)
+
+let runnable ~n =
+  List.filter
+    (fun (e : Baselines.Registry.entry) ->
+      e.Baselines.Registry.multicore_runnable)
+    (Baselines.Registry.standard ~n ())
+
+let test_registry_runnable_entries n () =
+  List.iter
+    (fun (e : Baselines.Registry.entry) ->
+      let (module P : Shmem.Protocol.S) = e.Baselines.Registry.protocol in
+      let module R = Runtime.Make (P) in
+      for seed = 1 to 3 do
+        let rng = Random.State.make [| seed; P.n |] in
+        let inputs =
+          Array.init P.n (fun _ -> Random.State.int rng P.num_inputs)
+        in
+        let o = R.run ~inputs ~seed () in
+        match R.check ~inputs o with
+        | Ok () -> ()
+        | Error err ->
+          Alcotest.fail
+            (Fmt.str "%s (n=%d seed=%d): %s" e.Baselines.Registry.name P.n
+               seed err)
+      done)
+    (runnable ~n)
+
+let test_registry_flags () =
+  (* the unconditional obstruction-free / wait-free algorithms run on real
+     domains; the cap-bounded unary-track constructions stay simulated *)
+  let entries = Baselines.Registry.standard ~n:4 () in
+  let names ok =
+    List.filter_map
+      (fun (e : Baselines.Registry.entry) ->
+        if e.Baselines.Registry.multicore_runnable = ok then
+          Some e.Baselines.Registry.name
+        else None)
+      entries
+  in
+  Alcotest.(check (list string))
+    "runnable"
+    [ "swap-ksa k=1"; "swap-ksa k=2"; "register-ksa k=1"; "readable-swap"
+    ; "grouped-ksa"; "cas"; "pair-ksa"
+    ]
+    (names true);
+  Alcotest.(check (list string))
+    "simulator-only"
+    [ "binary-track"; "binary-track eager"; "tas-track"; "bitwise" ]
+    (names false)
+
+(* --------------------------------------------------------- differential *)
+
+let test_differential_swap_ksa () =
+  (* the same protocol instance through the hand-optimized backend and the
+     generic runtime: both satisfy the k-set agreement spec on every input
+     vector, and on uniform vectors (where the decision is forced by
+     validity) they agree exactly *)
+  let n = 4 and k = 1 and m = 2 in
+  let (module P) = Core.Swap_ksa.make ~n ~k ~m in
+  let module R = Runtime.Make (P) in
+  Alcotest.(check int)
+    "both backends use n-k objects" (n - k)
+    (Array.length P.objects);
+  for seed = 0 to 4 do
+    let rng = Random.State.make [| seed |] in
+    let inputs = Array.init n (fun _ -> Random.State.int rng m) in
+    let hand = Multicore.Swap_ksa_mc.run ~n ~k ~m ~inputs ~seed () in
+    (match Multicore.Swap_ksa_mc.check ~inputs ~k hand with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail (Fmt.str "hand seed=%d: %s" seed e));
+    let generic = R.run ~inputs ~seed () in
+    (match R.check ~inputs generic with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail (Fmt.str "generic seed=%d: %s" seed e));
+    (* a full Algorithm 1 pass is n-k swaps on either backend *)
+    Alcotest.(check bool) "generic took at least one pass each" true
+      (Array.for_all (fun ops -> ops >= n - k) generic.R.ops);
+    let uniform = Array.make n (seed mod m) in
+    let hand_u = Multicore.Swap_ksa_mc.run ~n ~k ~m ~inputs:uniform ~seed () in
+    let generic_u = R.run ~inputs:uniform ~seed () in
+    Alcotest.(check (array int))
+      (Fmt.str "uniform inputs force the decision (seed=%d)" seed)
+      hand_u.Multicore.Swap_ksa_mc.decisions generic_u.R.decisions
+  done
+
+(* ----------------------------------------------------------- histories *)
+
+let test_histories_linearizable () =
+  (* wait-free protocols keep per-object histories short enough for the
+     Wing & Gong search; every recorded history must linearize *)
+  List.iter
+    (fun protocol ->
+      let (module P : Shmem.Protocol.S) = protocol in
+      let module R = Runtime.Make (P) in
+      let inputs = Array.init P.n (fun i -> i mod P.num_inputs) in
+      let o = R.run ~inputs ~record:true () in
+      (match R.check ~inputs o with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (Fmt.str "%s: %s" P.name e));
+      match R.check_histories o with
+      | Ok checked ->
+        Alcotest.(check bool)
+          (Fmt.str "%s: checked some history" P.name)
+          true (checked >= 1)
+      | Error e -> Alcotest.fail (Fmt.str "%s: %s" P.name e))
+    [ Baselines.Cas_consensus.make ~n:3 ~m:2
+    ; Baselines.Grouped_ksa.make ~n:4 ~k:2 ~m:2
+    ; Core.Pair_ksa.make ~n:4 ~m:2
+    ]
+
+let test_histories_off_by_default () =
+  let (module P : Shmem.Protocol.S) = Core.Pair_ksa.make ~n:3 ~m:2 in
+  let module R = Runtime.Make (P) in
+  let o = R.run ~inputs:[| 0; 1; 0 |] () in
+  Alcotest.(check bool) "no events recorded" true
+    (Array.for_all (fun h -> h = []) o.R.histories)
+
+(* ------------------------------------------------------------- mutation *)
+
+(* a deliberately broken exchange: read, linger, write — loses updates *)
+let torn_exchange cell v =
+  let old = Atomic.get cell in
+  for _ = 1 to 500 do
+    Domain.cpu_relax ()
+  done;
+  Atomic.set cell v;
+  old
+
+let swap_gen ~thread ~step rng =
+  if Random.State.bool rng then Op.Read
+  else Op.Swap (V.Int ((thread * 100) + step))
+
+let swap_kind = K.Readable_swap K.Unbounded
+
+let test_real_exchange_cell_linearizable () =
+  for seed = 0 to 9 do
+    let h =
+      Runtime.record_cell ~kind:swap_kind ~init:(V.Int 0) ~threads:3
+        ~ops_per_thread:5 ~seed ~gen:swap_gen ()
+    in
+    match Linearize.Obj_history.explain ~kind:swap_kind ~init:(V.Int 0) h with
+    | Ok order ->
+      Alcotest.(check int) "witness covers all events" (List.length h)
+        (List.length order)
+    | Error e -> Alcotest.fail (Fmt.str "seed %d: %s" seed e)
+  done
+
+let test_torn_exchange_cell_caught () =
+  (* under contention the torn exchange produces non-linearizable
+     histories of the runtime's cells; each trial is racy, so try many *)
+  let caught = ref false in
+  let seed = ref 0 in
+  while (not !caught) && !seed < 200 do
+    let h =
+      Runtime.record_cell ~kind:swap_kind ~init:(V.Int 0) ~threads:4
+        ~ops_per_thread:6 ~seed:!seed ~exchange:torn_exchange ~gen:swap_gen
+        ()
+    in
+    if not (Linearize.Obj_history.linearizable ~kind:swap_kind ~init:(V.Int 0) h)
+    then caught := true;
+    incr seed
+  done;
+  Alcotest.(check bool) "torn exchange caught within 200 trials" true !caught
+
+(* ----------------------------------------------------------- validation *)
+
+let test_input_validation () =
+  let (module P : Shmem.Protocol.S) = Core.Pair_ksa.make ~n:3 ~m:2 in
+  let module R = Runtime.Make (P) in
+  (try
+     ignore (R.run ~inputs:[| 0; 1 |] ());
+     Alcotest.fail "accepted wrong input count"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (R.run ~inputs:[| 0; 1; 7 |] ());
+     Alcotest.fail "accepted out-of-range input"
+   with Invalid_argument _ -> ());
+  try
+    ignore (R.run ~inputs:[| 0; 1; 0 |] ~backoff_window:0 ());
+    Alcotest.fail "accepted backoff_window = 0"
+  with Invalid_argument _ -> ()
+
+let test_check_rejects_bad_outcomes () =
+  let (module P) = Core.Swap_ksa.make ~n:2 ~k:1 ~m:2 in
+  let module R = Runtime.Make (P) in
+  let outcome decisions =
+    { R.decisions
+    ; ops = [| 1; 1 |]
+    ; backoffs = [| 0; 0 |]
+    ; elapsed = 0.
+    ; histories = [||]
+    }
+  in
+  (match R.check ~inputs:[| 0; 1 |] (outcome [| 0; 1 |]) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "accepted 2 values for k=1");
+  (match R.check ~inputs:[| 0; 0 |] (outcome [| 1; 1 |]) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "accepted invalid value");
+  match R.check ~inputs:[| 0; 1 |] (outcome [| 0; -1 |]) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "accepted an undecided process"
+
+let () =
+  Alcotest.run "runtime"
+    [ ( "cells",
+        [ Alcotest.test_case "register" `Quick test_cell_register
+        ; Alcotest.test_case "swap" `Quick test_cell_swap
+        ; Alcotest.test_case "test-and-set (+reset)" `Quick test_cell_tas
+        ; Alcotest.test_case "structural CAS" `Quick test_cell_cas_structural
+        ; Alcotest.test_case "illegal operations" `Quick test_cell_illegal_ops
+        ] )
+    ; ( "registry on real domains",
+        [ Alcotest.test_case "capability flags" `Quick test_registry_flags
+        ; Alcotest.test_case "n=2" `Quick (test_registry_runnable_entries 2)
+        ; Alcotest.test_case "n=4" `Quick (test_registry_runnable_entries 4)
+        ; Alcotest.test_case "n=6" `Quick (test_registry_runnable_entries 6)
+        ] )
+    ; ( "differential",
+        [ Alcotest.test_case "hand-optimized vs generic Algorithm 1" `Quick
+            test_differential_swap_ksa
+        ] )
+    ; ( "histories",
+        [ Alcotest.test_case "wait-free runs linearize" `Quick
+            test_histories_linearizable
+        ; Alcotest.test_case "recording off by default" `Quick
+            test_histories_off_by_default
+        ; Alcotest.test_case "real exchange linearizable" `Quick
+            test_real_exchange_cell_linearizable
+        ; Alcotest.test_case "torn exchange caught" `Quick
+            test_torn_exchange_cell_caught
+        ] )
+    ; ( "validation",
+        [ Alcotest.test_case "input validation" `Quick test_input_validation
+        ; Alcotest.test_case "check rejects bad outcomes" `Quick
+            test_check_rejects_bad_outcomes
+        ] )
+    ]
