@@ -21,11 +21,14 @@
      T9  Exploration throughput (not in the paper): the seed checker's flat
          BFS vs lib/explore's interned store + memoized solo oracle, serial
          and domain-parallel.
+     T10 Chaos campaigns (not in the paper): fault-injection throughput and
+         detection counts — benign plans must produce zero violations,
+         object-fault plans must be detected whenever they manifest.
      F1  The Lemma 15 induction chain (paper Figure 1).
      F2  The Lemma 19 induction chain (paper Figure 2).
 
    Usage: dune exec bench/main.exe [-- section ...] [--csv DIR] [--json FILE]
-   where section ∈ {t0..t9 f1 f2 bechamel all}; default all.  With
+   where section ∈ {t0..t10 f1 f2 bechamel all}; default all.  With
    [--csv DIR], every table is additionally written to DIR/<section>.csv;
    with [--json FILE], all tables of the run are written to FILE as one
    machine-readable JSON document (section id, title, header, rows, wall
@@ -747,6 +750,78 @@ let t9 () =
      oracle (the seed re-ran every solo execution from scratch) plus \
      level-parallel expansion.@."
 
+let t10 () =
+  section_header "t10"
+    "chaos campaigns: fault-injection throughput and detection counts";
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    r, Unix.gettimeofday () -. t0
+  in
+  let sim_row name (module P : Shmem.Protocol.S) kinds_label kinds runs =
+    let module F = Fault.Sim (P) in
+    let s, t = time (fun () -> F.campaign ~seed:42 ~runs ~kinds ()) in
+    [ name
+    ; "sim"
+    ; kinds_label
+    ; string_of_int runs
+    ; string_of_int s.F.steps
+    ; Fmt.str "%.0f" (float_of_int s.F.steps /. t)
+    ; string_of_int s.F.fired
+    ; string_of_int (List.length s.F.detections)
+    ; string_of_int (List.length s.F.violations)
+    ; string_of_int s.F.missed
+    ]
+  in
+  let mc_row name (module P : Shmem.Protocol.S) runs =
+    let module MC = Fault.Mc (P) in
+    let s, t =
+      time (fun () ->
+          MC.campaign ~seed:42 ~runs ~kinds:Fault.benign_kinds ())
+    in
+    [ name
+    ; "multicore"
+    ; "benign"
+    ; string_of_int runs
+    ; string_of_int s.MC.total_ops
+    ; Fmt.str "%.0f" (float_of_int s.MC.total_ops /. t)
+    ; "-"
+    ; "-"
+    ; string_of_int (List.length s.MC.violations)
+    ; "-"
+    ]
+  in
+  let rows =
+    [ sim_row "swap-ksa" (sksa ~n:4 ~k:1 ~m:2) "benign" Fault.benign_kinds 60
+    ; sim_row "swap-ksa" (sksa ~n:4 ~k:1 ~m:2) "all" Fault.all_kinds 60
+    ; sim_row "swap-ksa" (sksa ~n:6 ~k:2 ~m:3) "all" Fault.all_kinds 30
+    ; sim_row "register-ksa"
+        (Baselines.Register_ksa.make ~n:4 ~k:1 ~m:2)
+        "all" Fault.all_kinds 30
+    ; sim_row "cas" (Baselines.Cas_consensus.make ~n:4 ~m:2) "all"
+        Fault.all_kinds 30
+    ; mc_row "swap-ksa" (sksa ~n:4 ~k:1 ~m:2) 10
+    ]
+  in
+  print_table
+    [ "algo"
+    ; "backend"
+    ; "kinds"
+    ; "runs"
+    ; "steps/ops"
+    ; "per sec"
+    ; "fired"
+    ; "detected"
+    ; "violations"
+    ; "missed"
+    ]
+    rows;
+  Fmt.pr
+    "violations and missed must be 0: benign faults (crash/stall) are \
+     tolerated by obstruction-freedom, and every manifested object fault \
+     (torn/lost/stale) is caught by the sequential-replay atomicity check \
+     and shrunk to a locally-minimal schedule.@."
+
 (* ------------------------------------------------------------- figures *)
 
 let f1 () =
@@ -845,7 +920,7 @@ let bechamel () =
 
 let sections =
   [ "t0", t0; "t1", t1; "t2", t2; "t3", t3; "t4", t4; "t5", t5; "t6", t6; "t7", t7
-  ; "t8", t8; "t9", t9; "f1", f1; "f2", f2; "bechamel", bechamel ]
+  ; "t8", t8; "t9", t9; "t10", t10; "f1", f1; "f2", f2; "bechamel", bechamel ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

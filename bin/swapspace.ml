@@ -351,6 +351,188 @@ let multicore_cmd =
              (atomic objects, one domain per process).")
     Term.(const go $ algo $ n $ k $ m $ cap $ seed $ inputs_arg $ hand)
 
+(* -------------------------------------------------------------- chaos *)
+
+(* one backend-independent rendering of a campaign summary, so both the
+   simulator and the multicore branches share the printer and exit logic *)
+type chaos_out = {
+  header : string;
+  counters : string;
+  expected : (int * string) list;  (** (run, rendered finding) *)
+  unexpected : (int * string) list;
+  failed : bool;
+}
+
+module Chaos_sim (P : Shmem.Protocol.S) = struct
+  module F = Fault.Sim (P)
+
+  let render (f : F.finding) =
+    Fmt.str "plan [%a]@;<1 4>%a%a" Fault.pp_plan f.F.plan F.pp_violation
+      f.F.violation
+      Fmt.(
+        option (fun ppf s ->
+            Fmt.pf ppf "@;<1 4>minimal schedule: %s"
+              (Shmem.Schedule.to_string s)))
+      f.F.schedule
+
+  let go ?on_step ?inputs ~burst ~max_steps ~seed ~runs ~kinds () =
+    let s = F.campaign ?on_step ?inputs ~burst ~max_steps ~seed ~runs ~kinds () in
+    { header =
+        Fmt.str "chaos (sim) %s: %d runs, seed %d, kinds [%a]" P.name runs
+          seed
+          Fmt.(list ~sep:(any ",") (of_to_string Fault.kind_to_string))
+          kinds;
+      counters =
+        Fmt.str "steps=%d fired=%d detections=%d violations=%d missed=%d"
+          s.F.steps s.F.fired
+          (List.length s.F.detections)
+          (List.length s.F.violations)
+          s.F.missed;
+      expected = List.map (fun f -> f.F.run, render f) s.F.detections;
+      unexpected = List.map (fun f -> f.F.run, render f) s.F.violations;
+      failed = s.F.violations <> [] || s.F.missed > 0
+    }
+end
+
+let chaos_cmd =
+  let go algo n k m cap seed inputs backend runs kinds burst max_steps deadline
+      =
+    let kinds =
+      match Fault.kinds_of_string kinds with
+      | Ok [] -> Fmt.failwith "--kinds is empty"
+      | Ok ks -> ks
+      | Error e -> Fmt.failwith "bad --kinds: %s" e
+    in
+    let out =
+      match backend with
+      | "sim" ->
+        if algo = "swap-ksa" then (
+          (* Algorithm 1 additionally gets the §4 invariant monitor wired
+             into every step — the negative tests must trip it or the
+             atomicity check *)
+          let (module P) = Core.Swap_ksa.make ~n ~k ~m in
+          let module C = Chaos_sim (P) in
+          let module M = Core.Swap_ksa_monitor.Make (P) in
+          let snap (c : C.F.E.config) =
+            { M.states = c.C.F.E.states; mem = c.C.F.E.mem }
+          in
+          let on_step before pid after =
+            match M.check_step_snap (snap before) pid (snap after) with
+            | () -> None
+            | exception Core.Swap_ksa_monitor.Invariant_violation msg ->
+              Some msg
+          in
+          let inputs =
+            Option.map
+              (fun s -> parse_inputs ~n:P.n ~m:P.num_inputs (Some s))
+              inputs
+          in
+          C.go ~on_step ?inputs ~burst ~max_steps ~seed ~runs ~kinds ())
+        else
+          let (module P) = protocol_of ~algo ~n ~k ~m ~cap in
+          let module C = Chaos_sim (P) in
+          let inputs =
+            Option.map
+              (fun s -> parse_inputs ~n:P.n ~m:P.num_inputs (Some s))
+              inputs
+          in
+          C.go ?inputs ~burst ~max_steps ~seed ~runs ~kinds ()
+      | "multicore" ->
+        let dropped = List.filter (fun k -> not (Fault.kind_is_benign k)) kinds in
+        let kinds = List.filter Fault.kind_is_benign kinds in
+        if kinds = [] then
+          Fmt.failwith
+            "--backend multicore supports only benign fault kinds (crash, \
+             stall): real atomics cannot be torn";
+        if dropped <> [] then
+          Fmt.epr
+            "note: dropping simulator-only fault kinds [%a] on the \
+             multicore backend@."
+            Fmt.(list ~sep:(any ",") (of_to_string Fault.kind_to_string))
+            dropped;
+        let (module P) = protocol_of ~algo ~n ~k ~m ~cap in
+        let module MC = Fault.Mc (P) in
+        let inputs =
+          Option.map
+            (fun s -> parse_inputs ~n:P.n ~m:P.num_inputs (Some s))
+            inputs
+        in
+        let s = MC.campaign ?inputs ~deadline ~seed ~runs ~kinds () in
+        { header =
+            Fmt.str "chaos (multicore) %s: %d runs, seed %d, kinds [%a]"
+              P.name runs seed
+              Fmt.(list ~sep:(any ",") (of_to_string Fault.kind_to_string))
+              kinds;
+          counters =
+            Fmt.str
+              "crashes=%d stalls=%d ops=%d elapsed=%.2fs violations=%d"
+              s.MC.crashes_injected s.MC.stalls_injected s.MC.total_ops
+              s.MC.elapsed
+              (List.length s.MC.violations);
+          expected = [];
+          unexpected =
+            List.map
+              (fun (f : MC.finding) ->
+                f.MC.run,
+                Fmt.str "plan [%a]@;<1 4>%s" Fault.pp_plan f.MC.plan
+                  f.MC.detail)
+              s.MC.violations;
+          failed = s.MC.violations <> []
+        }
+      | s -> Fmt.failwith "unknown backend %s (sim, multicore)" s
+    in
+    Fmt.pr "%s@.%s@." out.header out.counters;
+    List.iter
+      (fun (run, s) -> Fmt.pr "@[<v>detection (run %d): %s@]@." run s)
+      out.expected;
+    List.iter
+      (fun (run, s) -> Fmt.pr "@[<v>VIOLATION (run %d): %s@]@." run s)
+      out.unexpected;
+    if out.failed then exit 1
+  in
+  let backend =
+    Arg.(
+      value & opt string "sim"
+      & info [ "backend" ] ~docv:"B" ~doc:"Backend: sim or multicore.")
+  in
+  let runs =
+    Arg.(
+      value & opt int 100
+      & info [ "runs" ] ~docv:"N" ~doc:"Number of randomized runs.")
+  in
+  let kinds =
+    Arg.(
+      value & opt string "all"
+      & info [ "kinds" ] ~docv:"K1,K2,..."
+          ~doc:"Fault kinds to draw plans from: crash, stall, torn, lost, \
+                stale; or the groups 'all' and 'benign'.")
+  in
+  let burst =
+    Arg.(
+      value & opt int 32
+      & info [ "burst" ] ~docv:"B" ~doc:"Solo window for the bursty scheduler.")
+  in
+  let max_steps =
+    Arg.(
+      value & opt int 100_000
+      & info [ "max-steps" ] ~docv:"STEPS" ~doc:"Per-run step limit (sim).")
+  in
+  let deadline =
+    Arg.(
+      value & opt float 10.
+      & info [ "deadline" ] ~docv:"SECS"
+          ~doc:"Per-run wall-clock watchdog (multicore).")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Run seeded randomized fault-injection campaigns: crash/stall \
+             plans on either backend, torn/lost/stale object faults on the \
+             simulator (negative tests — every manifestation must be \
+             detected and is shrunk to a locally-minimal schedule).")
+    Term.(
+      const go $ algo $ n $ k $ m $ cap $ seed $ inputs_arg $ backend $ runs
+      $ kinds $ burst $ max_steps $ deadline)
+
 let () =
   let doc =
     "Obstruction-free consensus and k-set agreement from swap objects \
@@ -361,5 +543,5 @@ let () =
        (Cmd.group
           (Cmd.info "swapspace" ~version:"1.0.0" ~doc)
           [ run_cmd; check_cmd; lemma9_cmd; lb_binary_cmd; lb_bounded_cmd
-          ; bounds_cmd; multicore_cmd
+          ; bounds_cmd; multicore_cmd; chaos_cmd
           ]))

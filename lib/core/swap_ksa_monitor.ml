@@ -23,18 +23,28 @@ let fail fmt = Fmt.kstr (fun s -> raise (Invariant_violation s)) fmt
 module Make (P : Swap_ksa.S) = struct
   module E = Shmem.Exec.Make (P)
 
+  (* the raw material of a configuration, decoupled from any particular
+     execution engine: the fault-injection interpreter (lib/fault) steps its
+     own [Exec.Make] instance — a distinct [config] type — but produces the
+     same states and memory *)
+  type snapshot = { states : P.state array; mem : Shmem.Value.t array }
+
+  let snap (c : E.config) = { states = c.E.states; mem = c.E.mem }
+
   let lap_of_value v =
     match v with
     | Shmem.Value.Pair (Shmem.Value.Ints u, _) -> u
     | _ -> fail "object holds malformed value %a" Shmem.Value.pp v
 
   (* componentwise max of U over all local lap counters and object fields *)
-  let global_max (c : E.config) =
+  let global_max_snap (s : snapshot) =
     let acc = Array.make P.num_inputs 0 in
     let absorb u = Array.iteri (fun j x -> acc.(j) <- max acc.(j) x) u in
-    Array.iter (fun s -> absorb (P.laps s)) c.E.states;
-    Array.iter (fun v -> absorb (lap_of_value v)) c.E.mem;
+    Array.iter (fun st -> absorb (P.laps st)) s.states;
+    Array.iter (fun v -> absorb (lap_of_value v)) s.mem;
     acc
+
+  let global_max c = global_max_snap (snap c)
 
   (* Is [c] a ⟨V,p⟩-total configuration?  (every object holds ⟨V,p⟩ and p's
      local lap counter is V) *)
@@ -51,13 +61,13 @@ module Make (P : Swap_ksa.S) = struct
       else None
     | _ -> None
 
-  let check_step before pid after =
-    let u_before = P.laps before.E.states.(pid) in
-    let u_after = P.laps after.E.states.(pid) in
+  let check_step_snap (before : snapshot) pid (after : snapshot) =
+    let u_before = P.laps before.states.(pid) in
+    let u_after = P.laps after.states.(pid) in
     if not (Swap_ksa.dominates u_after u_before) then
       fail "Observation 3 violated: p%d's lap counter shrank" pid;
-    (match P.decision after.E.states.(pid) with
-    | Some x when P.decision before.E.states.(pid) = None ->
+    (match P.decision after.states.(pid) with
+    | Some x when P.decision before.states.(pid) = None ->
       if u_after.(x) < 2 then
         fail "Observation 4 violated: p%d decided %d with lap %d" pid x
           u_after.(x);
@@ -68,7 +78,8 @@ module Make (P : Swap_ksa.S) = struct
               pid x j)
         u_after
     | _ -> ());
-    let gmax_before = global_max before and gmax_after = global_max after in
+    let gmax_before = global_max_snap before
+    and gmax_after = global_max_snap after in
     Array.iteri
       (fun j mb ->
         if gmax_after.(j) > mb + 1 then
@@ -76,6 +87,8 @@ module Make (P : Swap_ksa.S) = struct
             "Observation 1 violated: global max of component %d jumped %d -> %d"
             j mb gmax_after.(j))
       gmax_before
+
+  let check_step before pid after = check_step_snap (snap before) pid (snap after)
 
   let check_solo_bound c =
     let bound = Swap_ksa.solo_step_bound ~n:P.n ~k:P.k in

@@ -21,6 +21,12 @@ exception Invariant_violation of string
 module Make (P : Swap_ksa.S) : sig
   module E : module type of Shmem.Exec.Make (P)
 
+  type snapshot = { states : P.state array; mem : Shmem.Value.t array }
+  (** the raw material of a configuration, decoupled from any particular
+      execution engine's [config] type: fault-injection runs (lib/fault)
+      step a distinct [Exec.Make] instance but feed the same invariant
+      checks through snapshots *)
+
   val global_max : E.config -> int array
   (** componentwise max of the lap vector [U] over all local lap counters
       and all object fields *)
@@ -33,6 +39,9 @@ module Make (P : Swap_ksa.S) : sig
   (** [check_step before pid after] checks the per-step invariants
       (Observations 1, 3 and 4, line 16) for the step [before -pid-> after].
       @raise Invariant_violation if one fails *)
+
+  val check_step_snap : snapshot -> int -> snapshot -> unit
+  (** {!check_step} over raw snapshots (engine-independent form) *)
 
   val check_solo_bound : E.config -> unit
   (** Lemma 8 at configuration [c]: every undecided process decides within

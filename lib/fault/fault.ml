@@ -1,0 +1,646 @@
+(** Fault injection and chaos campaigns for both execution backends.  See
+    the interface for the model; the short version: benign faults (crash,
+    stall) compile to scheduler combinators / runtime injection points,
+    object faults (torn swap, lost update, stale read) substitute a
+    deliberately non-atomic apply function into the simulator so the
+    monitors and the atomicity check can prove they would catch a broken
+    base object. *)
+
+type fault =
+  | Crash of int * int
+  | Stall of int * int * int
+  | Torn_swap of int
+  | Lost_update of int
+  | Stale_read of int * int
+
+type plan = fault list
+
+let pp_fault ppf = function
+  | Crash (p, t) -> Fmt.pf ppf "crash(p%d@%d)" p t
+  | Stall (p, t, d) -> Fmt.pf ppf "stall(p%d@%d+%d)" p t d
+  | Torn_swap o -> Fmt.pf ppf "torn-swap(B%d)" o
+  | Lost_update o -> Fmt.pf ppf "lost-update(B%d)" o
+  | Stale_read (o, lag) -> Fmt.pf ppf "stale-read(B%d,lag=%d)" o lag
+
+let pp_plan ppf = function
+  | [] -> Fmt.string ppf "(no faults)"
+  | plan -> Fmt.(list ~sep:(any ", ") pp_fault) ppf plan
+
+let is_benign = function
+  | Crash _ | Stall _ -> true
+  | Torn_swap _ | Lost_update _ | Stale_read _ -> false
+
+let benign plan = List.for_all is_benign plan
+
+let fault_object = function
+  | Torn_swap o | Lost_update o | Stale_read (o, _) -> Some o
+  | Crash _ | Stall _ -> None
+
+let validate ~n ~num_objects plan =
+  let check_pid p = p >= 0 && p < n in
+  let check_obj o = o >= 0 && o < num_objects in
+  let rec go seen_objs = function
+    | [] -> Ok ()
+    | f :: rest -> (
+      let bad fmt = Fmt.kstr (fun s -> Error s) fmt in
+      match f with
+      | Crash (p, t) ->
+        if not (check_pid p) then bad "%a: pid out of range" pp_fault f
+        else if t < 0 then bad "%a: negative time" pp_fault f
+        else go seen_objs rest
+      | Stall (p, t, d) ->
+        if not (check_pid p) then bad "%a: pid out of range" pp_fault f
+        else if t < 0 then bad "%a: negative time" pp_fault f
+        else if d < 1 then bad "%a: duration must be positive" pp_fault f
+        else go seen_objs rest
+      | Torn_swap o | Lost_update o | Stale_read (o, _) ->
+        if not (check_obj o) then bad "%a: object out of range" pp_fault f
+        else if List.mem o seen_objs then
+          bad "%a: object B%d already has a fault" pp_fault f o
+        else if
+          (match f with Stale_read (_, lag) -> lag < 1 | _ -> false)
+        then bad "%a: lag must be positive" pp_fault f
+        else go (o :: seen_objs) rest)
+  in
+  go [] plan
+
+let crashes plan =
+  List.filter_map (function Crash (p, t) -> Some (p, t) | _ -> None) plan
+
+let stalls plan =
+  List.filter_map
+    (function Stall (p, t, d) -> Some (p, t, d) | _ -> None)
+    plan
+
+(* ------------------------------------------------------------------ *)
+(* ddmin (Zeller & Hildebrandt), plus a final single-deletion pass so   *)
+(* the result is 1-minimal: removing any one element stops violating.   *)
+
+let ddmin ~violates input =
+  if not (violates input) then
+    invalid_arg "Fault.ddmin: the initial input does not violate";
+  if violates [] then []
+  else
+  let partition lst n =
+    let arr = Array.of_list lst in
+    let len = Array.length arr in
+    List.init n (fun i ->
+        let lo = i * len / n and hi = (i + 1) * len / n in
+        Array.to_list (Array.sub arr lo (hi - lo)))
+    |> List.filter (fun chunk -> chunk <> [])
+  in
+  let rec go lst n =
+    let len = List.length lst in
+    if len <= 1 then lst
+    else
+      let chunks = partition lst n in
+      match List.find_opt violates chunks with
+      | Some chunk -> go chunk 2
+      | None -> (
+        let complements =
+          (* with 2 chunks each complement is the other chunk, just tried *)
+          if List.length chunks <= 2 then []
+          else
+            List.mapi
+              (fun i _ ->
+                List.concat (List.filteri (fun j _ -> j <> i) chunks))
+              chunks
+        in
+        match List.find_opt violates complements with
+        | Some compl -> go compl (max (n - 1) 2)
+        | None -> if n < len then go lst (min (2 * n) len) else lst)
+  in
+  let rec one_minimal lst =
+    let len = List.length lst in
+    let rec try_delete i =
+      if i >= len then lst
+      else
+        let candidate = List.filteri (fun j _ -> j <> i) lst in
+        if candidate <> [] && violates candidate then one_minimal candidate
+        else try_delete (i + 1)
+    in
+    if len <= 1 then lst else try_delete 0
+  in
+  one_minimal (go input 2)
+
+(* ------------------------------------------------------------------ *)
+(* Random plans *)
+
+type kind = Crash_k | Stall_k | Torn_k | Lost_k | Stale_k
+
+let all_kinds = [ Crash_k; Stall_k; Torn_k; Lost_k; Stale_k ]
+let benign_kinds = [ Crash_k; Stall_k ]
+
+let kind_to_string = function
+  | Crash_k -> "crash"
+  | Stall_k -> "stall"
+  | Torn_k -> "torn"
+  | Lost_k -> "lost"
+  | Stale_k -> "stale"
+
+let kind_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "crash" -> Ok Crash_k
+  | "stall" -> Ok Stall_k
+  | "torn" | "torn-swap" -> Ok Torn_k
+  | "lost" | "lost-update" -> Ok Lost_k
+  | "stale" | "stale-read" -> Ok Stale_k
+  | other ->
+    Error
+      (Fmt.str "unknown fault kind %S (crash, stall, torn, lost, stale)"
+         other)
+
+let kinds_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "all" -> Ok all_kinds
+  | "benign" -> Ok benign_kinds
+  | _ ->
+    String.split_on_char ',' s
+    |> List.filter (fun tok -> String.trim tok <> "")
+    |> List.fold_left
+         (fun acc tok ->
+           match acc, kind_of_string tok with
+           | Error e, _ -> Error e
+           | Ok ks, Ok k -> Ok (k :: ks)
+           | Ok _, Error e -> Error e)
+         (Ok [])
+    |> Result.map List.rev
+
+let kind_is_benign = function
+  | Crash_k | Stall_k -> true
+  | Torn_k | Lost_k | Stale_k -> false
+
+let gen_plan ~rng ~n ~num_objects kinds =
+  (* object faults target distinct objects: walk a shuffle *)
+  let objs = Array.init num_objects Fun.id in
+  for i = num_objects - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = objs.(i) in
+    objs.(i) <- objs.(j);
+    objs.(j) <- tmp
+  done;
+  let next_obj = ref 0 in
+  let take_obj () =
+    if !next_obj >= num_objects then None
+    else (
+      let o = objs.(!next_obj) in
+      incr next_obj;
+      Some o)
+  in
+  List.filter_map
+    (fun k ->
+      if not (Random.State.bool rng) then None
+      else
+        match k with
+        | Crash_k ->
+          Some (Crash (Random.State.int rng n, Random.State.int rng 64))
+        | Stall_k ->
+          Some
+            (Stall
+               ( Random.State.int rng n,
+                 Random.State.int rng 64,
+                 1 + Random.State.int rng 127 ))
+        | Torn_k -> Option.map (fun o -> Torn_swap o) (take_obj ())
+        | Lost_k -> Option.map (fun o -> Lost_update o) (take_obj ())
+        | Stale_k ->
+          Option.map
+            (fun o -> Stale_read (o, 1 + Random.State.int rng 3))
+            (take_obj ()))
+    kinds
+
+(* ------------------------------------------------------------------ *)
+(* Simulator campaigns *)
+
+module Sim (P : Shmem.Protocol.S) = struct
+  module E = Shmem.Exec.Make (P)
+  open Shmem
+
+  type report = {
+    final : E.config;
+    trace : Trace.t;
+    outcome : E.outcome;
+    fired : (fault * int) list;
+    monitor : string option;
+    raised : (int * string) option;
+  }
+
+  let fired_total r = List.fold_left (fun acc (_, c) -> acc + c) 0 r.fired
+
+  (* The injector holds the mutable per-object fault state and exposes an
+     [E.apply_fn].  Semantics are engineered so that every manifestation
+     ([fired]) is detectable by [check_atomic]:
+
+     - torn swap: the swap's write is withheld only when it would change
+       the value; if the next access to the object is by the owner, the
+       write lands silently first (program order within a process is
+       preserved, nothing observable happened); if it is by another
+       process, that operation executes against the stale value and the
+       delayed write lands after it, clobbering its write — a response or
+       final-value divergence from any sequential order.
+     - lost update: every second value-changing nontrivial operation's
+       write evaporates (the response is still correct), so the sequential
+       replay diverges at the next response on the object, or at the final
+       value.
+     - stale read: a lagged response is only substituted when it differs
+       from the true one — an immediate replay mismatch. *)
+  let injector plan =
+    let num_objects = Array.length P.objects in
+    let torn = Array.make num_objects false in
+    let torn_pending = Array.make num_objects None in
+    let lost = Array.make num_objects false in
+    let lost_count = Array.make num_objects 0 in
+    let stale = Array.make num_objects 0 in
+    let hist = Array.make num_objects [] in
+    List.iter
+      (function
+        | Torn_swap o -> torn.(o) <- true
+        | Lost_update o -> lost.(o) <- true
+        | Stale_read (o, lag) -> stale.(o) <- lag
+        | Crash _ | Stall _ -> ())
+      plan;
+    let counts : (fault, int) Hashtbl.t = Hashtbl.create 8 in
+    let fire f =
+      Hashtbl.replace counts f
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts f))
+    in
+    let apply ~pid ~op ~current =
+      let o = op.Op.obj in
+      if stale.(o) > 0 && hist.(o) = [] then hist.(o) <- [ current ];
+      (* a pending torn write by this same process lands silently first *)
+      let current =
+        match torn_pending.(o) with
+        | Some (owner, v) when owner = pid ->
+          torn_pending.(o) <- None;
+          v
+        | _ -> current
+      in
+      let foreign_pending = torn_pending.(o) in
+      let true_new, true_resp =
+        Obj_kind.apply P.objects.(o) ~current op.Op.action
+      in
+      (* stale read: Read and the read half of Swap observe the past *)
+      let resp =
+        if stale.(o) > 0 then (
+          match op.Op.action with
+          | Op.Read | Op.Swap _ ->
+            let h = hist.(o) in
+            let lagged = List.nth h (min stale.(o) (List.length h - 1)) in
+            if not (Value.equal lagged true_resp) then
+              fire (Stale_read (o, stale.(o)));
+            lagged
+          | Op.Write _ | Op.Cas _ -> true_resp)
+        else true_resp
+      in
+      (* lost update: every second value-changing write evaporates *)
+      let new_value =
+        if lost.(o) && Op.is_nontrivial op && not (Value.equal true_new current)
+        then (
+          lost_count.(o) <- lost_count.(o) + 1;
+          if lost_count.(o) mod 2 = 0 then (
+            fire (Lost_update o);
+            current)
+          else true_new)
+        else true_new
+      in
+      (* torn swap: withhold the write half (only when it would change the
+         value — tearing a value-preserving swap is unobservable) *)
+      let new_value =
+        match op.Op.action with
+        | Op.Swap v
+          when torn.(o)
+               && Option.is_none foreign_pending
+               && not (Value.equal v current) ->
+          torn_pending.(o) <- Some (pid, v);
+          current
+        | _ -> new_value
+      in
+      (* a foreign torn write was pending across this operation: the
+         delayed write lands now, clobbering whatever this one wrote *)
+      let new_value =
+        match foreign_pending with
+        | Some (_, v) ->
+          torn_pending.(o) <- None;
+          fire (Torn_swap o);
+          v
+        | None -> new_value
+      in
+      if stale.(o) > 0 && not (Value.equal new_value current) then
+        hist.(o) <- new_value :: hist.(o);
+      new_value, resp
+    in
+    let fired () =
+      List.filter_map
+        (fun f ->
+          match fault_object f with
+          | None -> None
+          | Some _ ->
+            Some (f, Option.value ~default:0 (Hashtbl.find_opt counts f)))
+        plan
+    in
+    apply, fired
+
+  type violation =
+    | Monitor of string
+    | Protocol_raise of string
+    | Non_atomic of string
+    | Agreement of string
+    | Validity of string
+    | Liveness of string
+
+  let pp_violation ppf = function
+    | Monitor d -> Fmt.pf ppf "monitor: %s" d
+    | Protocol_raise d -> Fmt.pf ppf "protocol raised: %s" d
+    | Non_atomic d -> Fmt.pf ppf "non-atomic: %s" d
+    | Agreement d -> Fmt.pf ppf "agreement: %s" d
+    | Validity d -> Fmt.pf ppf "validity: %s" d
+    | Liveness d -> Fmt.pf ppf "liveness: %s" d
+
+  let violation_class = function
+    | Monitor _ -> "monitor"
+    | Protocol_raise _ -> "protocol-raise"
+    | Non_atomic _ -> "non-atomic"
+    | Agreement _ -> "agreement"
+    | Validity _ -> "validity"
+    | Liveness _ -> "liveness"
+
+  type on_step = E.config -> int -> E.config -> string option
+
+  let exec ?on_step ~apply ~fired ~sched ~max_steps c0 =
+    let finish ?monitor ?raised c rev_steps outcome =
+      { final = c;
+        trace = List.rev rev_steps;
+        outcome;
+        fired = fired ();
+        monitor;
+        raised
+      }
+    in
+    let rec go c rev_steps i =
+      if i >= max_steps then finish c rev_steps E.Step_limit
+      else
+        match E.undecided c with
+        | [] -> finish c rev_steps E.All_decided
+        | enabled -> (
+          match sched ~step_index:i c enabled with
+          | None -> finish c rev_steps E.Stopped
+          | Some pid -> (
+            (* a protocol may legitimately raise when a fault hands it a
+               response it can prove impossible — that is a detection, not
+               a campaign crash *)
+            match E.step_with ~apply c pid with
+            | exception e ->
+              finish ~raised:(pid, Printexc.to_string e) c rev_steps E.Stopped
+            | c', s -> (
+              match Option.bind on_step (fun f -> f c pid c') with
+              | Some detail ->
+                finish ~monitor:detail c' (s :: rev_steps) E.Stopped
+              | None -> go c' (s :: rev_steps) (i + 1))))
+    in
+    go c0 [] 0
+
+  let run ?on_step plan ~sched ~max_steps ~inputs =
+    (match validate ~n:P.n ~num_objects:(Array.length P.objects) plan with
+    | Ok () -> ()
+    | Error e -> invalid_arg (Fmt.str "Fault.Sim.run: %s" e));
+    let apply, fired = injector plan in
+    let sched =
+      E.with_crashes ~crash_at:(crashes plan)
+        (E.with_stalls ~stalls:(stalls plan) sched)
+    in
+    exec ?on_step ~apply ~fired ~sched ~max_steps (E.initial ~inputs)
+
+  let run_schedule ?on_step plan ~inputs pids =
+    let apply, fired = injector plan in
+    let queue = ref pids in
+    (* feed the explicit pid sequence; pids that have decided are skipped
+       (deletions during shrinking leave other pids further along) *)
+    let sched ~step_index:_ c enabled =
+      ignore c;
+      let rec next () =
+        match !queue with
+        | [] -> None
+        | pid :: rest ->
+          queue := rest;
+          if List.mem pid enabled then Some pid else next ()
+      in
+      next ()
+    in
+    exec ?on_step ~apply ~fired ~sched
+      ~max_steps:(List.length pids + 1)
+      (E.initial ~inputs)
+
+  let check_atomic r =
+    let num_objects = Array.length P.objects in
+    let vals = Array.init num_objects P.init_object in
+    let rec go i = function
+      | [] ->
+        let rec final_values o =
+          if o >= num_objects then Ok ()
+          else if not (Value.equal vals.(o) (E.value r.final o)) then
+            Error
+              (Fmt.str
+                 "object B%d finished at %a, but a sequential replay of its \
+                  operations gives %a"
+                 o Value.pp (E.value r.final o) Value.pp vals.(o))
+          else final_values (o + 1)
+        in
+        final_values 0
+      | { Trace.pid; op; resp } :: rest ->
+        let o = op.Op.obj in
+        let new_v, expected =
+          Obj_kind.apply P.objects.(o) ~current:vals.(o) op.Op.action
+        in
+        if not (Value.equal expected resp) then
+          Error
+            (Fmt.str
+               "step %d (p%d %a) responded %a, but the sequential \
+                specification gives %a"
+               i pid Op.pp op Value.pp resp Value.pp expected)
+        else (
+          vals.(o) <- new_v;
+          go (i + 1) rest)
+    in
+    go 0 r.trace
+
+  let detect ~inputs r =
+    match r.monitor, r.raised with
+    | Some d, _ -> Some (Monitor d)
+    | None, Some (pid, d) -> Some (Protocol_raise (Fmt.str "p%d: %s" pid d))
+    | None, None -> (
+      match check_atomic r with
+      | Error d -> Some (Non_atomic d)
+      | Ok () ->
+        if not (E.check_agreement r.final) then
+          Some
+            (Agreement
+               (Fmt.str "%d distinct values decided (k = %d)"
+                  (List.length (E.decided_values r.final))
+                  P.k))
+        else if not (E.check_validity ~inputs r.final) then
+          Some
+            (Validity
+               (Fmt.str "decided values %a are not all inputs"
+                  Fmt.(list ~sep:(any " ") int)
+                  (E.decided_values r.final)))
+        else None)
+
+  let shrink ?on_step plan ~inputs violation pids =
+    let cls = violation_class violation in
+    let violates pids =
+      match detect ~inputs (run_schedule ?on_step plan ~inputs pids) with
+      | Some v -> String.equal (violation_class v) cls
+      | None -> false
+    in
+    ddmin ~violates pids
+
+  (* the pid sequence that reproduces a report under [run_schedule]: the
+     trace's schedule, plus the step that raised (it never made the trace) *)
+  let schedule_of r =
+    Schedule.of_trace r.trace
+    @ match r.raised with Some (pid, _) -> [ pid ] | None -> []
+
+  type finding = {
+    run : int;
+    plan : plan;
+    violation : violation;
+    schedule : int list option;
+  }
+
+  type summary = {
+    runs : int;
+    steps : int;
+    fired : int;
+    violations : finding list;
+    detections : finding list;
+    missed : int;
+  }
+
+  let campaign ?on_step ?inputs ?(burst = 32) ?(max_steps = 100_000) ~seed
+      ~runs ~kinds () =
+    let num_objects = Array.length P.objects in
+    let violations = ref [] in
+    let detections = ref [] in
+    let missed = ref 0 in
+    let steps = ref 0 in
+    let fired = ref 0 in
+    for i = 0 to runs - 1 do
+      let rng = Random.State.make [| seed; i; 0x5EED |] in
+      let plan = gen_plan ~rng ~n:P.n ~num_objects kinds in
+      let inputs =
+        match inputs with
+        | Some inputs -> inputs
+        | None ->
+          Array.init P.n (fun _ -> Random.State.int rng P.num_inputs)
+      in
+      let sched = E.bursty rng ~burst in
+      let r = run ?on_step plan ~sched ~max_steps ~inputs in
+      steps := !steps + Trace.length r.trace;
+      fired := !fired + fired_total r;
+      let record ~expected violation =
+        let schedule =
+          match violation with
+          | Liveness _ -> None
+          | _ -> Some (shrink ?on_step plan ~inputs violation (schedule_of r))
+        in
+        let finding = { run = i; plan; violation; schedule } in
+        if expected then detections := finding :: !detections
+        else violations := finding :: !violations
+      in
+      match detect ~inputs r with
+      | Some v -> record ~expected:(not (benign plan)) v
+      | None ->
+        if fired_total r > 0 then incr missed;
+        (* liveness: every process that was not crashed must have decided
+           (object faults may legitimately wedge a protocol — only benign
+           plans carry the expectation) *)
+        if benign plan then (
+          let crashed = List.map fst (crashes plan) in
+          let stuck =
+            List.filter
+              (fun pid -> not (List.mem pid crashed))
+              (E.undecided r.final)
+          in
+          match stuck with
+          | [] -> ()
+          | stuck ->
+            record ~expected:false
+              (Liveness
+                 (Fmt.str "survivors %a undecided after %d steps (%s)"
+                    Fmt.(list ~sep:(any " ") (fmt "p%d"))
+                    stuck (Trace.length r.trace)
+                    (match r.outcome with
+                    | E.All_decided -> "all-decided"
+                    | E.Stopped -> "stopped"
+                    | E.Step_limit -> "step-limit"))))
+    done;
+    { runs;
+      steps = !steps;
+      fired = !fired;
+      violations = List.rev !violations;
+      detections = List.rev !detections;
+      missed = !missed
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Multicore campaigns *)
+
+module Mc (P : Shmem.Protocol.S) = struct
+  module R = Runtime.Make (P)
+
+  type finding = { run : int; plan : plan; detail : string }
+
+  type summary = {
+    runs : int;
+    crashes_injected : int;
+    stalls_injected : int;
+    total_ops : int;
+    elapsed : float;
+    violations : finding list;
+  }
+
+  let campaign ?inputs ?max_ops ?(deadline = 10.) ~seed ~runs ~kinds () =
+    List.iter
+      (fun k ->
+        if not (kind_is_benign k) then
+          invalid_arg
+            (Fmt.str
+               "Fault.Mc.campaign: %s faults only exist on the simulator"
+               (kind_to_string k)))
+      kinds;
+    let violations = ref [] in
+    let crashes_injected = ref 0 in
+    let stalls_injected = ref 0 in
+    let total_ops = ref 0 in
+    let elapsed = ref 0. in
+    for i = 0 to runs - 1 do
+      let rng = Random.State.make [| seed; i; 0xC4A05 |] in
+      let plan = gen_plan ~rng ~n:P.n ~num_objects:(Array.length P.objects) kinds in
+      let inputs =
+        match inputs with
+        | Some inputs -> inputs
+        | None ->
+          Array.init P.n (fun _ -> Random.State.int rng P.num_inputs)
+      in
+      let crash_at = crashes plan in
+      let stalls = stalls plan in
+      crashes_injected := !crashes_injected + List.length crash_at;
+      stalls_injected := !stalls_injected + List.length stalls;
+      let outcome =
+        R.run ~inputs ~seed:(seed + i) ?max_ops ~crash_at ~stalls ~deadline ()
+      in
+      total_ops := !total_ops + Array.fold_left ( + ) 0 outcome.R.ops;
+      elapsed := !elapsed +. outcome.R.elapsed;
+      match R.check_degraded ~inputs outcome with
+      | Ok () -> ()
+      | Error detail ->
+        violations := { run = i; plan; detail } :: !violations
+    done;
+    { runs;
+      crashes_injected = !crashes_injected;
+      stalls_injected = !stalls_injected;
+      total_ops = !total_ops;
+      elapsed = !elapsed;
+      violations = List.rev !violations
+    }
+end

@@ -1,0 +1,261 @@
+(** Fault injection and chaos campaigns for both execution backends.
+
+    A {!plan} is a declarative list of faults.  The two {e benign} faults —
+    crashes and stalls — model scheduler adversity that the paper's
+    obstruction-free algorithms must tolerate by design: on the simulator
+    they compile to the {!Shmem.Exec.Make.with_crashes} /
+    [with_stalls] scheduler combinators, and on the multicore runtime to
+    [Runtime.Make.run]'s [~crash_at] / [~stalls] injection points.  The
+    three {e object} faults — torn swaps, lost updates and stale reads —
+    deliberately break the atomicity the paper {e assumes} of its base
+    objects (§2); they exist for negative testing: the §4 monitors and the
+    sequential-replay atomicity check must flag every manifestation, which
+    the campaign engine then shrinks to a locally-minimal schedule with
+    {!ddmin}. *)
+
+type fault =
+  | Crash of int * int
+      (** [Crash (pid, t)]: simulator — [pid] is never scheduled from
+          global step [t] on; runtime — [pid] halts after its [t]-th
+          operation *)
+  | Stall of int * int * int
+      (** [Stall (pid, t, dur)]: simulator — [pid] is not scheduled during
+          global steps [t .. t+dur-1]; runtime — [pid] spins a forced
+          preemption window of [dur] [Domain.cpu_relax] before its [t]-th
+          operation *)
+  | Torn_swap of int
+      (** the object's swaps lose atomicity: the read half responds
+          immediately but the write half is withheld until the next access
+          to the object — if that access is by another process, the delayed
+          write lands {e after} it, clobbering whatever it wrote
+          (simulator only) *)
+  | Lost_update of int
+      (** every second value-changing nontrivial operation on the object
+          silently evaporates — the response is still computed correctly,
+          the write never lands (simulator only) *)
+  | Stale_read of int * int
+      (** [Stale_read (obj, lag)]: responses that embed a read (Read, the
+          read half of Swap) observe the value the object held [lag]
+          value-changes ago (simulator only) *)
+
+type plan = fault list
+
+val pp_fault : Format.formatter -> fault -> unit
+val pp_plan : Format.formatter -> plan -> unit
+
+val is_benign : fault -> bool
+(** crashes and stalls are benign (tolerated by design); the object faults
+    are not (they break the model's atomicity assumption) *)
+
+val benign : plan -> bool
+(** every fault in the plan is benign — the run is expected to satisfy all
+    safety properties, and any violation is a genuine bug *)
+
+val validate : n:int -> num_objects:int -> plan -> (unit, string) result
+(** pids and objects in range, times non-negative, durations and lags
+    positive, and at most one object fault per object *)
+
+val crashes : plan -> (int * int) list
+(** the [(pid, t)] crash points, in plan order — feed to
+    [Exec.with_crashes ~crash_at] or [Runtime.Make.run ~crash_at] *)
+
+val stalls : plan -> (int * int * int) list
+(** the [(pid, t, dur)] stall windows, in plan order *)
+
+val ddmin : violates:(int list -> bool) -> int list -> int list
+(** [ddmin ~violates input] is a locally-minimal sublist of [input] that
+    still satisfies [violates] (Zeller's delta debugging, with a final
+    single-deletion pass guaranteeing 1-minimality: removing any one
+    element of the result no longer violates).
+    @raise Invalid_argument if [input] itself does not violate *)
+
+(** {1 Random plans} *)
+
+type kind = Crash_k | Stall_k | Torn_k | Lost_k | Stale_k
+
+val all_kinds : kind list
+val benign_kinds : kind list
+val kind_to_string : kind -> string
+val kind_of_string : string -> (kind, string) result
+
+val kinds_of_string : string -> (kind list, string) result
+(** comma-separated kind names, e.g. ["crash,stall,torn"]; ["all"] and
+    ["benign"] are accepted as groups *)
+
+val kind_is_benign : kind -> bool
+
+val gen_plan :
+  rng:Random.State.t -> n:int -> num_objects:int -> kind list -> plan
+(** one random plan: each requested kind is included with probability 1/2
+    with randomized parameters; object faults target distinct objects.
+    Deterministic in [rng] and the kind list. *)
+
+(** {1 Simulator campaigns} *)
+
+module Sim (P : Shmem.Protocol.S) : sig
+  module E : module type of Shmem.Exec.Make (P)
+
+  type report = {
+    final : E.config;
+    trace : Shmem.Trace.t;
+    outcome : E.outcome;
+    fired : (fault * int) list;
+        (** per object fault of the plan, how many times it manifested *)
+    monitor : string option;
+        (** detail of the first [on_step] violation; the run stops there *)
+    raised : (int * string) option;
+        (** a step by this pid raised (protocols may prove a faulty
+            response impossible); the run stops there, the failing step is
+            not in the trace *)
+  }
+
+  val schedule_of : report -> int list
+  (** the pid sequence that reproduces the report under {!run_schedule}:
+      the trace's schedule plus, when a step raised, the raising pid *)
+
+  val fired_total : report -> int
+
+  type violation =
+    | Monitor of string  (** an [on_step] hook (§4 invariant monitor) fired *)
+    | Protocol_raise of string
+        (** a step raised — the protocol itself rejected a response that no
+            atomic execution can produce *)
+    | Non_atomic of string
+        (** the trace's per-object histories do not replay sequentially *)
+    | Agreement of string  (** more than [P.k] distinct decided values *)
+    | Validity of string  (** a decided value is nobody's input *)
+    | Liveness of string
+        (** survivors failed to decide (campaign-level check; benign plans
+            only — object faults may legitimately livelock a protocol) *)
+
+  val pp_violation : Format.formatter -> violation -> unit
+
+  val violation_class : violation -> string
+  (** ["monitor"], ["protocol-raise"], ["non-atomic"], ["agreement"],
+      ["validity"] or ["liveness"] — shrinking preserves the class *)
+
+  type on_step = E.config -> int -> E.config -> string option
+  (** invariant hook called after every step with (before, pid, after);
+      returning [Some detail] stops the run and records a {!Monitor}
+      violation.  The CLI wires [Core.Swap_ksa_monitor.check_step_snap]
+      in here for Algorithm 1. *)
+
+  val run :
+    ?on_step:on_step ->
+    plan ->
+    sched:E.scheduler ->
+    max_steps:int ->
+    inputs:int array ->
+    report
+  (** execute under the plan: crashes and stalls wrap the scheduler, object
+      faults substitute the apply function ({!E.step_with}) *)
+
+  val run_schedule :
+    ?on_step:on_step -> plan -> inputs:int array -> int list -> report
+  (** replay an explicit pid sequence under the plan's {e object} faults
+      (crashes and stalls are already baked into the sequence); pids that
+      have decided are skipped.  This is the shrinker's oracle: same plan +
+      same schedule is bit-reproducible. *)
+
+  val check_atomic : report -> (unit, string) result
+  (** replay every operation of the trace, per object, against the object
+      kind's sequential specification ([Shmem.Obj_kind.apply]) from the
+      initial value, checking each recorded response and the final value.
+      Sound and complete here because simulator events are instantaneous,
+      so the trace order {e is} the real-time order — no Wing & Gong search
+      (and no event cap) needed. *)
+
+  val detect : inputs:int array -> report -> violation option
+  (** first safety violation of the report: monitor, then atomicity, then
+      agreement, then validity ([Liveness] is a campaign-level concern) *)
+
+  val shrink :
+    ?on_step:on_step ->
+    plan ->
+    inputs:int array ->
+    violation ->
+    int list ->
+    int list
+  (** {!ddmin} the schedule down to a locally-minimal one that still
+      produces a violation of the same {!violation_class} under the plan's
+      object faults.
+      @raise Invalid_argument if the schedule does not reproduce it *)
+
+  type finding = {
+    run : int;  (** campaign run index *)
+    plan : plan;
+    violation : violation;
+    schedule : int list option;
+        (** shrunk locally-minimal schedule ([None] for liveness — a
+            shorter schedule trivially does not decide, so deletion-based
+            shrinking is meaningless there) *)
+  }
+
+  type summary = {
+    runs : int;
+    steps : int;  (** total simulator steps across all runs *)
+    fired : int;  (** total object-fault manifestations *)
+    violations : finding list;
+        (** on {e benign} plans — always unexpected, any entry is a bug *)
+    detections : finding list;
+        (** on object-fault plans — the negative tests working as intended *)
+    missed : int;
+        (** runs where an object fault manifested yet nothing was detected;
+            should be 0 for the protocols in this repository *)
+  }
+
+  val campaign :
+    ?on_step:on_step ->
+    ?inputs:int array ->
+    ?burst:int ->
+    ?max_steps:int ->
+    seed:int ->
+    runs:int ->
+    kinds:kind list ->
+    unit ->
+    summary
+  (** [runs] randomized executions under random plans drawn from [kinds]
+      (seeded: run [i] uses a RNG derived from [seed] and [i], so campaigns
+      are bit-reproducible).  Inputs are randomized per run unless [?inputs]
+      pins them.  Every safety violation and every detection is shrunk with
+      {!shrink}.  Default [burst] 32 (bursty scheduler), default
+      [max_steps] 100_000. *)
+end
+
+(** {1 Multicore campaigns}
+
+    Only benign faults run on real domains — the object faults are
+    simulator-side negative tests (real atomics cannot be torn from
+    portable OCaml). *)
+
+module Mc (P : Shmem.Protocol.S) : sig
+  module R : module type of Runtime.Make (P)
+
+  type finding = { run : int; plan : plan; detail : string }
+
+  type summary = {
+    runs : int;
+    crashes_injected : int;
+    stalls_injected : int;
+    total_ops : int;  (** shared-memory operations across all runs *)
+    elapsed : float;  (** summed wall-clock seconds of the runs *)
+    violations : finding list;
+        (** failures of the graceful-degradation contract
+            ([Runtime.Make.check_degraded]): any entry is a bug *)
+  }
+
+  val campaign :
+    ?inputs:int array ->
+    ?max_ops:int ->
+    ?deadline:float ->
+    seed:int ->
+    runs:int ->
+    kinds:kind list ->
+    unit ->
+    summary
+  (** seeded randomized crash/stall campaigns on the multicore runtime;
+      each run is checked with [check_degraded] (every process decided or
+      was crashed by injection; decided values satisfy k-agreement and
+      validity).  Default [deadline] 10s per run.
+      @raise Invalid_argument if [kinds] contains an object-fault kind *)
+end

@@ -115,8 +115,17 @@ let record_cell ~kind ~init ~threads ~ops_per_thread ?(seed = 0xCE11)
 (* ------------------------------------------------------------ interpreter *)
 
 module Make (P : Sh.Protocol.S) = struct
+  type status = Decided | Crashed_injected | Timed_out | Faulted of exn
+
+  let pp_status ppf = function
+    | Decided -> Fmt.string ppf "decided"
+    | Crashed_injected -> Fmt.string ppf "crashed(injected)"
+    | Timed_out -> Fmt.string ppf "timed-out"
+    | Faulted e -> Fmt.pf ppf "faulted(%s)" (Printexc.to_string e)
+
   type outcome = {
     decisions : int array;
+    statuses : status array;
     ops : int array;
     backoffs : int array;
     elapsed : float;
@@ -126,7 +135,8 @@ module Make (P : Sh.Protocol.S) = struct
   let num_objects = Array.length P.objects
 
   let run ~inputs ?(seed = 0x5EED) ?(max_ops = 4_000_000) ?backoff_window
-      ?(record = false) ?exchange () =
+      ?(record = false) ?exchange ?(crash_at = []) ?(stalls = []) ?deadline
+      () =
     if Array.length inputs <> P.n then
       invalid_arg
         (Fmt.str "Runtime.run %s: expected %d inputs" P.name P.n);
@@ -135,6 +145,20 @@ module Make (P : Sh.Protocol.S) = struct
         if v < 0 || v >= P.num_inputs then
           invalid_arg (Fmt.str "Runtime.run %s: input out of range" P.name))
       inputs;
+    List.iter
+      (fun (pid, t) ->
+        if pid < 0 || pid >= P.n || t < 0 then
+          invalid_arg (Fmt.str "Runtime.run %s: bad crash point" P.name))
+      crash_at;
+    List.iter
+      (fun (pid, t, dur) ->
+        if pid < 0 || pid >= P.n || t < 0 || dur < 1 then
+          invalid_arg (Fmt.str "Runtime.run %s: bad stall" P.name))
+      stalls;
+    (match deadline with
+    | Some d when d <= 0. ->
+      invalid_arg "Runtime.run: deadline must be positive"
+    | _ -> ());
     let window =
       match backoff_window with
       | Some w ->
@@ -149,9 +173,28 @@ module Make (P : Sh.Protocol.S) = struct
     let clock = Atomic.make 0 in
     let now () = Atomic.fetch_and_add clock 1 in
     let decisions = Array.make P.n (-1) in
+    let statuses = Array.make P.n Timed_out in
     let ops = Array.make P.n 0 in
     let backoffs = Array.make P.n 0 in
     let events = Array.make P.n [] in
+    (* the wall-clock watchdog: whichever process first observes the
+       deadline exceeded flips the flag, and everyone winds down with
+       status [Timed_out] and partial data — no exception ever crosses a
+       domain boundary for budget/deadline exhaustion *)
+    let give_up = Atomic.make false in
+    let t0 = Unix.gettimeofday () in
+    let over_deadline () =
+      match deadline with
+      | None -> false
+      | Some d ->
+        Atomic.get give_up
+        ||
+        if Unix.gettimeofday () -. t0 > d then begin
+          Atomic.set give_up true;
+          true
+        end
+        else false
+    in
     let process pid =
       let rng = Random.State.make [| seed; pid |] in
       let state = ref (P.init ~pid ~input:inputs.(pid)) in
@@ -160,61 +203,109 @@ module Make (P : Sh.Protocol.S) = struct
       let my_events = ref [] in
       let backoff = ref 1 in
       let until_backoff = ref window in
-      while P.decision !state = None do
-        if !my_ops >= max_ops then
-          failwith
-            (Fmt.str "Runtime.run %s: p%d exceeded %d operations" P.name pid
-               max_ops);
-        let op = P.poised !state in
-        let response =
-          if record then begin
-            let start = now () in
-            let response = Cell.apply cells.(op.Sh.Op.obj) op.Sh.Op.action in
-            let finish = now () in
-            my_events :=
-              { obj = op.Sh.Op.obj
-              ; event =
-                  { Linearize.Obj_history.thread = pid
-                  ; action = op.Sh.Op.action
-                  ; response
-                  ; start
-                  ; finish
-                  }
-              }
-              :: !my_events;
-            response
-          end
-          else Cell.apply cells.(op.Sh.Op.obj) op.Sh.Op.action
-        in
-        incr my_ops;
-        state := P.on_response !state response;
-        decr until_backoff;
-        if !until_backoff <= 0 && P.decision !state = None then begin
-          (* randomized exponential backoff: obstruction-free protocols
-             need some process to eventually run effectively alone *)
-          incr my_backoffs;
-          let spins = Random.State.int rng !backoff in
-          for _ = 1 to spins do
-            Domain.cpu_relax ()
-          done;
-          if !backoff < 1 lsl 16 then backoff := !backoff * 2;
-          until_backoff := window
-        end
-      done;
-      (match P.decision !state with
-      | Some d -> decisions.(pid) <- d
-      | None -> assert false);
+      let crash_point = List.assoc_opt pid crash_at in
+      let my_stalls =
+        List.filter_map
+          (fun (p, t, dur) -> if p = pid then Some (t, dur) else None)
+          stalls
+      in
+      let status = ref Decided in
+      (try
+         let running = ref true in
+         while !running && P.decision !state = None do
+           if Atomic.get give_up then begin
+             status := Timed_out;
+             running := false
+           end
+           else if
+             match crash_point with Some t -> !my_ops >= t | None -> false
+           then begin
+             (* injected halting crash: the domain stops cold after its
+                t-th operation, mid-protocol *)
+             status := Crashed_injected;
+             running := false
+           end
+           else if !my_ops >= max_ops then begin
+             status := Timed_out;
+             running := false
+           end
+           else begin
+             (* injected stall: a forced preemption window before the
+                process's t-th operation *)
+             List.iter
+               (fun (t, dur) ->
+                 if t = !my_ops then
+                   for _ = 1 to dur do
+                     Domain.cpu_relax ()
+                   done)
+               my_stalls;
+             let op = P.poised !state in
+             let response =
+               if record then begin
+                 let start = now () in
+                 let response =
+                   Cell.apply cells.(op.Sh.Op.obj) op.Sh.Op.action
+                 in
+                 let finish = now () in
+                 my_events :=
+                   { obj = op.Sh.Op.obj
+                   ; event =
+                       { Linearize.Obj_history.thread = pid
+                       ; action = op.Sh.Op.action
+                       ; response
+                       ; start
+                       ; finish
+                       }
+                   }
+                   :: !my_events;
+                 response
+               end
+               else Cell.apply cells.(op.Sh.Op.obj) op.Sh.Op.action
+             in
+             incr my_ops;
+             state := P.on_response !state response;
+             if !my_ops land 255 = 0 && over_deadline () then ();
+             decr until_backoff;
+             if !until_backoff <= 0 && P.decision !state = None then begin
+               (* randomized exponential backoff: obstruction-free protocols
+                  need some process to eventually run effectively alone *)
+               incr my_backoffs;
+               let spins = Random.State.int rng !backoff in
+               for _ = 1 to spins do
+                 Domain.cpu_relax ()
+               done;
+               if !backoff < 1 lsl 16 then backoff := !backoff * 2;
+               until_backoff := window;
+               ignore (over_deadline ())
+             end
+           end
+         done;
+         match P.decision !state with
+         | Some d ->
+           decisions.(pid) <- d;
+           status := Decided
+         | None -> ()
+       with e -> status := Faulted e);
+      (* partial data is always published, whatever ended the loop *)
+      statuses.(pid) <- !status;
       ops.(pid) <- !my_ops;
       backoffs.(pid) <- !my_backoffs;
       events.(pid) <- !my_events
     in
-    let t0 = Unix.gettimeofday () in
     let domains =
       Array.init P.n (fun pid -> Domain.spawn (fun () -> process pid))
     in
-    Array.iter Domain.join domains;
+    (* join *every* domain, even if one's join re-raises: a single faulted
+       process must neither leak running siblings nor mask their results *)
+    Array.iteri
+      (fun pid d ->
+        match Domain.join d with
+        | () -> ()
+        | exception e -> statuses.(pid) <- Faulted e)
+      domains;
     let elapsed = Unix.gettimeofday () -. t0 in
     { decisions
+    ; statuses
     ; ops
     ; backoffs
     ; elapsed
@@ -222,11 +313,56 @@ module Make (P : Sh.Protocol.S) = struct
     }
 
   let check ~inputs outcome =
-    let distinct =
-      Array.to_list outcome.decisions |> List.sort_uniq Stdlib.compare
+    let undecided =
+      Array.to_list outcome.statuses
+      |> List.mapi (fun pid s -> pid, s)
+      |> List.filter (fun (_, s) -> s <> Decided)
     in
-    if List.exists (fun v -> v < 0) distinct then
-      Error "some process is undecided"
+    let distinct =
+      Array.to_list outcome.decisions
+      |> List.filter (fun v -> v >= 0)
+      |> List.sort_uniq Stdlib.compare
+    in
+    if undecided <> [] then
+      Error
+        (Fmt.str "undecided processes: %a"
+           Fmt.(
+             list ~sep:(any ", ") (fun ppf (pid, s) ->
+                 Fmt.pf ppf "p%d %a" pid pp_status s))
+           undecided)
+    else if List.length distinct > P.k then
+      Error
+        (Fmt.str "%d distinct values decided, k=%d" (List.length distinct)
+           P.k)
+    else if
+      List.exists (fun v -> not (Array.exists (Int.equal v) inputs)) distinct
+    then Error "a decided value is no process's input"
+    else Ok ()
+
+  let check_degraded ~inputs outcome =
+    (* graceful-degradation contract: injected crashes are fine, every
+       *surviving* process must decide, and the decided values still satisfy
+       k-agreement and validity *)
+    let bad =
+      Array.to_list outcome.statuses
+      |> List.mapi (fun pid s -> pid, s)
+      |> List.filter (fun (_, s) ->
+             match s with
+             | Decided | Crashed_injected -> false
+             | Timed_out | Faulted _ -> true)
+    in
+    let distinct =
+      Array.to_list outcome.decisions
+      |> List.filter (fun v -> v >= 0)
+      |> List.sort_uniq Stdlib.compare
+    in
+    if bad <> [] then
+      Error
+        (Fmt.str "non-crash failures: %a"
+           Fmt.(
+             list ~sep:(any ", ") (fun ppf (pid, s) ->
+                 Fmt.pf ppf "p%d %a" pid pp_status s))
+           bad)
     else if List.length distinct > P.k then
       Error
         (Fmt.str "%d distinct values decided, k=%d" (List.length distinct)
@@ -238,11 +374,15 @@ module Make (P : Sh.Protocol.S) = struct
 
   let check_histories ?(max_events = 24) outcome =
     let checked = ref 0 in
+    let skipped = ref 0 in
     let rec go i =
-      if i >= num_objects then Ok !checked
+      if i >= num_objects then Ok (!checked, !skipped)
       else
         let history = outcome.histories.(i) in
-        if List.length history > max_events then go (i + 1)
+        if List.length history > max_events then begin
+          incr skipped;
+          go (i + 1)
+        end
         else begin
           incr checked;
           match

@@ -67,8 +67,18 @@ val record_cell :
     as in {!Cell.make}. *)
 
 module Make (P : Shmem.Protocol.S) : sig
+  type status =
+    | Decided  (** reached a decision *)
+    | Crashed_injected  (** halted by an injected crash point *)
+    | Timed_out  (** stopped by the op budget or the wall-clock deadline *)
+    | Faulted of exn  (** the process body raised *)
+
+  val pp_status : Format.formatter -> status -> unit
+
   type outcome = {
-    decisions : int array;  (** one per process *)
+    decisions : int array;
+        (** one per process; [-1] for a process that did not decide *)
+    statuses : status array;  (** one per process *)
     ops : int array;  (** shared-memory operations per process *)
     backoffs : int array;  (** backoff rounds taken per process *)
     elapsed : float;  (** wall-clock seconds, spawn to last join *)
@@ -84,6 +94,9 @@ module Make (P : Shmem.Protocol.S) : sig
     ?backoff_window:int ->
     ?record:bool ->
     ?exchange:(Shmem.Value.t Atomic.t -> Shmem.Value.t -> Shmem.Value.t) ->
+    ?crash_at:(int * int) list ->
+    ?stalls:(int * int * int) list ->
+    ?deadline:float ->
     unit ->
     outcome
   (** spawn one domain per process and drive each through
@@ -94,24 +107,44 @@ module Make (P : Shmem.Protocol.S) : sig
       the solo windows they need; wait-free protocols decide within the
       first window and never back off.
 
+      Degradation is graceful by construction: no exception ever crosses a
+      domain boundary for budget or deadline exhaustion, every domain is
+      always joined (even when one faults), and the outcome carries
+      per-process [statuses] together with whatever partial data ([ops],
+      [backoffs], recorded history prefixes) each process produced.
+
       @param seed per-run RNG seed (processes derive independent streams)
       @param max_ops per-process operation budget (default 4,000,000);
-             exceeding it raises [Failure] — for the protocols in this
-             repository that indicates a livelock bug, not bad luck
+             exhausting it sets status [Timed_out] — for the protocols in
+             this repository that indicates a livelock bug, not bad luck
       @param backoff_window default [8 * (num_objects + 1)]
       @param record collect timestamped histories (default false)
-      @raise Invalid_argument on malformed [inputs] *)
+      @param crash_at [(pid, t)] fault injection: [pid] halts cold after its
+             [t]-th operation (status [Crashed_injected]); obstruction-free
+             protocols must let the survivors decide anyway
+      @param stalls [(pid, t, dur)] fault injection: [pid] spins a forced
+             preemption window of [dur] [Domain.cpu_relax] before its
+             [t]-th operation
+      @param deadline wall-clock watchdog in seconds: once exceeded, every
+             still-running process winds down with status [Timed_out]
+             (checked every 256 operations and at every backoff)
+      @raise Invalid_argument on malformed [inputs] or fault points *)
 
   val check : inputs:int array -> outcome -> (unit, string) result
   (** every process decided, at most [P.k] distinct values (k-agreement),
       and every decided value is some process's input (validity) *)
 
+  val check_degraded : inputs:int array -> outcome -> (unit, string) result
+  (** the graceful-degradation contract for runs with injected crashes:
+      every process either decided or was [Crashed_injected] (no timeouts,
+      no faults), and the decided values satisfy k-agreement and validity *)
+
   val check_histories :
-    ?max_events:int -> outcome -> (int, string) result
+    ?max_events:int -> outcome -> (int * int, string) result
   (** check every recorded per-object history against the object kind's
-      sequential specification; returns the number of histories checked.
-      Histories longer than [max_events] (default 24) are skipped — the
-      Wing & Gong search is exponential — so run with few processes and
-      operations when recording.  [Error] carries the first object whose
-      history fails to linearize. *)
+      sequential specification; returns [(checked, skipped)].  Histories
+      longer than [max_events] (default 24) are skipped — the Wing & Gong
+      search is exponential — and reported in [skipped] so a "passing"
+      check that covered nothing is visible.  [Error] carries the first
+      object whose history fails to linearize. *)
 end

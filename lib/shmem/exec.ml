@@ -51,18 +51,24 @@ module Make (P : Protocol.S) = struct
     in
     List.equal Int.equal poised_objs (List.sort_uniq Stdlib.compare objs)
 
-  let step c pid =
+  type apply_fn = pid:int -> op:Op.t -> current:Value.t -> Value.t * Value.t
+
+  let default_apply ~pid:_ ~op ~current =
+    Obj_kind.apply P.objects.(op.Op.obj) ~current op.Op.action
+
+  let step_with ~apply c pid =
     (match P.decision c.states.(pid) with
     | Some _ -> invalid_arg (Fmt.str "Exec.step: p%d already decided" pid)
     | None -> ());
     let op = P.poised c.states.(pid) in
-    let kind = P.objects.(op.Op.obj) in
-    let new_value, resp = Obj_kind.apply kind ~current:c.mem.(op.Op.obj) op.Op.action in
+    let new_value, resp = apply ~pid ~op ~current:c.mem.(op.Op.obj) in
     let states = Array.copy c.states in
     let mem = Array.copy c.mem in
     states.(pid) <- P.on_response c.states.(pid) resp;
     mem.(op.Op.obj) <- new_value;
     { states; mem }, { Trace.pid; op; resp }
+
+  let step c pid = step_with ~apply:default_apply c pid
 
   let run_script c pids =
     let c, rev_steps =
@@ -127,9 +133,23 @@ module Make (P : Protocol.S) = struct
     | [] -> None
     | survivors -> sched ~step_index c survivors
 
+  let with_stalls ~stalls sched ~step_index c enabled =
+    (* a stalled process is merely delayed, not dead: when every enabled
+       process is inside a stall window, stop only if the underlying
+       scheduler would (the windows are finite, so a real run resumes) *)
+    let awake pid =
+      not
+        (List.exists
+           (fun (p, t, dur) -> p = pid && step_index >= t && step_index < t + dur)
+           stalls)
+    in
+    match List.filter awake enabled with
+    | [] -> sched ~step_index c enabled
+    | awake -> sched ~step_index c awake
+
   type outcome = All_decided | Stopped | Step_limit
 
-  let run ~sched ~max_steps c0 =
+  let run_with ~apply ~sched ~max_steps c0 =
     let rec go c rev_steps i =
       if i >= max_steps then c, List.rev rev_steps, Step_limit
       else
@@ -139,10 +159,12 @@ module Make (P : Protocol.S) = struct
           match sched ~step_index:i c enabled with
           | None -> c, List.rev rev_steps, Stopped
           | Some pid ->
-            let c, s = step c pid in
+            let c, s = step_with ~apply c pid in
             go c (s :: rev_steps) (i + 1))
     in
     go c0 [] 0
+
+  let run ~sched ~max_steps c0 = run_with ~apply:default_apply ~sched ~max_steps c0
 
   let run_solo ~pid ~max_steps c0 =
     let rec go c rev_steps i =

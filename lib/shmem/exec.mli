@@ -37,6 +37,21 @@ module Make (P : Protocol.S) : sig
   (** [step c pid] applies the next step of [pid].
       @raise Invalid_argument if [pid] has already decided *)
 
+  type apply_fn = pid:int -> op:Op.t -> current:Value.t -> Value.t * Value.t
+  (** object semantics: given the stepping process, its poised operation and
+      the object's current value, produce the new value and the response.
+      The default is the kinds' sequential specification
+      ([Obj_kind.apply]); [lib/fault] substitutes deliberately non-atomic
+      variants here for negative testing. *)
+
+  val default_apply : apply_fn
+
+  val step_with : apply:apply_fn -> config -> int -> config * Trace.step
+  (** [step] with substituted object semantics.  The resulting configuration
+      is a perfectly ordinary [config] — monitors, agreement/validity checks
+      and the shrinker all apply unchanged.
+      @raise Invalid_argument if [pid] has already decided *)
+
   val run_script : config -> int list -> config * Trace.t
   (** apply the next step of each listed process in order (e.g. a block
       update is [run_script c pids] for covering processes [pids]) *)
@@ -70,10 +85,26 @@ module Make (P : Protocol.S) : sig
       scheduled from then on.  Obstruction-free algorithms tolerate any
       number of crashes — the survivors must still decide. *)
 
+  val with_stalls : stalls:(int * int * int) list -> scheduler -> scheduler
+  (** [(pid, t, dur)] in [stalls] stalls [pid] for the global steps
+      [t .. t+dur-1]: it is not scheduled inside the window.  Unlike a
+      crash, a stall is finite: if {e every} enabled process is mid-stall,
+      the underlying scheduler picks among all of them (in real time the
+      window would simply elapse; the step-indexed simulator has no idle
+      ticks). *)
+
   type outcome = All_decided | Stopped | Step_limit
 
   val run :
     sched:scheduler -> max_steps:int -> config -> config * Trace.t * outcome
+
+  val run_with :
+    apply:apply_fn ->
+    sched:scheduler ->
+    max_steps:int ->
+    config ->
+    config * Trace.t * outcome
+  (** [run] with substituted object semantics (see {!step_with}) *)
 
   val run_solo : pid:int -> max_steps:int -> config -> (config * Trace.t) option
   (** the solo-terminating execution of [pid] from [c]: run [pid] alone until

@@ -13,15 +13,24 @@ let tokenize s =
       | '(' -> go (i + 1) (Open :: acc)
       | ')' -> go (i + 1) (Close :: acc)
       | 'x' | '*' -> go (i + 1) (Times :: acc)
-      | '0' .. '9' ->
+      | '0' .. '9' -> (
         let j = ref i in
         while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do
           incr j
         done;
-        go !j (Int (int_of_string (String.sub s i (!j - i))) :: acc)
+        let digits = String.sub s i (!j - i) in
+        match int_of_string_opt digits with
+        | Some v -> go !j (Int v :: acc)
+        | None ->
+          Error (Fmt.str "integer %s at offset %d does not fit" digits i))
       | c -> Error (Fmt.str "unexpected character %c at offset %d" c i)
   in
   go 0 []
+
+(* the longest schedule [parse] will materialize from a single repeated
+   atom: a cap on [count * length(base)], so nested repetitions stay
+   bounded too (each group is itself capped before it can be repeated) *)
+let max_expansion = 1_000_000
 
 (* atoms ::= atom* ; atom ::= (INT | '(' atoms ')') ('x' INT)? *)
 let parse s =
@@ -49,8 +58,17 @@ let parse s =
     match toks with
     | Times :: Int count :: rest ->
       if count < 0 then Error "negative repetition"
-      else
-        Ok (List.concat (List.init count (fun _ -> base)), rest)
+      else if count > max_expansion then
+        Error
+          (Fmt.str "repetition count %d exceeds the %d cap" count
+             max_expansion)
+      else if count * List.length base > max_expansion then
+        Error
+          (Fmt.str
+             "repetition expands to %d steps, over the %d cap (split the \
+              schedule or lower the count)"
+             (count * List.length base) max_expansion)
+      else Ok (List.concat (List.init count (fun _ -> base)), rest)
     | Times :: _ -> Error "repetition count missing"
     | _ -> Ok (base, toks)
   in

@@ -8,6 +8,9 @@
 
     Example: ["0x3, 1, (2 0)x2"] is [0;0;0;1;2;0;2;0]. *)
 
+(** [Error] (never an exception) on malformed input, on integer literals
+    that do not fit in an [int], and on repetitions that would expand past
+    1,000,000 steps *)
 val parse : string -> (int list, string) result
 val to_string : int list -> string
 (** compact round-trip form using the [x] repetition notation *)

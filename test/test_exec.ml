@@ -152,6 +152,35 @@ let test_schedule_parse () =
       | Error _ -> ())
     [ "(0 1"; "x3"; "0x"; "0)"; "a" ]
 
+let test_schedule_parse_limits () =
+  (* oversized literals and repetitions come back as [Error] with a
+     diagnostic — never as an exception or an attempt to materialize a
+     gigantic list *)
+  let contains s needle =
+    let ln = String.length needle and ls = String.length s in
+    let rec go i = i + ln <= ls && (String.sub s i ln = needle || go (i + 1)) in
+    go 0
+  in
+  let expect_error ~mentions input =
+    match Shmem.Schedule.parse input with
+    | Ok _ -> Alcotest.failf "accepted %S" input
+    | Error e ->
+      if not (contains e mentions) then
+        Alcotest.failf "error for %S is %S; expected a mention of %S" input e
+          mentions
+  in
+  (* a digit run that does not fit in an [int] *)
+  expect_error ~mentions:"does not fit" "99999999999999999999999";
+  expect_error ~mentions:"does not fit" "0x99999999999999999999999";
+  (* repetition counts and group expansions past the 1,000,000-step cap *)
+  expect_error ~mentions:"cap" "0x100000000";
+  expect_error ~mentions:"cap" "(0 1 2)x400000";
+  (* exactly at the cap is still accepted *)
+  match Shmem.Schedule.parse "0x1000000" with
+  | Ok pids ->
+    Alcotest.(check int) "cap-sized schedule" 1_000_000 (List.length pids)
+  | Error e -> Alcotest.fail e
+
 let prop_schedule_roundtrip =
   QCheck2.Test.make ~name:"Schedule.to_string/parse round-trip" ~count:300
     QCheck2.Gen.(small_list (int_range 0 9))
@@ -251,6 +280,99 @@ let test_with_crashes_never_reschedules () =
   Alcotest.(check int) "no step taken" 0 (Shmem.Trace.length trace);
   Alcotest.(check bool) "outcome stopped" true (outcome = E4.Stopped)
 
+let test_with_crashes_bursty_survivors () =
+  (* crash faults composed with the bursty scheduler: the survivors of a
+     partial crash pattern still decide, and their decisions satisfy
+     k-agreement and validity *)
+  let (module P) = Core.Swap_ksa.make ~n:4 ~k:1 ~m:2 in
+  let module E4 = Shmem.Exec.Make (P) in
+  let rng = Random.State.make [| 29 |] in
+  let inputs = [| 0; 1; 1; 0 |] in
+  let crash_at = [ 1, 5; 3, 9 ] in
+  let sched = E4.with_crashes ~crash_at (E4.bursty rng ~burst:40) in
+  let c', trace, outcome =
+    E4.run ~sched ~max_steps:50_000 (E4.initial ~inputs)
+  in
+  (* the crashed pair never decides, so the run ends by exhausting the
+     enabled processes, not by universal decision *)
+  Alcotest.(check bool) "run stops" true (outcome = E4.Stopped);
+  List.iter
+    (fun pid ->
+      Alcotest.(check bool) (Fmt.str "survivor p%d decided" pid) true
+        (E4.decision c' pid <> None))
+    [ 0; 2 ];
+  List.iter
+    (fun (pid, t) ->
+      Alcotest.(check bool) (Fmt.str "crashed p%d undecided" pid) true
+        (E4.decision c' pid = None);
+      Alcotest.(check bool) (Fmt.str "p%d took at most %d steps" pid t) true
+        (Shmem.Trace.steps_by ~pid trace <= t))
+    crash_at;
+  let decided = E4.decided_values c' in
+  Alcotest.(check bool) "1-agreement among survivors" true
+    (List.length (List.sort_uniq compare decided) <= 1);
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "validity" true (Array.exists (Int.equal v) inputs))
+    decided
+
+let test_crash_all_every_scheduler () =
+  (* crashing everyone at step 0 yields [Stopped] with an empty trace under
+     every built-in scheduler, and crashing all but one leaves a solo
+     survivor that must decide (obstruction-freedom) *)
+  let (module P) = Core.Swap_ksa.make ~n:4 ~k:1 ~m:2 in
+  let module E4 = Shmem.Exec.Make (P) in
+  let rng = Random.State.make [| 31 |] in
+  let scheds () =
+    [ "round_robin", E4.round_robin
+    ; "random", E4.random rng
+    ; "bursty", E4.bursty rng ~burst:8
+    ; "solo", E4.solo 0
+    ]
+  in
+  let inputs = [| 1; 0; 1; 0 |] in
+  List.iter
+    (fun (name, sched) ->
+      let sched =
+        E4.with_crashes ~crash_at:[ 0, 0; 1, 0; 2, 0; 3, 0 ] sched
+      in
+      let _, trace, outcome =
+        E4.run ~sched ~max_steps:100 (E4.initial ~inputs)
+      in
+      Alcotest.(check int) (name ^ ": no steps") 0 (Shmem.Trace.length trace);
+      Alcotest.(check bool) (name ^ ": stopped") true (outcome = E4.Stopped))
+    (scheds ());
+  List.iter
+    (fun (name, sched) ->
+      let sched = E4.with_crashes ~crash_at:[ 1, 0; 2, 0; 3, 0 ] sched in
+      let c', trace, outcome =
+        E4.run ~sched ~max_steps:1_000 (E4.initial ~inputs)
+      in
+      Alcotest.(check bool) (name ^ ": sole survivor decided") true
+        (E4.decision c' 0 <> None);
+      Alcotest.(check bool) (name ^ ": p0-only trace") true
+        (Shmem.Trace.is_p_only ~allowed:(Int.equal 0) trace);
+      Alcotest.(check bool) (name ^ ": stopped after deciding") true
+        (outcome = E4.Stopped))
+    (scheds ())
+
+let test_with_stalls () =
+  (* a stalled process takes no step inside its window even when the
+     underlying scheduler would pick it, and resumes once the window ends *)
+  let sched = E.with_stalls ~stalls:[ 1, 0, 2 ] E.round_robin in
+  let c', trace, _ = E.run ~sched ~max_steps:20 (initial ()) in
+  Alcotest.(check (list int)) "p1 delayed to the end" [ 0; 0; 1; 1 ]
+    (List.map (fun s -> s.Shmem.Trace.pid) trace);
+  Alcotest.(check bool) "stalled run still decides" true (E.all_decided c');
+  (* when every enabled process is mid-stall, the underlying scheduler
+     chooses among all of them instead of wedging the run *)
+  let sched = E.with_stalls ~stalls:[ 0, 0, 50; 1, 0, 50 ] E.round_robin in
+  let c', trace, outcome = E.run ~sched ~max_steps:20 (initial ()) in
+  Alcotest.(check bool) "fallback keeps the run moving" true
+    (Shmem.Trace.length trace > 0);
+  Alcotest.(check bool) "fallback run decides" true (E.all_decided c');
+  Alcotest.(check bool) "all decided outcome" true (outcome = E.All_decided)
+
 let test_replay_reproduces_run () =
   (* replaying a recorded random run reproduces identical responses (the
      asserts inside [replay]) and the identical final configuration *)
@@ -346,11 +468,18 @@ let () =
         ; Alcotest.test_case "bad inputs rejected" `Quick
             test_bad_inputs_rejected
         ; Alcotest.test_case "schedule notation" `Quick test_schedule_parse
+        ; Alcotest.test_case "schedule parse limits" `Quick
+            test_schedule_parse_limits
         ; Alcotest.test_case "timeline rendering" `Quick test_timeline_render
         ; Alcotest.test_case "timeline wrapping" `Quick test_timeline_wraps
         ; Alcotest.test_case "crash scheduling" `Quick test_with_crashes
         ; Alcotest.test_case "crashed pids never rescheduled" `Quick
             test_with_crashes_never_reschedules
+        ; Alcotest.test_case "crash survivors decide under bursty" `Quick
+            test_with_crashes_bursty_survivors
+        ; Alcotest.test_case "crash-all stops under every scheduler" `Quick
+            test_crash_all_every_scheduler
+        ; Alcotest.test_case "stall scheduling" `Quick test_with_stalls
         ; Alcotest.test_case "replay reproduces runs" `Quick
             test_replay_reproduces_run
         ; Alcotest.test_case "stats merge" `Quick test_stats_merge

@@ -172,10 +172,13 @@ let test_histories_linearizable () =
       | Ok () -> ()
       | Error e -> Alcotest.fail (Fmt.str "%s: %s" P.name e));
       match R.check_histories o with
-      | Ok checked ->
+      | Ok (checked, skipped) ->
         Alcotest.(check bool)
           (Fmt.str "%s: checked some history" P.name)
-          true (checked >= 1)
+          true (checked >= 1);
+        Alcotest.(check int)
+          (Fmt.str "%s: nothing silently skipped" P.name)
+          0 skipped
       | Error e -> Alcotest.fail (Fmt.str "%s: %s" P.name e))
     [ Baselines.Cas_consensus.make ~n:3 ~m:2
     ; Baselines.Grouped_ksa.make ~n:4 ~k:2 ~m:2
@@ -259,6 +262,8 @@ let test_check_rejects_bad_outcomes () =
   let module R = Runtime.Make (P) in
   let outcome decisions =
     { R.decisions
+    ; statuses =
+        Array.map (fun d -> if d >= 0 then R.Decided else R.Timed_out) decisions
     ; ops = [| 1; 1 |]
     ; backoffs = [| 0; 0 |]
     ; elapsed = 0.
@@ -274,6 +279,153 @@ let test_check_rejects_bad_outcomes () =
   match R.check ~inputs:[| 0; 1 |] (outcome [| 0; -1 |]) with
   | Error _ -> ()
   | Ok () -> Alcotest.fail "accepted an undecided process"
+
+(* ----------------------------------------------------------- degradation *)
+
+let test_crash_injection_statuses () =
+  let (module P) = Core.Swap_ksa.make ~n:4 ~k:1 ~m:2 in
+  let module R = Runtime.Make (P) in
+  let inputs = [| 0; 1; 0; 1 |] in
+  let o = R.run ~inputs ~seed:5 ~crash_at:[ 1, 2; 3, 0 ] ~deadline:30. () in
+  Alcotest.(check bool) "p1 crashed" true (o.R.statuses.(1) = R.Crashed_injected);
+  Alcotest.(check bool) "p3 crashed" true (o.R.statuses.(3) = R.Crashed_injected);
+  Alcotest.(check int) "p3 took no ops" 0 o.R.ops.(3);
+  Alcotest.(check bool) "p1 halted at its crash point" true (o.R.ops.(1) <= 2);
+  Alcotest.(check bool) "p1 undecided" true (o.R.decisions.(1) = -1);
+  (* obstruction-freedom: the survivors still decide *)
+  List.iter
+    (fun pid ->
+      Alcotest.(check bool)
+        (Fmt.str "p%d decided" pid)
+        true
+        (o.R.statuses.(pid) = R.Decided && o.R.decisions.(pid) >= 0))
+    [ 0; 2 ];
+  (match R.check_degraded ~inputs o with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* the plain check must reject the crashed processes *)
+  match R.check ~inputs o with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "check accepted crashed processes"
+
+let test_crash_all_processes () =
+  let (module P) = Core.Swap_ksa.make ~n:3 ~k:1 ~m:2 in
+  let module R = Runtime.Make (P) in
+  let inputs = [| 0; 1; 1 |] in
+  let o =
+    R.run ~inputs ~seed:1 ~crash_at:[ 0, 0; 1, 0; 2, 0 ] ~deadline:30. ()
+  in
+  Array.iteri
+    (fun pid st ->
+      Alcotest.(check bool)
+        (Fmt.str "p%d crashed" pid)
+        true (st = R.Crashed_injected))
+    o.R.statuses;
+  Alcotest.(check (array int)) "nobody decided" [| -1; -1; -1 |] o.R.decisions;
+  (* vacuously fine: every process crashed, none mis-decided *)
+  match R.check_degraded ~inputs o with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_stall_injection_still_decides () =
+  let (module P) = Core.Swap_ksa.make ~n:4 ~k:1 ~m:2 in
+  let module R = Runtime.Make (P) in
+  let inputs = [| 1; 0; 1; 0 |] in
+  let o =
+    R.run ~inputs ~seed:9 ~stalls:[ 0, 1, 5_000; 2, 3, 10_000 ] ~deadline:30.
+      ()
+  in
+  Array.iteri
+    (fun pid st ->
+      Alcotest.(check bool)
+        (Fmt.str "p%d decided despite stalls" pid)
+        true (st = R.Decided))
+    o.R.statuses;
+  match R.check ~inputs o with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_deadline_times_out_without_raise () =
+  (* a protocol that can never decide: swap-ksa needs a 2-lap lead, which
+     an immediate deadline prevents any process from reaching; the watchdog
+     must wind every domain down with Timed_out — no exception, and the
+     partial per-process data is still returned *)
+  let (module P) = Core.Swap_ksa.make ~n:4 ~k:1 ~m:2 in
+  let module R = Runtime.Make (P) in
+  let inputs = [| 0; 1; 0; 1 |] in
+  (* backoff_window:1 polls the watchdog at every operation, so the expired
+     deadline is observed before anyone can accumulate the 2-lap lead *)
+  let o = R.run ~inputs ~seed:3 ~deadline:0.000001 ~backoff_window:1 () in
+  Array.iteri
+    (fun pid st ->
+      Alcotest.(check bool)
+        (Fmt.str "p%d timed out" pid)
+        true (st = R.Timed_out))
+    o.R.statuses;
+  Alcotest.(check bool) "partial op counts returned" true
+    (Array.exists (fun n -> n > 0) o.R.ops);
+  match R.check_degraded ~inputs o with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "check_degraded accepted a timeout"
+
+let test_max_ops_times_out_without_raise () =
+  let (module P) = Core.Swap_ksa.make ~n:4 ~k:1 ~m:2 in
+  let module R = Runtime.Make (P) in
+  let inputs = [| 0; 1; 0; 1 |] in
+  (* too few operations to finish a pass, let alone decide *)
+  let o = R.run ~inputs ~seed:3 ~max_ops:1 ~deadline:30. () in
+  Array.iteri
+    (fun pid st ->
+      Alcotest.(check bool)
+        (Fmt.str "p%d timed out" pid)
+        true
+        (st = R.Timed_out);
+      Alcotest.(check bool)
+        (Fmt.str "p%d stopped at the budget" pid)
+        true
+        (o.R.ops.(pid) <= 1))
+    o.R.statuses
+
+let test_faulting_domain_joined_and_reported () =
+  (* an exchange primitive that blows up: every domain faults, yet run
+     returns normally with Faulted statuses — no exception crosses the
+     domain boundary, every domain is joined *)
+  let (module P) = Core.Swap_ksa.make ~n:3 ~k:1 ~m:2 in
+  let module R = Runtime.Make (P) in
+  let inputs = [| 0; 1; 0 |] in
+  let o =
+    R.run ~inputs ~seed:2 ~deadline:30.
+      ~exchange:(fun _ _ -> failwith "injected cell fault")
+      ()
+  in
+  Array.iteri
+    (fun pid st ->
+      match st with
+      | R.Faulted (Failure msg) ->
+        Alcotest.(check string)
+          (Fmt.str "p%d fault detail" pid)
+          "injected cell fault" msg
+      | st ->
+        Alcotest.fail (Fmt.str "p%d: unexpected status %a" pid R.pp_status st))
+    o.R.statuses;
+  match R.check_degraded ~inputs o with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "check_degraded accepted faulted processes"
+
+let test_fault_point_validation () =
+  let (module P) = Core.Swap_ksa.make ~n:3 ~k:1 ~m:2 in
+  let module R = Runtime.Make (P) in
+  let inputs = [| 0; 1; 0 |] in
+  (try
+     ignore (R.run ~inputs ~crash_at:[ 7, 0 ] ());
+     Alcotest.fail "accepted out-of-range crash pid"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (R.run ~inputs ~stalls:[ 0, 1, 0 ] ());
+     Alcotest.fail "accepted zero-length stall"
+   with Invalid_argument _ -> ());
+  try
+    ignore (R.run ~inputs ~deadline:(-1.) ());
+    Alcotest.fail "accepted negative deadline"
+  with Invalid_argument _ -> ()
 
 let () =
   Alcotest.run "runtime"
@@ -308,5 +460,21 @@ let () =
         [ Alcotest.test_case "input validation" `Quick test_input_validation
         ; Alcotest.test_case "check rejects bad outcomes" `Quick
             test_check_rejects_bad_outcomes
+        ] )
+    ; ( "graceful degradation",
+        [ Alcotest.test_case "crash injection statuses" `Quick
+            test_crash_injection_statuses
+        ; Alcotest.test_case "crashing every process" `Quick
+            test_crash_all_processes
+        ; Alcotest.test_case "stall injection still decides" `Quick
+            test_stall_injection_still_decides
+        ; Alcotest.test_case "deadline times out without raise" `Quick
+            test_deadline_times_out_without_raise
+        ; Alcotest.test_case "op budget times out without raise" `Quick
+            test_max_ops_times_out_without_raise
+        ; Alcotest.test_case "faulting domains joined and reported" `Quick
+            test_faulting_domain_joined_and_reported
+        ; Alcotest.test_case "fault point validation" `Quick
+            test_fault_point_validation
         ] )
     ]
