@@ -32,7 +32,16 @@
    [--csv DIR], every table is additionally written to DIR/<section>.csv;
    with [--json FILE], all tables of the run are written to FILE as one
    machine-readable JSON document (section id, title, header, rows, wall
-   time). *)
+   time, and — since the run was instrumented — an "obs" metrics snapshot
+   per table covering the work since the section started).
+
+   A second entry point compares two such JSON files:
+
+     dune exec bench/main.exe -- compare old.json new.json \
+       [--max-regress PCT] [--min-seconds S]
+
+   It pairs sections by id on their wall times and exits non-zero when any
+   section regressed beyond the budget or disappeared — the CI bench gate. *)
 
 let csv_dir = ref None
 let json_path = ref None
@@ -40,9 +49,14 @@ let current_section = ref "table"
 let current_title = ref ""
 let section_start = ref 0.
 
-(* (section id, section title, header, rows, seconds since section start),
-   accumulated by [print_table] in emission order *)
-let json_tables : (string * string * string list * string list list * float) list ref =
+(* (section id, section title, header, rows, seconds since section start,
+   metrics since section start), accumulated by [print_table] in emission
+   order *)
+let json_tables :
+    (string * string * string list * string list list * float
+    * Obs.snapshot)
+    list
+    ref =
   ref []
 
 (* repackage extended protocol modules at the plain signature *)
@@ -58,6 +72,9 @@ let section_header id title =
   current_section := id;
   current_title := title;
   section_start := Unix.gettimeofday ();
+  (* per-section metrics: each table's snapshot covers the work since its
+     section header (instrumentation is only live under [--json]) *)
+  if Obs.enabled () then Obs.reset ();
   Fmt.pr "@.============ %s: %s ============@." (String.uppercase_ascii id)
     title
 
@@ -113,55 +130,38 @@ let print_table header rows =
     , !current_title
     , header
     , rows
-    , Unix.gettimeofday () -. !section_start )
+    , Unix.gettimeofday () -. !section_start
+    , if Obs.enabled () then Obs.snapshot () else Obs.empty_snapshot )
     :: !json_tables
 
 let write_json () =
   match !json_path with
   | None -> ()
   | Some path ->
-    let buf = Buffer.create 4096 in
-    let str s =
-      Buffer.add_char buf '"';
-      String.iter
-        (fun c ->
-          match c with
-          | '"' -> Buffer.add_string buf "\\\""
-          | '\\' -> Buffer.add_string buf "\\\\"
-          | '\n' -> Buffer.add_string buf "\\n"
-          | c when Char.code c < 0x20 ->
-            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-          | c -> Buffer.add_char buf c)
-        s;
-      Buffer.add_char buf '"'
+    let table_json (section, title, header, rows, wall, snap) =
+      let base =
+        [ "section", Obs.Json.Str section
+        ; "title", Obs.Json.Str title
+        ; "wall_s", Obs.Json.Num (Float.of_string (Printf.sprintf "%.3f" wall))
+        ; "header", Obs.Json.Arr (List.map (fun h -> Obs.Json.Str h) header)
+        ; "rows",
+          Obs.Json.Arr
+            (List.map
+               (fun r -> Obs.Json.Arr (List.map (fun c -> Obs.Json.Str c) r))
+               rows)
+        ]
+      in
+      Obs.Json.Obj
+        (if Obs.is_empty snap then base
+         else base @ [ "obs", Obs.snapshot_to_json snap ])
     in
-    let list f xs =
-      Buffer.add_char buf '[';
-      List.iteri
-        (fun i x ->
-          if i > 0 then Buffer.add_char buf ',';
-          f x)
-        xs;
-      Buffer.add_char buf ']'
+    let doc =
+      Obs.Json.Obj
+        [ "tables", Obs.Json.Arr (List.map table_json (List.rev !json_tables)) ]
     in
-    Buffer.add_string buf "{\"tables\":";
-    list
-      (fun (section, title, header, rows, wall) ->
-        Buffer.add_string buf "{\"section\":";
-        str section;
-        Buffer.add_string buf ",\"title\":";
-        str title;
-        Buffer.add_string buf ",\"wall_s\":";
-        Buffer.add_string buf (Printf.sprintf "%.3f" wall);
-        Buffer.add_string buf ",\"header\":";
-        list str header;
-        Buffer.add_string buf ",\"rows\":";
-        list (list str) rows;
-        Buffer.add_string buf "}")
-      (List.rev !json_tables);
-    Buffer.add_string buf "}\n";
     let oc = open_out path in
-    Buffer.output_buffer oc buf;
+    output_string oc (Obs.Json.to_string doc);
+    output_char oc '\n';
     close_out oc;
     Fmt.pr "(json written to %s)@." path
 
@@ -916,14 +916,119 @@ let bechamel () =
     (fun t -> benchmark (Test.make_grouped ~name:"bench" [ t ]))
     tests
 
+(* ------------------------------------------------------------ compare *)
+
+(* [bench compare old.json new.json]: the CI regression gate.  Each record
+   is a [--json] document from a previous run; a section's wall time is the
+   max [wall_s] among its tables (wall_s is cumulative since the section
+   header, so the max is the section total).  Sections present only in the
+   new record are ignored — new benchmarks are not regressions — while
+   sections that disappeared fail the gate. *)
+let wall_by_section path =
+  match
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with
+  | exception Sys_error e -> Error e
+  | doc -> (
+  match Obs.Json.of_string doc with
+  | Error e -> Error (Fmt.str "%s: %s" path e)
+  | Ok json -> (
+    match Option.bind (Obs.Json.mem "tables" json) Obs.Json.arr_opt with
+    | None -> Error (Fmt.str "%s: no \"tables\" array" path)
+    | Some tables ->
+      let walls = Hashtbl.create 16 in
+      let order = ref [] in
+      List.iter
+        (fun t ->
+          match
+            ( Option.bind (Obs.Json.mem "section" t) Obs.Json.str_opt,
+              Option.bind (Obs.Json.mem "wall_s" t) Obs.Json.num_opt )
+          with
+          | Some sec, Some w ->
+            if not (Hashtbl.mem walls sec) then order := sec :: !order;
+            Hashtbl.replace walls sec
+              (max w (Option.value ~default:0. (Hashtbl.find_opt walls sec)))
+          | _ -> ())
+        tables;
+      Ok
+        (List.rev_map (fun sec -> sec, Hashtbl.find walls sec) !order
+        |> List.rev)))
+
+let run_compare args =
+  let usage () =
+    Fmt.epr
+      "usage: bench compare OLD.json NEW.json [--max-regress PCT] \
+       [--min-seconds S]@.";
+    exit 2
+  in
+  let max_regress = ref 30. and floor = ref 0.05 in
+  let files = ref [] in
+  let float_arg name v =
+    match float_of_string_opt v with
+    | Some f -> f
+    | None ->
+      Fmt.epr "bad %s %s (want a number)@." name v;
+      usage ()
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--max-regress" :: v :: rest ->
+      max_regress := float_arg "--max-regress" v;
+      parse rest
+    | "--min-seconds" :: v :: rest ->
+      floor := float_arg "--min-seconds" v;
+      parse rest
+    | a :: rest -> (
+      match String.index_opt a '=' with
+      | Some i when String.sub a 0 i = "--max-regress" ->
+        max_regress :=
+          float_arg "--max-regress"
+            (String.sub a (i + 1) (String.length a - i - 1));
+        parse rest
+      | Some i when String.sub a 0 i = "--min-seconds" ->
+        floor :=
+          float_arg "--min-seconds"
+            (String.sub a (i + 1) (String.length a - i - 1));
+        parse rest
+      | _ ->
+        if String.length a > 0 && a.[0] = '-' then begin
+          Fmt.epr "unknown option %s@." a;
+          usage ()
+        end;
+        files := a :: !files;
+        parse rest)
+  in
+  parse args;
+  match List.rev !files with
+  | [ old_path; new_path ] -> (
+    match wall_by_section old_path, wall_by_section new_path with
+    | Error e, _ | _, Error e ->
+      Fmt.epr "bench compare: %s@." e;
+      exit 2
+    | Ok baseline, Ok current ->
+      let rows =
+        Obs.Compare.run ~max_regress:!max_regress ~floor:!floor ~baseline
+          ~current ()
+      in
+      Fmt.pr "%a@." Obs.Compare.pp rows;
+      if Obs.Compare.failed rows then begin
+        Fmt.pr "FAIL: regression beyond %.0f%% budget@." !max_regress;
+        exit 1
+      end
+      else Fmt.pr "OK: within %.0f%% budget@." !max_regress)
+  | _ -> usage ()
+
 (* --------------------------------------------------------------- main *)
 
 let sections =
   [ "t0", t0; "t1", t1; "t2", t2; "t3", t3; "t4", t4; "t5", t5; "t6", t6; "t7", t7
   ; "t8", t8; "t9", t9; "t10", t10; "f1", f1; "f2", f2; "bechamel", bechamel ]
 
-let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+let run_tables args =
   (* accept "--csv DIR", "--csv=DIR", "--json FILE" and "--json=FILE" *)
   let rec strip = function
     | "--csv" :: dir :: rest ->
@@ -944,6 +1049,10 @@ let () =
     | [] -> []
   in
   let args = strip args in
+  (* instrument only recorded runs: [--json] documents carry obs snapshots
+     and feed the regression gate, while plain (human-readable) runs keep
+     the disabled fast path they are meant to measure *)
+  if !json_path <> None then Obs.enable ();
   let requested =
     match args with
     | _ :: _ when not (List.mem "all" args) -> args
@@ -960,3 +1069,8 @@ let () =
     requested;
   write_json ();
   Fmt.pr "@.done.@."
+
+let () =
+  match List.tl (Array.to_list Sys.argv) with
+  | "compare" :: rest -> run_compare rest
+  | args -> run_tables args

@@ -69,6 +69,53 @@ let parse_inputs ~n ~m = function
     if List.length l <> n then Fmt.failwith "expected %d inputs" n;
     Array.of_list l
 
+(* ------------------------------------------------------------ metrics *)
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "table") (some string) None
+    & info [ "metrics" ] ~docv:"FMT"
+        ~doc:
+          "Enable the observability layer for this run and print a metric \
+           snapshot afterwards, rendered as $(docv): 'table' (default) or \
+           'json'.")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Write the --metrics snapshot to $(docv) instead of stdout.")
+
+(* enable obs before the workload, snapshot after it; the snapshot is
+   emitted before any violation-driven non-zero exit so CI can always
+   collect it *)
+let with_metrics ~metrics ~out f =
+  match metrics with
+  | None -> f ()
+  | Some fmt ->
+    (match fmt with
+    | "table" | "json" -> ()
+    | s -> Fmt.failwith "unknown --metrics format %s (table, json)" s);
+    Obs.enable ();
+    let result = f () in
+    let snap = Obs.snapshot () in
+    let doc =
+      match fmt with
+      | "json" -> Obs.Json.to_string (Obs.snapshot_to_json snap) ^ "\n"
+      | _ -> Fmt.str "@[<v>%a@]" Obs.pp_table snap
+    in
+    (match out with
+    | None ->
+      print_string doc;
+      flush stdout
+    | Some file ->
+      let oc = open_out file in
+      output_string oc doc;
+      close_out oc);
+    result
+
 (* ---------------------------------------------------------------- run *)
 
 let run_cmd =
@@ -153,7 +200,8 @@ let run_cmd =
 (* -------------------------------------------------------------- check *)
 
 let check_cmd =
-  let go algo n k m cap inputs all_inputs lap_cap max_configs no_solo domains =
+  let go algo n k m cap inputs all_inputs lap_cap max_configs no_solo domains
+      metrics metrics_out =
     let (module P) = protocol_of ~algo ~n ~k ~m ~cap in
     let module C = Checker.Make (P) in
     let prune (c : C.E.config) =
@@ -166,14 +214,18 @@ let check_cmd =
         c.C.E.mem
     in
     let report =
-      if all_inputs then
-        C.explore_all_inputs ~prune ~max_configs ~check_solo:(not no_solo) ()
-      else
-        let inputs = parse_inputs ~n:P.n ~m:P.num_inputs inputs in
-        if domains > 1 then
-          C.explore_parallel ~domains ~prune ~max_configs
-            ~check_solo:(not no_solo) ~inputs ()
-        else C.explore ~prune ~max_configs ~check_solo:(not no_solo) ~inputs ()
+      with_metrics ~metrics ~out:metrics_out (fun () ->
+          if all_inputs then
+            C.explore_all_inputs ~prune ~max_configs
+              ~check_solo:(not no_solo) ()
+          else
+            let inputs = parse_inputs ~n:P.n ~m:P.num_inputs inputs in
+            if domains > 1 then
+              C.explore_parallel ~domains ~prune ~max_configs
+                ~check_solo:(not no_solo) ~inputs ()
+            else
+              C.explore ~prune ~max_configs ~check_solo:(not no_solo)
+                ~inputs ())
     in
     Fmt.pr "%s: %a@." P.name Checker.pp_report report;
     if not (Checker.ok report) then exit 1
@@ -204,7 +256,7 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Model-check agreement, validity, solo termination.")
     Term.(
       const go $ algo $ n $ k $ m $ cap $ inputs_arg $ all_inputs $ lap_cap
-      $ max_configs $ no_solo $ domains)
+      $ max_configs $ no_solo $ domains $ metrics_arg $ metrics_out_arg)
 
 (* ------------------------------------------------------------- lemma9 *)
 
@@ -299,7 +351,8 @@ let bounds_cmd =
 (* ---------------------------------------------------------- multicore *)
 
 let multicore_cmd =
-  let go algo n k m cap seed inputs hand =
+  let go algo n k m cap seed inputs hand metrics metrics_out =
+    with_metrics ~metrics ~out:metrics_out @@ fun () ->
     if hand then begin
       (* the hand-optimized Algorithm 1 kept as a comparison point *)
       if algo <> "swap-ksa" then
@@ -349,7 +402,9 @@ let multicore_cmd =
     (Cmd.info "multicore"
        ~doc:"Run any algorithm on real domains via the generic runtime \
              (atomic objects, one domain per process).")
-    Term.(const go $ algo $ n $ k $ m $ cap $ seed $ inputs_arg $ hand)
+    Term.(
+      const go $ algo $ n $ k $ m $ cap $ seed $ inputs_arg $ hand
+      $ metrics_arg $ metrics_out_arg)
 
 (* -------------------------------------------------------------- chaos *)
 
@@ -396,7 +451,7 @@ end
 
 let chaos_cmd =
   let go algo n k m cap seed inputs backend runs kinds burst max_steps deadline
-      =
+      metrics metrics_out =
     let kinds =
       match Fault.kinds_of_string kinds with
       | Ok [] -> Fmt.failwith "--kinds is empty"
@@ -404,6 +459,7 @@ let chaos_cmd =
       | Error e -> Fmt.failwith "bad --kinds: %s" e
     in
     let out =
+      with_metrics ~metrics ~out:metrics_out @@ fun () ->
       match backend with
       | "sim" ->
         if algo = "swap-ksa" then (
@@ -531,7 +587,7 @@ let chaos_cmd =
              detected and is shrunk to a locally-minimal schedule).")
     Term.(
       const go $ algo $ n $ k $ m $ cap $ seed $ inputs_arg $ backend $ runs
-      $ kinds $ burst $ max_steps $ deadline)
+      $ kinds $ burst $ max_steps $ deadline $ metrics_arg $ metrics_out_arg)
 
 let () =
   let doc =

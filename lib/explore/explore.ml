@@ -3,6 +3,19 @@ module Make (P : Shmem.Protocol.S) = struct
 
   type id = int
 
+  (* Metric handles are find-or-create by name, so every Make instantiation
+     feeds the same series; each site is one branch when Obs is disabled. *)
+  let m_interned = Obs.counter "explore.configs.interned"
+  let m_dedup = Obs.counter "explore.configs.dedup_hits"
+  let m_visited = Obs.counter "explore.visited"
+  let m_solo_hits = Obs.counter "explore.solo.cache_hits"
+  let m_solo_misses = Obs.counter "explore.solo.cache_misses"
+  let h_frontier = Obs.histogram "explore.frontier_level"
+  let sp_bfs = Obs.span "explore.bfs"
+  let sp_dfs = Obs.span "explore.dfs"
+  let sp_par = Obs.span "explore.bfs_parallel"
+  let sp_walk = Obs.span "explore.walk"
+
   let default_solo_cap = 64 * (Array.length P.objects + 1)
 
   (* Configurations enter the index paired with their hash, computed once
@@ -77,7 +90,8 @@ module Make (P : Shmem.Protocol.S) = struct
     let sh = h mod t.nshards in
     let s = t.shards.(sh) in
     let key = { Cfg_key.h; c } in
-    locked s.lock (fun () ->
+    let ((_, fresh) as res) =
+      locked s.lock (fun () ->
         match Cfg_tbl.find_opt s.index key with
         | Some slot -> (slot * t.nshards) + sh, false
         | None ->
@@ -94,6 +108,9 @@ module Make (P : Shmem.Protocol.S) = struct
           Cfg_tbl.replace s.index key slot;
           Atomic.incr t.total;
           (slot * t.nshards) + sh, true)
+    in
+    if fresh then Obs.Counter.incr m_interned else Obs.Counter.incr m_dedup;
+    res
 
   let create ?(shards = 1) ?(solo_cap = default_solo_cap) ~inputs () =
     let nshards = max 1 shards in
@@ -146,8 +163,11 @@ module Make (P : Shmem.Protocol.S) = struct
     let s = t.solo.((rk + pid) mod t.nshards) in
     let key = { Solo_key.h = ((rk * 31) + pid) land max_int; pid; c } in
     match locked s.solo_lock (fun () -> Solo_tbl.find_opt s.verdicts key) with
-    | Some verdict -> verdict
+    | Some verdict ->
+      Obs.Counter.incr m_solo_hits;
+      verdict
     | None ->
+      Obs.Counter.incr m_solo_misses;
       (* computed outside the lock: a racing duplicate computation is
          harmless (the verdict is deterministic) *)
       let verdict = E.run_solo ~pid ~max_steps:t.cap c <> None in
@@ -177,6 +197,7 @@ module Make (P : Shmem.Protocol.S) = struct
       | Some (id, depth) ->
         let c = config t id in
         incr visited;
+        Obs.Counter.incr m_visited;
         (match visit { id; config = c; depth; path = lazy (trace_to t id) } with
         | Stop -> stopped := true
         | Prune -> truncated := true
@@ -195,23 +216,25 @@ module Make (P : Shmem.Protocol.S) = struct
     { visited = !visited; truncated = !truncated; stopped = !stopped }
 
   let bfs t ?max_configs ~visit () =
-    let q = Queue.create () in
-    traverse
-      ~push:(fun x -> Queue.push x q)
-      ~pop:(fun () -> Queue.take_opt q)
-      t ?max_configs ~visit ()
+    Obs.Span.time sp_bfs (fun () ->
+        let q = Queue.create () in
+        traverse
+          ~push:(fun x -> Queue.push x q)
+          ~pop:(fun () -> Queue.take_opt q)
+          t ?max_configs ~visit ())
 
   let dfs t ?max_configs ~visit () =
-    let st = ref [] in
-    traverse
-      ~push:(fun x -> st := x :: !st)
-      ~pop:(fun () ->
-        match !st with
-        | [] -> None
-        | x :: rest ->
-          st := rest;
-          Some x)
-      t ?max_configs ~visit ()
+    Obs.Span.time sp_dfs (fun () ->
+        let st = ref [] in
+        traverse
+          ~push:(fun x -> st := x :: !st)
+          ~pop:(fun () ->
+            match !st with
+            | [] -> None
+            | x :: rest ->
+              st := rest;
+              Some x)
+          t ?max_configs ~visit ())
 
   (* Split [items] into [n] chunks of near-equal length. *)
   let chunks n items =
@@ -237,6 +260,7 @@ module Make (P : Shmem.Protocol.S) = struct
           else begin
             let c = config t id in
             Atomic.incr visited;
+            Obs.Counter.incr m_visited;
             match
               visit { id; config = c; depth; path = lazy (trace_to t id) }
             with
@@ -326,6 +350,9 @@ module Make (P : Shmem.Protocol.S) = struct
     in
     let rec level frontier =
       if frontier <> [] && not (Atomic.get stopped) then begin
+        (* the length is only worth computing when someone records it *)
+        if Obs.enabled () then
+          Obs.Histogram.observe h_frontier (List.length frontier);
         let next =
           (* below this size, level fan-out costs more than it saves *)
           if nworkers = 0 || List.length frontier < 4 * domains then
@@ -335,7 +362,7 @@ module Make (P : Shmem.Protocol.S) = struct
         level next
       end
     in
-    level [ t.root, 0 ];
+    Obs.Span.time sp_par (fun () -> level [ t.root, 0 ]);
     Mutex.lock pool_lock;
     quit := true;
     Condition.broadcast pool_cond;
@@ -352,6 +379,7 @@ module Make (P : Shmem.Protocol.S) = struct
 
   let walk t ~sched ?(enabled = E.undecided) ~max_steps ~visit () =
     let rec go id c rev_steps i =
+      Obs.Counter.incr m_visited;
       match
         visit { id; config = c; depth = i; path = lazy (List.rev rev_steps) }
       with
@@ -370,5 +398,5 @@ module Make (P : Shmem.Protocol.S) = struct
               let id', _ = intern t ~parent:(id, step) c' in
               go id' c' (step :: rev_steps) (i + 1)))
     in
-    go t.root (config t t.root) [] 0
+    Obs.Span.time sp_walk (fun () -> go t.root (config t t.root) [] 0)
 end

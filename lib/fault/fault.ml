@@ -76,7 +76,14 @@ let stalls plan =
 (* ddmin (Zeller & Hildebrandt), plus a final single-deletion pass so   *)
 (* the result is 1-minimal: removing any one element stops violating.   *)
 
+let m_ddmin_probes = Obs.counter "fault.ddmin.probe_runs"
+let h_shrink_pct = Obs.histogram "fault.shrink_pct"
+
 let ddmin ~violates input =
+  let violates input =
+    Obs.Counter.incr m_ddmin_probes;
+    violates input
+  in
   if not (violates input) then
     invalid_arg "Fault.ddmin: the initial input does not violate";
   if violates [] then []
@@ -214,6 +221,17 @@ let gen_plan ~rng ~n ~num_objects kinds =
 module Sim (P : Shmem.Protocol.S) = struct
   module E = Shmem.Exec.Make (P)
   open Shmem
+
+  let m_plans = Obs.counter "fault.sim.plans"
+  let m_steps = Obs.counter "fault.sim.steps"
+  let m_fired = Obs.counter "fault.sim.manifestations"
+  let m_missed = Obs.counter "fault.sim.missed"
+  let m_violations = Obs.counter "fault.sim.violations"
+  let sp_campaign = Obs.span "fault.sim.campaign"
+
+  (* one counter per detection channel, so a campaign's snapshot shows
+     where faults were caught (monitor vs protocol raise vs replay check) *)
+  let m_detect cls = Obs.counter ("fault.detect." ^ cls)
 
   type report = {
     final : E.config;
@@ -491,7 +509,11 @@ module Sim (P : Shmem.Protocol.S) = struct
       | Some v -> String.equal (violation_class v) cls
       | None -> false
     in
-    ddmin ~violates pids
+    let shrunk = ddmin ~violates pids in
+    if pids <> [] then
+      Obs.Histogram.observe h_shrink_pct
+        (100 * List.length shrunk / List.length pids);
+    shrunk
 
   (* the pid sequence that reproduces a report under [run_schedule]: the
      trace's schedule, plus the step that raised (it never made the trace) *)
@@ -517,6 +539,7 @@ module Sim (P : Shmem.Protocol.S) = struct
 
   let campaign ?on_step ?inputs ?(burst = 32) ?(max_steps = 100_000) ~seed
       ~runs ~kinds () =
+    Obs.Span.time sp_campaign @@ fun () ->
     let num_objects = Array.length P.objects in
     let violations = ref [] in
     let detections = ref [] in
@@ -534,6 +557,11 @@ module Sim (P : Shmem.Protocol.S) = struct
       in
       let sched = E.bursty rng ~burst in
       let r = run ?on_step plan ~sched ~max_steps ~inputs in
+      Obs.Counter.incr m_plans;
+      if Obs.enabled () then begin
+        Obs.Counter.add m_steps (Trace.length r.trace);
+        Obs.Counter.add m_fired (fired_total r)
+      end;
       steps := !steps + Trace.length r.trace;
       fired := !fired + fired_total r;
       let record ~expected violation =
@@ -543,13 +571,22 @@ module Sim (P : Shmem.Protocol.S) = struct
           | _ -> Some (shrink ?on_step plan ~inputs violation (schedule_of r))
         in
         let finding = { run = i; plan; violation; schedule } in
-        if expected then detections := finding :: !detections
-        else violations := finding :: !violations
+        if expected then begin
+          Obs.Counter.incr (m_detect (violation_class violation));
+          detections := finding :: !detections
+        end
+        else begin
+          Obs.Counter.incr m_violations;
+          violations := finding :: !violations
+        end
       in
       match detect ~inputs r with
       | Some v -> record ~expected:(not (benign plan)) v
       | None ->
-        if fired_total r > 0 then incr missed;
+        if fired_total r > 0 then begin
+          Obs.Counter.incr m_missed;
+          incr missed
+        end;
         (* liveness: every process that was not crashed must have decided
            (object faults may legitimately wedge a protocol — only benign
            plans carry the expectation) *)
@@ -588,6 +625,10 @@ end
 module Mc (P : Shmem.Protocol.S) = struct
   module R = Runtime.Make (P)
 
+  let m_runs = Obs.counter "fault.mc.runs"
+  let m_violations = Obs.counter "fault.mc.violations"
+  let sp_campaign = Obs.span "fault.mc.campaign"
+
   type finding = { run : int; plan : plan; detail : string }
 
   type summary = {
@@ -608,6 +649,7 @@ module Mc (P : Shmem.Protocol.S) = struct
                "Fault.Mc.campaign: %s faults only exist on the simulator"
                (kind_to_string k)))
       kinds;
+    Obs.Span.time sp_campaign @@ fun () ->
     let violations = ref [] in
     let crashes_injected = ref 0 in
     let stalls_injected = ref 0 in
@@ -629,11 +671,13 @@ module Mc (P : Shmem.Protocol.S) = struct
       let outcome =
         R.run ~inputs ~seed:(seed + i) ?max_ops ~crash_at ~stalls ~deadline ()
       in
+      Obs.Counter.incr m_runs;
       total_ops := !total_ops + Array.fold_left ( + ) 0 outcome.R.ops;
       elapsed := !elapsed +. outcome.R.elapsed;
       match R.check_degraded ~inputs outcome with
       | Ok () -> ()
       | Error detail ->
+        Obs.Counter.incr m_violations;
         violations := { run = i; plan; detail } :: !violations
     done;
     { runs;

@@ -1,5 +1,22 @@
 module Sh = Shmem
 
+(* ----------------------------------------------------------------- metrics *)
+
+(* Shared across every Make instantiation; each site is one branch when Obs
+   is disabled and allocation-free when enabled (hot-loop tallies accumulate
+   in local ints and are flushed once per process, see [Make.run]). *)
+let m_cas_retries = Obs.counter "runtime.cas_retries"
+let m_tas_retries = Obs.counter "runtime.tas_retries"
+
+(* bounded backoff between atomic retry attempts: 1, 2, 4, ... capped at
+   1024 cpu_relax, so a contended loop yields the cache line instead of
+   hammering it, but a process never sleeps unboundedly long *)
+let retry_backoff attempts =
+  let spins = if attempts >= 10 then 1024 else 1 lsl attempts in
+  for _ = 1 to spins do
+    Domain.cpu_relax ()
+  done
+
 (* ------------------------------------------------------------------ cells *)
 
 module Cell = struct
@@ -26,21 +43,37 @@ module Cell = struct
 
   (* structural compare-and-set: [Atomic.compare_and_set] compares
      physically, so re-read until the witnessed value — the one the CAS is
-     performed against — is the one we structurally compared *)
-  let rec structural_cas t ~expected ~desired =
-    let current = Atomic.get t.cell in
-    if not (Sh.Value.equal current expected) then Sh.Value.zero
-    else if Atomic.compare_and_set t.cell current desired then Sh.Value.one
-    else structural_cas t ~expected ~desired
+     performed against — is the one we structurally compared.  Retries feed
+     the obs counter and back off (capped) so a storm of failing CASes
+     neither spins blind nor goes unmeasured. *)
+  let structural_cas t ~expected ~desired =
+    let rec go attempts =
+      let current = Atomic.get t.cell in
+      if not (Sh.Value.equal current expected) then Sh.Value.zero
+      else if Atomic.compare_and_set t.cell current desired then Sh.Value.one
+      else begin
+        Obs.Counter.incr m_cas_retries;
+        retry_backoff attempts;
+        go (attempts + 1)
+      end
+    in
+    go 0
 
   (* test-and-set as a compare-and-set loop: the only transition is 0 -> 1,
      and once the cell holds 1 a TAS is a no-op returning 1 (linearized at
      the read) *)
-  let rec tas t v =
-    let current = Atomic.get t.cell in
-    if Sh.Value.equal current Sh.Value.one then Sh.Value.one
-    else if Atomic.compare_and_set t.cell current v then current
-    else tas t v
+  let tas t v =
+    let rec go attempts =
+      let current = Atomic.get t.cell in
+      if Sh.Value.equal current Sh.Value.one then Sh.Value.one
+      else if Atomic.compare_and_set t.cell current v then current
+      else begin
+        Obs.Counter.incr m_tas_retries;
+        retry_backoff attempts;
+        go (attempts + 1)
+      end
+    in
+    go 0
 
   let apply t (action : Sh.Op.action) =
     if not (Sh.Obj_kind.supports t.kind action) then
@@ -134,6 +167,15 @@ module Make (P : Sh.Protocol.S) = struct
 
   let num_objects = Array.length P.objects
 
+  let m_ops = Obs.counter "runtime.ops"
+  let m_backoff_rounds = Obs.counter "runtime.backoff_rounds"
+  let m_backoff_spins = Obs.counter "runtime.backoff_spins"
+  let m_watchdog = Obs.counter "runtime.watchdog_firings"
+  let m_crashes = Obs.counter "runtime.crashes_injected"
+  let m_stall_spins = Obs.counter "runtime.stall_spins"
+  let h_exchange = Obs.histogram "runtime.exchange_ns"
+  let sp_run = Obs.span "runtime.run"
+
   let run ~inputs ?(seed = 0x5EED) ?(max_ops = 4_000_000) ?backoff_window
       ?(record = false) ?exchange ?(crash_at = []) ?(stalls = []) ?deadline
       () =
@@ -166,6 +208,7 @@ module Make (P : Sh.Protocol.S) = struct
         w
       | None -> 8 * (num_objects + 1)
     in
+    Obs.Span.time sp_run @@ fun () ->
     let cells =
       Array.init num_objects (fun i ->
           Cell.make ?exchange P.objects.(i) (P.init_object i))
@@ -190,7 +233,8 @@ module Make (P : Sh.Protocol.S) = struct
         Atomic.get give_up
         ||
         if Unix.gettimeofday () -. t0 > d then begin
-          Atomic.set give_up true;
+          if not (Atomic.exchange give_up true) then
+            Obs.Counter.incr m_watchdog;
           true
         end
         else false
@@ -200,6 +244,7 @@ module Make (P : Sh.Protocol.S) = struct
       let state = ref (P.init ~pid ~input:inputs.(pid)) in
       let my_ops = ref 0 in
       let my_backoffs = ref 0 in
+      let my_spins = ref 0 in
       let my_events = ref [] in
       let backoff = ref 1 in
       let until_backoff = ref window in
@@ -222,6 +267,7 @@ module Make (P : Sh.Protocol.S) = struct
            then begin
              (* injected halting crash: the domain stops cold after its
                 t-th operation, mid-protocol *)
+             Obs.Counter.incr m_crashes;
              status := Crashed_injected;
              running := false
            end
@@ -234,10 +280,12 @@ module Make (P : Sh.Protocol.S) = struct
                 process's t-th operation *)
              List.iter
                (fun (t, dur) ->
-                 if t = !my_ops then
+                 if t = !my_ops then begin
+                   Obs.Counter.add m_stall_spins dur;
                    for _ = 1 to dur do
                      Domain.cpu_relax ()
-                   done)
+                   done
+                 end)
                my_stalls;
              let op = P.poised !state in
              let response =
@@ -260,6 +308,17 @@ module Make (P : Sh.Protocol.S) = struct
                    :: !my_events;
                  response
                end
+               else if Obs.enabled () then begin
+                 (* per-operation latency: a float timestamp pair per op is
+                    paid only when metrics are on *)
+                 let t0 = Unix.gettimeofday () in
+                 let response =
+                   Cell.apply cells.(op.Sh.Op.obj) op.Sh.Op.action
+                 in
+                 Obs.Histogram.observe h_exchange
+                   (Obs.Span.ns_of_s (Unix.gettimeofday () -. t0));
+                 response
+               end
                else Cell.apply cells.(op.Sh.Op.obj) op.Sh.Op.action
              in
              incr my_ops;
@@ -271,6 +330,7 @@ module Make (P : Sh.Protocol.S) = struct
                   need some process to eventually run effectively alone *)
                incr my_backoffs;
                let spins = Random.State.int rng !backoff in
+               my_spins := !my_spins + spins;
                for _ = 1 to spins do
                  Domain.cpu_relax ()
                done;
@@ -290,7 +350,12 @@ module Make (P : Sh.Protocol.S) = struct
       statuses.(pid) <- !status;
       ops.(pid) <- !my_ops;
       backoffs.(pid) <- !my_backoffs;
-      events.(pid) <- !my_events
+      events.(pid) <- !my_events;
+      (* hot-loop tallies accumulated in local ints, flushed once here so
+         the loop itself never touches a shared cache line for metrics *)
+      Obs.Counter.add m_ops !my_ops;
+      Obs.Counter.add m_backoff_rounds !my_backoffs;
+      Obs.Counter.add m_backoff_spins !my_spins
     in
     let domains =
       Array.init P.n (fun pid -> Domain.spawn (fun () -> process pid))
