@@ -1,0 +1,153 @@
+(* A source lint over the proof-bearing libraries (lib/core, lib/baselines).
+
+   The repository's claims rest on protocols being *deterministic pure
+   transition functions*: the checker explores, interns and memoizes
+   configurations, so any hidden nondeterminism (randomness, wall-clock
+   reads, unsafe casts) or structure-blind hashing silently invalidates
+   the exploration.  The dynamic lints in lib/analyze catch such bugs when
+   they manifest; this tool rejects the constructs at the source level, by
+   walking the parsetree (compiler-libs) of every .ml file under the
+   directories given on the command line:
+
+   - any use of [Random.*], [Unix.*], [Obj.*] or [Marshal.*] — protocols
+     must not read clocks, draw randomness, or defeat the type system;
+   - [Hashtbl.hash] / [Hashtbl.seeded_hash] / [Hashtbl.hash_param] and
+     qualified [Stdlib.compare] anywhere — polymorphic hashing stops after
+     a small fixed number of nodes (lap arrays collide), and polymorphic
+     compare diverges from the protocol's own [equal_state]; states must
+     be hashed with [Shmem.Hashx] field by field;
+   - inside [equal_state] / [hash_state] bindings: whole-state polymorphic
+     [=] / [<>] / [compare] on the function's own parameters — equality on
+     states must be structural and explicit.
+
+   Usage: srclint DIR...   (exit 0 clean, 1 with findings on stderr)
+
+   Wired as the @srclint alias in bin/dune, run by the CI lint job. *)
+
+let errors = ref 0
+
+let report loc fmt =
+  let { Location.loc_start = p; _ } = loc in
+  incr errors;
+  Printf.eprintf "%s:%d:%d: " p.Lexing.pos_fname p.Lexing.pos_lnum
+    (p.Lexing.pos_cnum - p.Lexing.pos_bol);
+  Printf.kfprintf (fun oc -> output_char oc '\n') stderr fmt
+
+(* [Foo.bar] heads banned wholesale *)
+let banned_modules = [ "Random"; "Unix"; "Obj"; "Marshal" ]
+
+(* fully-qualified idents banned individually *)
+let banned_idents =
+  [ [ "Hashtbl"; "hash" ]; [ "Hashtbl"; "seeded_hash" ]
+  ; [ "Hashtbl"; "hash_param" ]; [ "Stdlib"; "compare" ]
+  ; [ "Stdlib"; "Hashtbl"; "hash" ]
+  ]
+
+let rec flatten_lid = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (l, s) -> flatten_lid l @ [ s ]
+  | Longident.Lapply (l, _) -> flatten_lid l
+
+let check_lid loc lid =
+  match flatten_lid lid with
+  | [] -> ()
+  | head :: _ as path ->
+    let path_s = String.concat "." path in
+    if List.mem head banned_modules then
+      report loc "use of banned module in %s" path_s
+    else if List.exists (fun b -> b = path) banned_idents then
+      report loc "polymorphic hash/compare: %s (use Shmem.Hashx)" path_s
+
+(* ---- whole-state polymorphic equality inside equal_state/hash_state ---- *)
+
+let state_fns = [ "equal_state"; "hash_state"; "compare_state" ]
+
+let rec fun_params acc e =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_fun (_, _, pat, body) ->
+    let acc =
+      match pat.Parsetree.ppat_desc with
+      | Parsetree.Ppat_var { txt; _ } -> txt :: acc
+      | _ -> acc
+    in
+    fun_params acc body
+  | _ -> acc
+
+let is_param params e =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_ident { txt = Longident.Lident x; _ } ->
+    List.mem x params
+  | _ -> false
+
+let check_state_fn fn_name params iter =
+  let open Ast_iterator in
+  let expr this e =
+    (match e.Parsetree.pexp_desc with
+    | Parsetree.Pexp_apply
+        ( { pexp_desc = Pexp_ident { txt = Longident.Lident op; _ }; _ }
+        , [ (_, a); (_, b) ] )
+      when List.mem op [ "="; "<>"; "compare" ]
+           && is_param params a && is_param params b ->
+      report e.Parsetree.pexp_loc
+        "whole-state polymorphic %s in %s (write structural equality)" op
+        fn_name
+    | Parsetree.Pexp_ident { txt = Longident.Lident "compare"; loc }
+      ->
+      report loc "bare polymorphic compare in %s" fn_name
+    | _ -> ());
+    default_iterator.expr this e
+  in
+  { iter with expr }
+
+let iterator =
+  let open Ast_iterator in
+  let expr this e =
+    (match e.Parsetree.pexp_desc with
+    | Parsetree.Pexp_ident { txt; loc } -> check_lid loc txt
+    | Parsetree.Pexp_new { txt; loc } -> check_lid loc txt
+    | _ -> ());
+    default_iterator.expr this e
+  in
+  let value_binding this vb =
+    (match vb.Parsetree.pvb_pat.Parsetree.ppat_desc with
+    | Parsetree.Ppat_var { txt; _ } when List.mem txt state_fns ->
+      let params = fun_params [] vb.Parsetree.pvb_expr in
+      let special = check_state_fn txt params this in
+      special.expr special vb.Parsetree.pvb_expr
+    | _ -> ());
+    default_iterator.value_binding this vb
+  in
+  { default_iterator with expr; value_binding }
+
+let lint_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let lexbuf = Lexing.from_channel ic in
+      Lexing.set_filename lexbuf path;
+      match Parse.implementation lexbuf with
+      | ast -> iterator.Ast_iterator.structure iterator ast
+      | exception exn ->
+        incr errors;
+        Printf.eprintf "%s: parse error (%s)\n" path
+          (Printexc.to_string exn))
+
+let rec walk path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.iter (fun f -> walk (Filename.concat path f))
+  else if Filename.check_suffix path ".ml" then lint_file path
+
+let () =
+  let dirs =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as dirs) -> dirs
+    | _ ->
+      prerr_endline "usage: srclint DIR...";
+      exit 2
+  in
+  List.iter walk dirs;
+  if !errors > 0 then (
+    Printf.eprintf "srclint: %d finding(s)\n" !errors;
+    exit 1)

@@ -2,6 +2,7 @@
 
      swapspace run        simulate an algorithm under a chosen scheduler
      swapspace check      model-check an algorithm (exhaustive or random)
+     swapspace analyze    static protocol lints + solo-bound verification
      swapspace lemma9     run the Theorem 10 / Lemma 9 adversary
      swapspace lb-binary  run the Lemma 15 construction (Theorem 17)
      swapspace lb-bounded run the Lemma 19 construction (Theorem 21)
@@ -31,6 +32,16 @@ let protocol_of ~algo ~n ~k ~m ~cap : (module Shmem.Protocol.S) =
       "unknown algorithm %s (try swap-ksa, register-ksa, readable-swap, \
        binary-track, bitwise, grouped, cas, two-proc, pair-ksa)"
       other
+
+(* [check] and [analyze] are the verbs CI drives over algorithm names, so
+   an unknown name is a usage error (exit 2, like cmdliner's own), not an
+   uncaught exception *)
+let protocol_or_usage_error ~algo ~n ~k ~m ~cap =
+  match protocol_of ~algo ~n ~k ~m ~cap with
+  | p -> p
+  | exception Failure msg ->
+    Fmt.epr "swapspace: %s@." msg;
+    exit 2
 
 (* --------------------------------------------------------------- args *)
 
@@ -202,7 +213,7 @@ let run_cmd =
 let check_cmd =
   let go algo n k m cap inputs all_inputs lap_cap max_configs no_solo domains
       metrics metrics_out =
-    let (module P) = protocol_of ~algo ~n ~k ~m ~cap in
+    let (module P) = protocol_or_usage_error ~algo ~n ~k ~m ~cap in
     let module C = Checker.Make (P) in
     let prune (c : C.E.config) =
       Array.exists
@@ -521,9 +532,10 @@ let chaos_cmd =
               kinds;
           counters =
             Fmt.str
-              "crashes=%d stalls=%d ops=%d elapsed=%.2fs violations=%d"
+              "crashes=%d stalls=%d ops=%d elapsed=%.2fs hb_checked=%d \
+               hb_skipped=%d violations=%d"
               s.MC.crashes_injected s.MC.stalls_injected s.MC.total_ops
-              s.MC.elapsed
+              s.MC.elapsed s.MC.hb_checked s.MC.hb_skipped
               (List.length s.MC.violations);
           expected = [];
           unexpected =
@@ -589,6 +601,82 @@ let chaos_cmd =
       const go $ algo $ n $ k $ m $ cap $ seed $ inputs_arg $ backend $ runs
       $ kinds $ burst $ max_steps $ deadline $ metrics_arg $ metrics_out_arg)
 
+(* ------------------------------------------------------------ analyze *)
+
+let analyze_cmd =
+  let go algo n max_configs json metrics metrics_out =
+    let entries =
+      match algo with
+      | None -> Baselines.Registry.standard ~n ()
+      | Some name -> (
+        match Baselines.Registry.find name ~n with
+        | Ok e -> [ e ]
+        | Error msg ->
+          Fmt.epr "swapspace: %s@." msg;
+          exit 2)
+    in
+    let reports =
+      with_metrics ~metrics ~out:metrics_out (fun () ->
+          List.map
+            (fun (e : Baselines.Registry.entry) ->
+              Analyze.run_protocol ~max_configs ?solo_bound:e.solo_bound
+                ~prune:e.prune e.protocol)
+            entries)
+    in
+    if json then
+      print_endline
+        (Obs.Json.to_string
+           (Obs.Json.Arr (List.map Analyze.report_to_json reports)))
+    else
+      List.iter (fun r -> Fmt.pr "%a@." Analyze.pp_report r) reports;
+    if not (List.for_all Analyze.ok reports) then exit 1
+  in
+  let algo =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "algo"; "a" ] ~docv:"NAME"
+          ~doc:
+            "Registry entry to analyze (prefix match); omitted (or with \
+             $(b,--all)) every registered protocol is analyzed.")
+  in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Analyze every registered protocol (default).")
+  in
+  let combine algo all =
+    if all && algo <> None then (
+      Fmt.epr "swapspace: --all and --algo are mutually exclusive@.";
+      exit 2);
+    algo
+  in
+  let algo = Term.(const combine $ algo $ all) in
+  let max_configs =
+    Arg.(
+      value & opt int 20_000
+      & info [ "max-configs" ] ~docv:"C"
+          ~doc:"Exploration budget per protocol.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the reports as a JSON array on stdout.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Statically analyze protocol definitions: op-conformance against \
+          declared object kinds, derived historyless/swap-only flags \
+          cross-checked against the hand-written predicates, determinism \
+          and hash-coherence lints, decision range/coverage, and measured \
+          solo executions gated by the proved solo-step bound (8(n-k) for \
+          Algorithm 1). Exit 0 if every check passes, 1 on analysis \
+          failure, 2 on usage errors.")
+    Term.(
+      const go $ algo $ n $ max_configs $ json $ metrics_arg
+      $ metrics_out_arg)
+
 let () =
   let doc =
     "Obstruction-free consensus and k-set agreement from swap objects \
@@ -598,6 +686,6 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "swapspace" ~version:"1.0.0" ~doc)
-          [ run_cmd; check_cmd; lemma9_cmd; lb_binary_cmd; lb_bounded_cmd
-          ; bounds_cmd; multicore_cmd; chaos_cmd
+          [ run_cmd; check_cmd; analyze_cmd; lemma9_cmd; lb_binary_cmd
+          ; lb_bounded_cmd; bounds_cmd; multicore_cmd; chaos_cmd
           ]))

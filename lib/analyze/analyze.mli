@@ -1,0 +1,171 @@
+(** Static analysis of protocol definitions and happens-before checking of
+    recorded multicore histories.
+
+    The paper's claims are claims about protocol {e structure}: Algorithm 1
+    is deterministic, uses only historyless (indeed swap-only) objects, and
+    decides within 8(n-k) solo steps (Lemmas 5-8); Lemma 9 / Theorem 10
+    apply only to protocols that genuinely are historyless.  Until now those
+    facts were asserted by hand ([Protocol.uses_only_historyless] inspects
+    declared object kinds) or observed dynamically.  This module verifies
+    them {e before} a protocol is run, by bounded abstract exploration of
+    the reachable configuration graph (reusing [Explore]'s interned store
+    and memoized solo oracle), and checks recorded runtime histories for
+    atomicity races {e after} it runs, with a near-linear vector-clock
+    happens-before pass that is independent of the exponential
+    linearizability checker.
+
+    The static checks:
+
+    - {b well-formedness}: [Protocol.validate] (parameters in range, initial
+      values in domain);
+    - {b op-conformance}: every reachable poised operation is legal for its
+      object's kind ([Obj_kind.supports], which includes the domain check on
+      stored values) and targets an object in range;
+    - {b flag-derivation}: the historyless / swap-only flags are {e derived}
+      from the reachable operations ([Op.is_historyless_action] /
+      [Op.is_swap_action]) and cross-checked against the hand-written
+      kind-based predicates, failing on divergence in either direction (a
+      declared-historyless protocol reaching a CAS is unsound; a
+      declared-CAS protocol never reaching one under exhaustive exploration
+      mis-states its hypotheses);
+    - {b determinism}: stepping the same process twice from the same
+      configuration yields identical operations, responses and successor
+      configurations;
+    - {b hash-coherence}: over a sample of reachable states,
+      [equal_state s1 s2] implies [hash_state s1 = hash_state s2], and both
+      functions are self-consistent (reflexive, repeatable);
+    - {b decision-range}: every decision lies in [0 .. m-1];
+    - {b decision-coverage}: every value [v] is actually decided by the solo
+      execution from the all-[v] input vector (no unreachable decision
+      values, and solo validity);
+    - {b solo-bound}: from every explored configuration, every undecided
+      process decides within the protocol's declared solo-step bound
+      (Lemma 8's [8(n-k)] for Algorithm 1), measured through [Explore]'s
+      memoized {!Explore.Make.solo_steps} oracle. *)
+
+(** {1 Reports} *)
+
+type status =
+  | Pass
+  | Fail of string list  (** first few failure details, most severe first *)
+  | Skipped of string  (** why the check did not apply *)
+
+type check = { id : string; title : string; status : status }
+
+type report = {
+  protocol : string;
+  n : int;
+  k : int;
+  m : int;
+  configs : int;  (** configurations visited by the bounded exploration *)
+  exhaustive : bool;
+      (** the exploration closed the reachable graph (no truncation by
+          budget or pruning) — only then are absence claims
+          ("no reachable CAS") proofs rather than bounded evidence *)
+  declared_historyless : bool;  (** [Protocol.uses_only_historyless] *)
+  declared_swap_only : bool;  (** [Protocol.uses_only_swap] *)
+  derived_historyless : bool;
+      (** no reachable operation is a [Cas] (within the explored region) *)
+  derived_swap_only : bool;
+      (** every reachable operation is a [Swap] (within the explored
+          region) *)
+  solo_measured_max : int;
+      (** the longest solo execution measured from any explored
+          configuration; [0] if none was checked *)
+  solo_checked : int;  (** number of (configuration, pid) solo runs *)
+  solo_bound : int option;  (** the declared bound the measurements gate *)
+  checks : check list;
+}
+
+val ok : report -> bool
+(** no check failed *)
+
+val pp_report : Format.formatter -> report -> unit
+val report_to_json : report -> Obs.Json.t
+
+(** {1 The static analyzer} *)
+
+module Make (P : Shmem.Protocol.S) : sig
+  module X : module type of Explore.Make (P)
+
+  val run :
+    ?max_configs:int ->
+    ?inputs:int array ->
+    ?solo_bound:int ->
+    ?prune:(Shmem.Value.t array -> bool) ->
+    unit ->
+    report
+  (** analyze [P] from the initial configuration with the given inputs
+      (default [pid mod m]).  [max_configs] (default 20_000) bounds the
+      exploration; [prune] (default none) cuts off configurations whose
+      memory snapshot satisfies it — both mark the report non-exhaustive.
+      [solo_bound] declares the bound the solo-bound verifier enforces
+      (default: none declared, the verifier only measures and still
+      requires solo {e termination} within [Explore]'s default cap). *)
+end
+
+val run_protocol :
+  ?max_configs:int ->
+  ?inputs:int array ->
+  ?solo_bound:int ->
+  ?prune:(Shmem.Value.t array -> bool) ->
+  Shmem.Protocol.t ->
+  report
+(** {!Make.run} over a first-class protocol value — what [swapspace
+    analyze] calls for each registry entry *)
+
+(** {1 Happens-before race checking}
+
+    A near-linear dynamic checker over the timestamped per-object histories
+    recorded by the multicore runtime ([Runtime.Make.run ~record:true]).
+    Timestamps come from one global atomic clock, so [finish a < start b]
+    is a {e definite} real-time precedence; the checker represents that
+    interval order with per-thread vector clocks and flags responses that
+    no linearization consistent with it could produce:
+
+    - {b stale-response}: a response value that no operation that could
+      precede the reader ever installed (and is not the initial value);
+    - {b lost-seniority}: the initial value returned after an install
+      definitely preceded the reader, with no operation ever re-installing
+      the initial value;
+    - {b duplicate-consumption}: swap responses consume installs — each
+      installed value instance is returned by at most one later swap, so
+      for every value [r], [#swap responses = r] at most
+      [#installs of r + (init = r)].  A torn exchange manifests here (two
+      swaps witnessing the same predecessor), as do lost updates and
+      double TAS winners.
+
+    All three rules are sound: a linearizable history never trips them.
+    They are deliberately incomplete (order anomalies among distinct values
+    can escape) — the exponential Wing & Gong checker remains the complete
+    oracle for short histories; this one scales to the full campaign
+    traffic. *)
+
+module Hb : sig
+  type violation = { rule : string; detail : string }
+
+  type stats = {
+    events : int;
+    threads : int;
+    hb_edges : int;  (** definite-precedence pairs witnessed *)
+  }
+
+  val check :
+    kind:Shmem.Obj_kind.t ->
+    init:Shmem.Value.t ->
+    Linearize.Obj_history.event list ->
+    (stats, violation) result
+  (** check one object's history (sorted by invocation timestamp, as the
+      runtime returns it); the first violation wins *)
+
+  val check_histories :
+    ?max_events:int ->
+    kinds:Shmem.Obj_kind.t array ->
+    init:(int -> Shmem.Value.t) ->
+    Linearize.Obj_history.event list array ->
+    (int * int, string) result
+  (** run {!check} on every per-object history: [(checked, skipped)] on
+      success, where histories longer than [max_events] (default 65_536)
+      are skipped; [Error] names the first object that fails and the rule
+      it broke *)
+end

@@ -93,8 +93,28 @@ let make_general ?(eager = false) ~kind_name ~kind ~n ~cap () : (module S) =
         else rescan s
 
     let decision s = s.decided
-    let equal_state s1 s2 = s1 = s2
-    let hash_state s = Hashtbl.hash s
+    let equal_state s1 s2 =
+      s1.pid = s2.pid && s1.pref = s2.pref
+      && Option.equal Int.equal s1.decided s2.decided
+      &&
+      (match s1.phase, s2.phase with
+      | Scan_own a, Scan_own b -> a.index = b.index && a.count = b.count
+      | Scan_opp a, Scan_opp b ->
+        a.index = b.index && a.count = b.count && a.own = b.own
+      | Advance a, Advance b -> a.own = b.own && a.opp = b.opp
+      | (Scan_own _ | Scan_opp _ | Advance _), _ -> false)
+
+    let hash_state s =
+      let phase_hash =
+        match s.phase with
+        | Scan_own { index; count } ->
+          Sh.Hashx.(int (int (int seed 1) index) count)
+        | Scan_opp { index; count; own } ->
+          Sh.Hashx.(int (int (int (int seed 2) index) count) own)
+        | Advance { own; opp } -> Sh.Hashx.(int (int (int seed 3) own) opp)
+      in
+      Sh.Hashx.(
+        opt int (int (int (int seed s.pid) s.pref) phase_hash) s.decided)
 
     let pp_state ppf s =
       let pp_phase ppf = function

@@ -156,16 +156,22 @@ module Make (B : Sh.Protocol.S) = struct
       let hash_state s =
         let phase_hash =
           match s.phase with
-          | Posting j -> j
-          | Running { round; sub } -> (round * 31) + B.hash_state sub
+          | Posting j -> Sh.Hashx.(int (int seed 1) j)
+          | Running { round; sub } ->
+            Sh.Hashx.(int (int (int seed 2) round) (B.hash_state sub))
           | Scanning { round; idx; seen } ->
-            List.fold_left
-              (fun acc v -> (acc * 31) + Sh.Value.hash v)
-              ((round * 7) + idx)
-              seen
+            Sh.Hashx.(
+              list
+                (fun h v -> int h (Sh.Value.hash v))
+                (int (int (int seed 3) round) idx)
+                seen)
         in
-        Hashtbl.hash
-          (s.pid, s.input, s.agreed, s.candidate, s.decided, phase_hash)
+        Sh.Hashx.(
+          opt int
+            (int
+               (int (int (int (int seed s.pid) s.input) s.agreed) s.candidate)
+               phase_hash)
+            s.decided)
 
       let pp_state ppf s =
         let pp_phase ppf = function

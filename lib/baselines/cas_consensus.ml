@@ -33,8 +33,16 @@ let make ~n ~m : (module Sh.Protocol.S) =
           (Fmt.str "cas-consensus: unexpected response %a" Sh.Value.pp v)
 
     let decision s = s.decided
-    let equal_state s1 s2 = s1 = s2
-    let hash_state s = Hashtbl.hash s
+    let equal_state s1 s2 =
+      s1.input = s2.input
+      && (match s1.phase, s2.phase with
+         | Try, Try | Read_back, Read_back -> true
+         | (Try | Read_back), _ -> false)
+      && Option.equal Int.equal s1.decided s2.decided
+
+    let hash_state s =
+      let phase = match s.phase with Try -> 1 | Read_back -> 2 in
+      Sh.Hashx.(opt int (int (int seed s.input) phase) s.decided)
 
     let pp_state ppf s =
       Fmt.pf ppf "{input=%d %s%a}" s.input

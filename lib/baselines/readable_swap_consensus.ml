@@ -97,12 +97,24 @@ let make ~n ~m : (module Sh.Protocol.S) =
     let decision s = s.decided
 
     let equal_state s1 s2 =
-      s1.pid = s2.pid && s1.phase = s2.phase && s1.conflict = s2.conflict
-      && s1.decided = s2.decided
+      s1.pid = s2.pid && s1.conflict = s2.conflict
+      && Option.equal Int.equal s1.decided s2.decided
       && Array.for_all2 Int.equal s1.u s2.u
+      &&
+      (match s1.phase, s2.phase with
+      | Reading i1, Reading i2 | Swapping i1, Swapping i2 -> i1 = i2
+      | (Reading _ | Swapping _), _ -> false)
 
     let hash_state s =
-      Hashtbl.hash (s.pid, s.phase, s.conflict, s.decided, Array.to_list s.u)
+      let phase_hash =
+        match s.phase with
+        | Reading i -> Sh.Hashx.(int (int seed 1) i)
+        | Swapping i -> Sh.Hashx.(int (int seed 2) i)
+      in
+      Sh.Hashx.(
+        opt int
+          (bool (int (ints (int seed s.pid) s.u) phase_hash) s.conflict)
+          s.decided)
 
     let pp_state ppf s =
       let pp_phase ppf = function

@@ -107,7 +107,8 @@ let make ~n ~k ~m : (module Sh.Protocol.S) =
     let decision s = s.decided
 
     let equal_state s1 s2 =
-      s1.pid = s2.pid && s1.decided = s2.decided
+      s1.pid = s2.pid
+      && Option.equal Int.equal s1.decided s2.decided
       && Array.for_all2 Int.equal s1.u s2.u
       &&
       (match s1.phase, s2.phase with
@@ -120,12 +121,15 @@ let make ~n ~k ~m : (module Sh.Protocol.S) =
       let phase_hash =
         match s.phase with
         | Collect { i; seen } ->
-          List.fold_left
-            (fun acc v -> (acc * 31) + Sh.Value.hash v)
-            (i * 7) seen
-        | Write_one i -> (i * 13) + 5
+          Sh.Hashx.(
+            list
+              (fun h v -> int h (Sh.Value.hash v))
+              (int (int seed 1) i)
+              seen)
+        | Write_one i -> Sh.Hashx.(int (int seed 2) i)
       in
-      Hashtbl.hash (s.pid, s.decided, phase_hash, Array.to_list s.u)
+      Sh.Hashx.(
+        opt int (int (ints (int seed s.pid) s.u) phase_hash) s.decided)
 
     let pp_state ppf s =
       let pp_phase ppf = function

@@ -5,6 +5,7 @@ type entry = {
   burst : int;
   stated_objects : string;
   multicore_runnable : bool;
+  solo_bound : int option;
 }
 
 let lap_prune bound mem =
@@ -32,6 +33,7 @@ let standard ?(n = 4) () =
     ; burst = 8 * cap
     ; stated_objects = stated
     ; multicore_runnable = false
+    ; solo_bound = None
     }
   in
   [ (let (module P) = Core.Swap_ksa.make ~n ~k:1 ~m:2 in
@@ -41,6 +43,7 @@ let standard ?(n = 4) () =
      ; burst = 2 * Core.Swap_ksa.solo_step_bound ~n ~k:1
      ; stated_objects = "n-1 (optimal)"
      ; multicore_runnable = true
+     ; solo_bound = Some (Core.Swap_ksa.solo_step_bound ~n ~k:1)
      })
   ; (let (module P) = Core.Swap_ksa.make ~n ~k:k2 ~m:(k2 + 1) in
      { name = Fmt.str "swap-ksa k=%d" k2
@@ -49,6 +52,7 @@ let standard ?(n = 4) () =
      ; burst = 2 * Core.Swap_ksa.solo_step_bound ~n ~k:k2
      ; stated_objects = "n-k"
      ; multicore_runnable = true
+     ; solo_bound = Some (Core.Swap_ksa.solo_step_bound ~n ~k:k2)
      })
   ; { name = "register-ksa k=1"
     ; protocol = Register_ksa.make ~n ~k:1 ~m:2
@@ -56,6 +60,7 @@ let standard ?(n = 4) () =
     ; burst = 8 * (n + 1) * (n + 1)
     ; stated_objects = "n-k+1"
     ; multicore_runnable = true
+    ; solo_bound = None
     }
   ; { name = "readable-swap"
     ; protocol = Readable_swap_consensus.make ~n ~m:2
@@ -63,6 +68,7 @@ let standard ?(n = 4) () =
     ; burst = 32 * n
     ; stated_objects = "n-1"
     ; multicore_runnable = true
+    ; solo_bound = None
     }
   ; track Binary_track_consensus.make "binary-track" "2n-1 binary [17]"
   ; track Binary_track_consensus.make_eager "binary-track eager"
@@ -74,6 +80,7 @@ let standard ?(n = 4) () =
     ; burst = 16 * cap
     ; stated_objects = "O(n log m) binary"
     ; multicore_runnable = false
+    ; solo_bound = None
     }
   ; (let k = max 1 ((n + 1) / 2) in
      { name = "grouped-ksa"
@@ -82,6 +89,7 @@ let standard ?(n = 4) () =
      ; burst = 4
      ; stated_objects = "k (n <= 2k)"
      ; multicore_runnable = true
+     ; solo_bound = None
      })
   ; { name = "cas"
     ; protocol = Cas_consensus.make ~n ~m:2
@@ -89,6 +97,7 @@ let standard ?(n = 4) () =
     ; burst = 4
     ; stated_objects = "1 (not historyless)"
     ; multicore_runnable = true
+    ; solo_bound = None
     }
   ; { name = "pair-ksa"
     ; protocol = Core.Pair_ksa.make ~n ~m:2
@@ -96,6 +105,7 @@ let standard ?(n = 4) () =
     ; burst = 4
     ; stated_objects = "1"
     ; multicore_runnable = true
+    ; solo_bound = None
     }
   ]
 

@@ -21,6 +21,11 @@ type entry = {
           is unconditional, false for the cap-bounded unary-track
           constructions (binary-track, tas-track, bitwise), which may
           livelock at the cap under real concurrency *)
+  solo_bound : int option;
+      (** a {e proved} bound on the number of steps in any solo execution:
+          [8(n-k)] for Algorithm 1 (Lemma 8).  [None] where the source
+          gives no closed-form solo bound.  [lib/analyze]'s solo-bound
+          verifier checks measured solo executions against this. *)
 }
 
 val standard : ?n:int -> unit -> entry list

@@ -116,7 +116,10 @@ let make_general ~n ~k ~m ~lead ~merge : (module S) =
       && Array.for_all2 Int.equal s1.u s2.u
 
     let hash_state s =
-      Hashtbl.hash (s.pid, s.i, s.conflict, s.decided, Array.to_list s.u)
+      Sh.Hashx.(
+        opt int
+          (bool (int (ints (int seed s.pid) s.u) s.i) s.conflict)
+          s.decided)
 
     let pp_state ppf s =
       Fmt.pf ppf "{u=[%a] i=%d conflict=%b%a}"

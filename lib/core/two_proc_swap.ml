@@ -24,8 +24,12 @@ let make ~m : (module Sh.Protocol.S) =
           (Fmt.str "two-proc-swap: malformed object value %a" Sh.Value.pp v)
 
     let decision s = s.decided
-    let equal_state s1 s2 = s1 = s2
-    let hash_state s = Hashtbl.hash s
+    let equal_state s1 s2 =
+      s1.pid = s2.pid && s1.input = s2.input
+      && Option.equal Int.equal s1.decided s2.decided
+
+    let hash_state s =
+      Sh.Hashx.(opt int (int (int seed s.pid) s.input) s.decided)
 
     let pp_state ppf s =
       Fmt.pf ppf "{input=%d%a}" s.input

@@ -63,7 +63,7 @@ module Make (P : Shmem.Protocol.S) = struct
     Array.iter (fun v -> h := (!h * 31) + Shmem.Value.hash v) c.E.mem;
     !h land max_int
 
-  type solo_shard = { verdicts : bool Solo_tbl.t; solo_lock : Mutex.t }
+  type solo_shard = { verdicts : int option Solo_tbl.t; solo_lock : Mutex.t }
 
   type t = {
     shards : shard array;
@@ -156,7 +156,7 @@ module Make (P : Shmem.Protocol.S) = struct
     in
     go id []
 
-  let solo_ok t ~pid c =
+  let solo_steps t ~pid c =
     let rk =
       ((mem_hash c * 31) + P.hash_state c.E.states.(pid)) land max_int
     in
@@ -170,9 +170,15 @@ module Make (P : Shmem.Protocol.S) = struct
       Obs.Counter.incr m_solo_misses;
       (* computed outside the lock: a racing duplicate computation is
          harmless (the verdict is deterministic) *)
-      let verdict = E.run_solo ~pid ~max_steps:t.cap c <> None in
+      let verdict =
+        match E.run_solo ~pid ~max_steps:t.cap c with
+        | None -> None
+        | Some (_, trace) -> Some (Shmem.Trace.length trace)
+      in
       locked s.solo_lock (fun () -> Solo_tbl.replace s.verdicts key verdict);
       verdict
+
+  let solo_ok t ~pid c = solo_steps t ~pid c <> None
 
   type verdict = Continue | Prune | Stop
 

@@ -71,6 +71,13 @@ module Make (P : Shmem.Protocol.S) : sig
       configuration.  Memoized on [(pid's state, memory)] — sound because a
       solo execution of [pid] reads nothing else. *)
 
+  val solo_steps : t -> pid:int -> E.config -> int option
+  (** the number of steps [pid] takes to decide when run alone from the
+      given configuration, or [None] if it does not decide within
+      [solo_cap t].  Shares the memo table with {!solo_ok} — the solo-bound
+      verifier of [lib/analyze] compares these measurements against a
+      protocol's declared bound (Lemma 8's [8(n-k)] for Algorithm 1). *)
+
   (** {1 Strategies}
 
       All strategies call [visit] exactly once per discovered configuration

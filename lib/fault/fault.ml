@@ -637,10 +637,13 @@ module Mc (P : Shmem.Protocol.S) = struct
     stalls_injected : int;
     total_ops : int;
     elapsed : float;
+    hb_checked : int;
+    hb_skipped : int;
     violations : finding list;
   }
 
-  let campaign ?inputs ?max_ops ?(deadline = 10.) ~seed ~runs ~kinds () =
+  let campaign ?inputs ?max_ops ?(deadline = 10.) ?(record = true) ~seed
+      ~runs ~kinds () =
     List.iter
       (fun k ->
         if not (kind_is_benign k) then
@@ -655,6 +658,8 @@ module Mc (P : Shmem.Protocol.S) = struct
     let stalls_injected = ref 0 in
     let total_ops = ref 0 in
     let elapsed = ref 0. in
+    let hb_checked = ref 0 in
+    let hb_skipped = ref 0 in
     for i = 0 to runs - 1 do
       let rng = Random.State.make [| seed; i; 0xC4A05 |] in
       let plan = gen_plan ~rng ~n:P.n ~num_objects:(Array.length P.objects) kinds in
@@ -669,22 +674,39 @@ module Mc (P : Shmem.Protocol.S) = struct
       crashes_injected := !crashes_injected + List.length crash_at;
       stalls_injected := !stalls_injected + List.length stalls;
       let outcome =
-        R.run ~inputs ~seed:(seed + i) ?max_ops ~crash_at ~stalls ~deadline ()
+        R.run ~inputs ~seed:(seed + i) ?max_ops ~record ~crash_at ~stalls
+          ~deadline ()
       in
       Obs.Counter.incr m_runs;
       total_ops := !total_ops + Array.fold_left ( + ) 0 outcome.R.ops;
       elapsed := !elapsed +. outcome.R.elapsed;
-      match R.check_degraded ~inputs outcome with
+      (match R.check_degraded ~inputs outcome with
       | Ok () -> ()
       | Error detail ->
         Obs.Counter.incr m_violations;
-        violations := { run = i; plan; detail } :: !violations
+        violations := { run = i; plan; detail } :: !violations);
+      (* second detector: the vector-clock happens-before pass over the
+         recorded histories — a crash/stall must never tear an atomic
+         exchange, so any violation here is a runtime bug even when the
+         degradation contract still holds *)
+      if record then
+        match R.check_hb outcome with
+        | Ok (c, s) ->
+          hb_checked := !hb_checked + c;
+          hb_skipped := !hb_skipped + s
+        | Error detail ->
+          Obs.Counter.incr m_violations;
+          violations :=
+            { run = i; plan; detail = "happens-before: " ^ detail }
+            :: !violations
     done;
     { runs;
       crashes_injected = !crashes_injected;
       stalls_injected = !stalls_injected;
       total_ops = !total_ops;
       elapsed = !elapsed;
+      hb_checked = !hb_checked;
+      hb_skipped = !hb_skipped;
       violations = List.rev !violations
     }
 end

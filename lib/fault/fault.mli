@@ -239,15 +239,22 @@ module Mc (P : Shmem.Protocol.S) : sig
     stalls_injected : int;
     total_ops : int;  (** shared-memory operations across all runs *)
     elapsed : float;  (** summed wall-clock seconds of the runs *)
+    hb_checked : int;
+        (** per-object histories passed through the happens-before race
+            checker ({!Runtime.Make.check_hb}) across all recorded runs *)
+    hb_skipped : int;  (** histories over the event cap, left unchecked *)
     violations : finding list;
         (** failures of the graceful-degradation contract
-            ([Runtime.Make.check_degraded]): any entry is a bug *)
+            ([Runtime.Make.check_degraded]) or of the happens-before
+            atomicity check (details prefixed ["happens-before:"]): any
+            entry is a bug *)
   }
 
   val campaign :
     ?inputs:int array ->
     ?max_ops:int ->
     ?deadline:float ->
+    ?record:bool ->
     seed:int ->
     runs:int ->
     kinds:kind list ->
@@ -256,6 +263,9 @@ module Mc (P : Shmem.Protocol.S) : sig
   (** seeded randomized crash/stall campaigns on the multicore runtime;
       each run is checked with [check_degraded] (every process decided or
       was crashed by injection; decided values satisfy k-agreement and
-      validity).  Default [deadline] 10s per run.
+      validity), and — with [record] (default [true]) — its timestamped
+      histories are checked by the vector-clock happens-before race
+      detector ({!Runtime.Make.check_hb}).  Default [deadline] 10s per
+      run.
       @raise Invalid_argument if [kinds] contains an object-fault kind *)
 end

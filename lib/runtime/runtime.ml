@@ -459,4 +459,8 @@ module Make (P : Sh.Protocol.S) = struct
         end
     in
     go 0
+
+  let check_hb ?max_events outcome =
+    Analyze.Hb.check_histories ?max_events ~kinds:P.objects
+      ~init:P.init_object outcome.histories
 end

@@ -147,4 +147,14 @@ module Make (P : Shmem.Protocol.S) : sig
       search is exponential — and reported in [skipped] so a "passing"
       check that covered nothing is visible.  [Error] carries the first
       object whose history fails to linearize. *)
+
+  val check_hb : ?max_events:int -> outcome -> (int * int, string) result
+  (** run {!Analyze.Hb.check_histories} — the near-linear vector-clock
+      happens-before race checker — over the same recorded histories.
+      Sound but incomplete where {!check_histories} is complete but
+      exponential: the default [max_events] is 65_536, so it covers the
+      long histories the linearizability checker must skip.  Returns
+      [(checked, skipped)]; [Error] carries the first object with a
+      definite atomicity violation (torn exchange, lost update, duplicate
+      swap consumption). *)
 end

@@ -18,6 +18,22 @@ let is_nontrivial op =
 
 let targets op i = op.obj = i
 
+let is_historyless_action = function
+  | Read | Write _ | Swap _ -> true
+  | Cas _ -> false
+
+let is_historyless op = is_historyless_action op.action
+
+let is_swap_action = function
+  | Swap _ -> true
+  | Read | Write _ | Cas _ -> false
+
+let installs ~resp action =
+  match action with
+  | Read -> None
+  | Write v | Swap v -> Some v
+  | Cas (_, desired) -> if Value.equal resp Value.one then Some desired else None
+
 let equal_action a1 a2 =
   match a1, a2 with
   | Read, Read -> true

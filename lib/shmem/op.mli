@@ -30,5 +30,23 @@ val is_nontrivial : t -> bool
 val targets : t -> int -> bool
 (** [targets op i] is true iff [op] is applied to object [i]. *)
 
+val is_historyless_action : action -> bool
+(** every action except [Cas]: the value the action leaves in the object
+    does not depend on the value it found there (§2).  [lib/analyze] derives
+    a protocol's historyless flag from the actions it actually reaches,
+    cross-checking the kind-based [Protocol.uses_only_historyless]. *)
+
+val is_historyless : t -> bool
+
+val is_swap_action : action -> bool
+(** exactly [Swap _] — the Theorem 10 model admits no other action *)
+
+val installs : resp:Value.t -> action -> Value.t option
+(** the value the action stored in the object, given the response it
+    obtained: [Write]/[Swap] always install their argument, a [Cas]
+    installs its desired value only when it succeeded (response
+    [Value.one]), and [Read] installs nothing.  This is the write half the
+    happens-before checker matches responses against. *)
+
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
