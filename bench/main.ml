@@ -24,11 +24,15 @@
      T10 Chaos campaigns (not in the paper): fault-injection throughput and
          detection counts — benign plans must produce zero violations,
          object-fault plans must be detected whenever they manifest.
+     T12 Symmetry + partial-order reduction (not in the paper): reduced vs
+         unreduced exploration on identical state spaces — interned-state
+         collapse, wall-clock, and the Theorem 10 search with canonical
+         interning.
      F1  The Lemma 15 induction chain (paper Figure 1).
      F2  The Lemma 19 induction chain (paper Figure 2).
 
    Usage: dune exec bench/main.exe [-- section ...] [--csv DIR] [--json FILE]
-   where section ∈ {t0..t10 f1 f2 bechamel all}; default all.  With
+   where section ∈ {t0..t12 f1 f2 bechamel all}; default all.  With
    [--csv DIR], every table is additionally written to DIR/<section>.csv;
    with [--json FILE], all tables of the run are written to FILE as one
    machine-readable JSON document (section id, title, header, rows, wall
@@ -868,6 +872,110 @@ let t11 () =
     "every verdict must be ok; where a closed-form solo bound is declared \
      (Algorithm 1, Lemma 8) the measured maximum stays within it.@."
 
+(* ----------------------------------------------------------------- T12 *)
+
+(* Reduced vs unreduced exploration: the symmetry (canonical-orbit
+   interning) and partial-order reductions of lib/explore, measured on
+   identical state spaces.  The check rows share T9's total-lap prune so
+   every non-"-" run closes its graph inside the budget; the ratio column
+   is the interned-state collapse the canonicalization buys.  Larger n run
+   reduced-only — their unreduced spaces no longer fit the budget, which is
+   the point of the reduction.  The Theorem 10 rows time the §5 induction's
+   random search with and without canonical interning of the walk store
+   (the certificate is identical either way). *)
+let t12 () =
+  section_header "t12"
+    "symmetry + POR: reduced vs unreduced exploration (Swap_ksa)";
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    r, Unix.gettimeofday () -. t0
+  in
+  let max_configs = 3_000_000 in
+  let check_rows =
+    List.map
+      (fun (n, lap, unreduced_too) ->
+        let (module P) = Core.Swap_ksa.make ~n ~k:1 ~m:2 in
+        let module C = Checker.Make (P) in
+        let prune (c : C.E.config) =
+          let total = ref 0 in
+          Array.iter
+            (fun v ->
+              match v with
+              | Shmem.Value.Pair (Shmem.Value.Ints u, _) ->
+                Array.iter (fun x -> total := !total + x) u
+              | _ -> ())
+            c.C.E.mem;
+          !total > lap
+        in
+        let inputs = Array.init n (fun i -> i mod 2) in
+        let red, red_t =
+          time (fun () ->
+              C.explore ~max_configs ~prune ~sym:true ~por:true ~inputs ())
+        in
+        assert (Checker.ok red);
+        assert (red.Checker.configs_explored < max_configs);
+        let full_cell, ratio_cell, speedup_cell =
+          if not unreduced_too then "-", "-", "-"
+          else begin
+            let full, full_t =
+              time (fun () -> C.explore ~max_configs ~prune ~inputs ())
+            in
+            assert (Checker.ok full);
+            assert (full.Checker.configs_explored < max_configs);
+            ( string_of_int full.Checker.configs_explored
+            , Fmt.str "%.1fx"
+                (float_of_int full.Checker.configs_explored
+                /. float_of_int red.Checker.configs_explored)
+            , Fmt.str "%.1fx" (full_t /. red_t) )
+          end
+        in
+        [ string_of_int n
+        ; string_of_int lap
+        ; string_of_int red.Checker.configs_explored
+        ; Fmt.str "%.2f" red_t
+        ; full_cell
+        ; ratio_cell
+        ; speedup_cell
+        ])
+      [ 5, 3, true; 6, 2, true; 7, 2, true; 8, 2, false; 9, 1, false ]
+  in
+  print_table
+    [ "n"
+    ; "lap budget"
+    ; "reduced configs"
+    ; "reduced wall (s)"
+    ; "unreduced configs"
+    ; "state collapse"
+    ; "wall speedup"
+    ]
+    check_rows;
+  let t10_rows =
+    List.map
+      (fun (n, k) ->
+        let (module P) = Core.Swap_ksa.make ~n ~k ~m:(k + 1) in
+        let module T = Lowerbound.Theorem10.Make (P) in
+        let cert_r, red_t = time (fun () -> T.run ~search_rounds:30 ~sym:true ()) in
+        let cert_f, full_t = time (fun () -> T.run ~search_rounds:30 ()) in
+        (* canonical interning must not change the certificate *)
+        assert (cert_r.T.objects_forced = cert_f.T.objects_forced);
+        [ string_of_int n
+        ; string_of_int k
+        ; string_of_int (List.length cert_r.T.objects_forced)
+        ; Fmt.str "%.2f" red_t
+        ; Fmt.str "%.2f" full_t
+        ])
+      [ 8, 2; 9, 3 ]
+  in
+  print_table
+    [ "n"; "k"; "objects forced"; "T10 sym wall (s)"; "T10 plain wall (s)" ]
+    t10_rows;
+  Fmt.pr
+    "identical verdicts and certificates; the collapse column is bounded \
+     by the input-vector stabilizer (%s at n=7) and must stay >= 10x \
+     there.@."
+    "4!*3! = 144"
+
 (* ------------------------------------------------------------- figures *)
 
 let f1 () =
@@ -1072,8 +1180,8 @@ let run_compare args =
 
 let sections =
   [ "t0", t0; "t1", t1; "t2", t2; "t3", t3; "t4", t4; "t5", t5; "t6", t6; "t7", t7
-  ; "t8", t8; "t9", t9; "t10", t10; "t11", t11; "f1", f1; "f2", f2
-  ; "bechamel", bechamel ]
+  ; "t8", t8; "t9", t9; "t10", t10; "t11", t11; "t12", t12; "f1", f1
+  ; "f2", f2; "bechamel", bechamel ]
 
 let run_tables args =
   (* accept "--csv DIR", "--csv=DIR", "--json FILE" and "--json=FILE" *)

@@ -80,6 +80,27 @@ let parse_inputs ~n ~m = function
     if List.length l <> n then Fmt.failwith "expected %d inputs" n;
     Array.of_list l
 
+(* the reductions are on by default for the verbs that explore state
+   spaces; [--no-sym]/[--no-por] are the escape hatches for debugging the
+   reductions themselves or comparing against the full graph *)
+let no_sym_arg =
+  Arg.(
+    value & flag
+    & info [ "no-sym" ]
+        ~doc:
+          "Disable the process-permutation symmetry reduction (explore the \
+           full configuration graph instead of one representative per \
+           orbit).")
+
+let no_por_arg =
+  Arg.(
+    value & flag
+    & info [ "no-por" ]
+        ~doc:
+          "Disable the partial-order reduction (expand every enabled \
+           process even where commuting deciding steps make one \
+           representative schedule sufficient).")
+
 (* ------------------------------------------------------------ metrics *)
 
 let metrics_arg =
@@ -211,32 +232,49 @@ let run_cmd =
 (* -------------------------------------------------------------- check *)
 
 let check_cmd =
-  let go algo n k m cap inputs all_inputs lap_cap max_configs no_solo domains
-      metrics metrics_out =
+  let go algo n k m cap inputs all_inputs lap_cap total_lap max_configs
+      no_solo domains no_sym no_por metrics metrics_out =
     let (module P) = protocol_or_usage_error ~algo ~n ~k ~m ~cap in
     let module C = Checker.Make (P) in
+    let sym = not no_sym and por = not no_por in
     let prune (c : C.E.config) =
-      Array.exists
-        (fun v ->
-          match v with
-          | Shmem.Value.Pair (Shmem.Value.Ints u, _) ->
-            Array.exists (fun x -> x > lap_cap) u
-          | _ -> false)
-        c.C.E.mem
+      let cell_over =
+        Array.exists
+          (fun v ->
+            match v with
+            | Shmem.Value.Pair (Shmem.Value.Ints u, _) ->
+              Array.exists (fun x -> x > lap_cap) u
+            | _ -> false)
+          c.C.E.mem
+      in
+      cell_over
+      ||
+      match total_lap with
+      | None -> false
+      | Some budget ->
+        let total = ref 0 in
+        Array.iter
+          (fun v ->
+            match v with
+            | Shmem.Value.Pair (Shmem.Value.Ints u, _) ->
+              Array.iter (fun x -> total := !total + x) u
+            | _ -> ())
+          c.C.E.mem;
+        !total > budget
     in
     let report =
       with_metrics ~metrics ~out:metrics_out (fun () ->
           if all_inputs then
             C.explore_all_inputs ~prune ~max_configs
-              ~check_solo:(not no_solo) ()
+              ~check_solo:(not no_solo) ~sym ~por ()
           else
             let inputs = parse_inputs ~n:P.n ~m:P.num_inputs inputs in
             if domains > 1 then
               C.explore_parallel ~domains ~prune ~max_configs
-                ~check_solo:(not no_solo) ~inputs ()
+                ~check_solo:(not no_solo) ~sym ~por ~inputs ()
             else
-              C.explore ~prune ~max_configs ~check_solo:(not no_solo)
-                ~inputs ())
+              C.explore ~prune ~max_configs ~check_solo:(not no_solo) ~sym
+                ~por ~inputs ())
     in
     Fmt.pr "%s: %a@." P.name Checker.pp_report report;
     if not (Checker.ok report) then exit 1
@@ -248,6 +286,16 @@ let check_cmd =
     Arg.(
       value & opt int 3
       & info [ "lap-cap" ] ~docv:"L" ~doc:"Prune configurations beyond this lap.")
+  in
+  let total_lap =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "total-lap" ] ~docv:"L"
+          ~doc:
+            "Additionally prune configurations whose lap counters sum to \
+             more than $(docv) across all processes (the tighter budget \
+             the T9/T12 benches use to close large-n graphs).")
   in
   let max_configs =
     Arg.(
@@ -267,7 +315,8 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Model-check agreement, validity, solo termination.")
     Term.(
       const go $ algo $ n $ k $ m $ cap $ inputs_arg $ all_inputs $ lap_cap
-      $ max_configs $ no_solo $ domains $ metrics_arg $ metrics_out_arg)
+      $ total_lap $ max_configs $ no_solo $ domains $ no_sym_arg $ no_por_arg
+      $ metrics_arg $ metrics_out_arg)
 
 (* ------------------------------------------------------------- lemma9 *)
 
@@ -604,7 +653,7 @@ let chaos_cmd =
 (* ------------------------------------------------------------ analyze *)
 
 let analyze_cmd =
-  let go algo n max_configs json metrics metrics_out =
+  let go algo n max_configs json no_sym no_por metrics metrics_out =
     let entries =
       match algo with
       | None -> Baselines.Registry.standard ~n ()
@@ -620,7 +669,8 @@ let analyze_cmd =
           List.map
             (fun (e : Baselines.Registry.entry) ->
               Analyze.run_protocol ~max_configs ?solo_bound:e.solo_bound
-                ~prune:e.prune e.protocol)
+                ~prune:e.prune ~sym:(not no_sym) ~por:(not no_por)
+                e.protocol)
             entries)
     in
     if json then
@@ -669,13 +719,14 @@ let analyze_cmd =
          "Statically analyze protocol definitions: op-conformance against \
           declared object kinds, derived historyless/swap-only flags \
           cross-checked against the hand-written predicates, determinism \
-          and hash-coherence lints, decision range/coverage, and measured \
-          solo executions gated by the proved solo-step bound (8(n-k) for \
+          and hash-coherence lints, decision range/coverage, symmetry-hook \
+          coherence on reachable states, and measured solo \
+          executions gated by the proved solo-step bound (8(n-k) for \
           Algorithm 1). Exit 0 if every check passes, 1 on analysis \
           failure, 2 on usage errors.")
     Term.(
-      const go $ algo $ n $ max_configs $ json $ metrics_arg
-      $ metrics_out_arg)
+      const go $ algo $ n $ max_configs $ json $ no_sym_arg $ no_por_arg
+      $ metrics_arg $ metrics_out_arg)
 
 let () =
   let doc =

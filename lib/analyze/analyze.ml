@@ -150,8 +150,11 @@ module Make (P : Sh.Protocol.S) = struct
   let determinism_sample = 4_096
   let hash_pool_size = 256
 
+  (* how many reachable states get the symmetry-hook coherence probe *)
+  let canon_sample = 2_048
+
   let run ?(max_configs = 20_000) ?inputs ?solo_bound
-      ?(prune = fun _ -> false) () =
+      ?(prune = fun _ -> false) ?(sym = false) ?(por = false) () =
     Obs.Span.time sp_run @@ fun () ->
     Obs.Counter.incr m_runs;
     let inputs =
@@ -168,6 +171,13 @@ module Make (P : Sh.Protocol.S) = struct
     (match Sh.Protocol.validate (module P : Sh.Protocol.S) with
     | () -> ()
     | exception Invalid_argument msg -> Acc.add wellformed msg);
+    let symfns =
+      match P.symmetry with
+      | Sh.Protocol.Anonymous { canon_key; rename } -> Some (canon_key, rename)
+      | Sh.Protocol.Asymmetric -> None
+    in
+    let canon = Acc.create () in
+    let canon_probes = ref 0 in
     let conformance = Acc.create () in
     let derivation = Acc.create () in
     let determinism = Acc.create () in
@@ -184,7 +194,7 @@ module Make (P : Sh.Protocol.S) = struct
     let pool = ref [] in
     let pool_len = ref 0 in
     let num_objects = Array.length P.objects in
-    let t = X.create ~solo_cap ~inputs () in
+    let t = X.create ~solo_cap ~sym ~por ~inputs () in
     let nonconforming = ref false in
     let visit (v : X.visit) =
       Obs.Counter.incr m_configs;
@@ -265,7 +275,54 @@ module Make (P : Sh.Protocol.S) = struct
                      "p%d steps differently on replay: %a -> %a vs %a -> %a"
                      pid Sh.Op.pp s1.Sh.Trace.op Sh.Value.pp s1.Sh.Trace.resp
                      Sh.Op.pp s2.Sh.Trace.op Sh.Value.pp s2.Sh.Trace.resp)
-            end
+            end;
+            (* canon-coherence: the symmetry hooks must behave as a group
+               action on REACHABLE states, not just the initial ones
+               [Protocol.validate] covers — rename invertible and
+               key/decision-invariant, and commuting with the step
+               function (the property that licenses interning canonical
+               representatives) *)
+            (match symfns with
+            | Some (canon_key, rename) when !canon_probes < canon_sample ->
+              incr canon_probes;
+              let s = c.E.states.(pid) in
+              let rot p = (p + 1) mod P.n in
+              let unrot p = (p + P.n - 1) mod P.n in
+              if not (P.equal_state (rename Fun.id s) s) then
+                Acc.add canon "rename by the identity changes a state";
+              let s' = rename rot s in
+              if not (P.equal_state (rename unrot s') s) then
+                Acc.add canon
+                  "rename by a rotation is not undone by its inverse";
+              if P.hash_state (rename unrot s') <> P.hash_state s then
+                Acc.add canon "equal states hash apart after rename";
+              if canon_key s' <> canon_key s then
+                Acc.add canon
+                  "canon_key is not renaming-invariant on a reachable state";
+              if not (Option.equal Int.equal (P.decision s') (P.decision s))
+              then Acc.add canon "rename changes a decision";
+              (match P.decision s with
+              | Some _ -> ()
+              | None ->
+                let op = P.poised s in
+                if not (Sh.Op.equal (P.poised s') (Sh.Op.rename rot op)) then
+                  Acc.add canon
+                    "poised does not commute with rename on a reachable \
+                     state";
+                let _, st = E.step c pid in
+                let resp = st.Sh.Trace.resp in
+                let lhs = rename rot (P.on_response s resp) in
+                let rhs = P.on_response s' (Sh.Value.rename rot resp) in
+                if not (P.equal_state lhs rhs) then
+                  Acc.add canon
+                    (Fmt.str
+                       "on_response does not commute with rename (p%d): %a \
+                        vs %a"
+                       pid P.pp_state lhs P.pp_state rhs)
+                else if P.hash_state lhs <> P.hash_state rhs then
+                  Acc.add canon
+                    "renamed on_response results are equal but hash apart")
+            | _ -> ())
           end;
           (* hash hygiene, cheap half: both functions self-consistent *)
           let s = c.E.states.(pid) in
@@ -396,6 +453,13 @@ module Make (P : Sh.Protocol.S) = struct
           ; title = "equal_state/hash_state agree on sampled states"
           ; status = Acc.status hash_coherence
           }
+        ; { id = "canon-coherence"
+          ; title = "symmetry hooks form a group action on reachable states"
+          ; status =
+              (match symfns with
+              | None -> Skipped "protocol declares Asymmetric"
+              | Some _ -> Acc.status canon)
+          }
         ; { id = "decision-range"
           ; title = "decisions lie in 0..m-1"
           ; status = Acc.status decision_range
@@ -412,10 +476,10 @@ module Make (P : Sh.Protocol.S) = struct
     }
 end
 
-let run_protocol ?max_configs ?inputs ?solo_bound ?prune p =
+let run_protocol ?max_configs ?inputs ?solo_bound ?prune ?sym ?por p =
   let (module P : Sh.Protocol.S) = p in
   let module A = Make (P) in
-  A.run ?max_configs ?inputs ?solo_bound ?prune ()
+  A.run ?max_configs ?inputs ?solo_bound ?prune ?sym ?por ()
 
 (* ------------------------------------------------- happens-before checker *)
 

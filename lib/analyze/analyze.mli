@@ -34,6 +34,15 @@
     - {b hash-coherence}: over a sample of reachable states,
       [equal_state s1 s2] implies [hash_state s1 = hash_state s2], and both
       functions are self-consistent (reflexive, repeatable);
+    - {b canon-coherence}: for protocols declaring
+      {!Shmem.Protocol.Anonymous}, the symmetry hooks behave as a group
+      action on a sample of {e reachable} states (not just the initial ones
+      [Protocol.validate] covers): renaming by the identity is the
+      identity, a rotation is undone by its inverse with equal hashes,
+      [canon_key] and [decision] are renaming-invariant, and [poised] /
+      [on_response] commute with renaming — the property that licenses
+      [Explore]'s canonical-representative interning.  Skipped for
+      [Asymmetric] protocols;
     - {b decision-range}: every decision lies in [0 .. m-1];
     - {b decision-coverage}: every value [v] is actually decided by the solo
       execution from the all-[v] input vector (no unreachable decision
@@ -93,6 +102,8 @@ module Make (P : Shmem.Protocol.S) : sig
     ?inputs:int array ->
     ?solo_bound:int ->
     ?prune:(Shmem.Value.t array -> bool) ->
+    ?sym:bool ->
+    ?por:bool ->
     unit ->
     report
   (** analyze [P] from the initial configuration with the given inputs
@@ -101,7 +112,11 @@ module Make (P : Shmem.Protocol.S) : sig
       memory snapshot satisfies it — both mark the report non-exhaustive.
       [solo_bound] declares the bound the solo-bound verifier enforces
       (default: none declared, the verifier only measures and still
-      requires solo {e termination} within [Explore]'s default cap). *)
+      requires solo {e termination} within [Explore]'s default cap).
+      [sym] / [por] (default [false]) run the lints over the engine's
+      reduced graph (see {!Explore.Make.create}) — every lint is
+      orbit-invariant, so verdicts are unaffected while [configs] covers a
+      quotient of the reachable space. *)
 end
 
 val run_protocol :
@@ -109,6 +124,8 @@ val run_protocol :
   ?inputs:int array ->
   ?solo_bound:int ->
   ?prune:(Shmem.Value.t array -> bool) ->
+  ?sym:bool ->
+  ?por:bool ->
   Shmem.Protocol.t ->
   report
 (** {!Make.run} over a first-class protocol value — what [swapspace

@@ -116,6 +116,25 @@ let make_general ?(eager = false) ~kind_name ~kind ~n ~cap () : (module S) =
       Sh.Hashx.(
         opt int (int (int (int seed s.pid) s.pref) phase_hash) s.decided)
 
+    (* anonymity: tracks are indexed by preference, never by pid; the pid
+       is carried but never consulted *)
+    let symmetry =
+      Sh.Protocol.Anonymous
+        { canon_key =
+            (fun s ->
+              let phase_hash =
+                match s.phase with
+                | Scan_own { index; count } ->
+                  Sh.Hashx.(int (int (int seed 1) index) count)
+                | Scan_opp { index; count; own } ->
+                  Sh.Hashx.(int (int (int (int seed 2) index) count) own)
+                | Advance { own; opp } ->
+                  Sh.Hashx.(int (int (int seed 3) own) opp)
+              in
+              Sh.Hashx.(opt int (int (int seed s.pref) phase_hash) s.decided))
+        ; rename = (fun f s -> { s with pid = f s.pid })
+        }
+
     let pp_state ppf s =
       let pp_phase ppf = function
         | Scan_own { index; count } -> Fmt.pf ppf "own@%d(%d)" index count

@@ -183,6 +183,10 @@ module Make (B : Sh.Protocol.S) = struct
           s.candidate pp_phase s.phase
           Fmt.(option (fun ppf d -> Fmt.pf ppf " decided=%d" d))
           s.decided
+
+      (* NOT anonymous: each process posts to its own board row
+         ([bit_cell ~pid]), so the object layout itself is pid-indexed *)
+      let symmetry = Sh.Protocol.Asymmetric
     end)
 end
 

@@ -49,4 +49,9 @@ let make ~n ~m : (module Sh.Protocol.S) =
         (match s.phase with Try -> "try" | Read_back -> "read")
         Fmt.(option (fun ppf d -> Fmt.pf ppf " decided=%d" d))
         s.decided
+
+    (* the state carries no pid at all: renaming is the identity *)
+    let symmetry =
+      Sh.Protocol.Anonymous
+        { canon_key = hash_state; rename = (fun _ s -> s) }
   end)

@@ -38,4 +38,8 @@ let make ~n ~k ~m : (module Sh.Protocol.S) =
       Fmt.pf ppf "{input=%d%a}" s.input
         Fmt.(option (fun ppf d -> Fmt.pf ppf " decided=%d" d))
         s.decided
+
+    (* NOT anonymous: the target object is [pid mod k], so renaming a
+       process moves its operations to a different object *)
+    let symmetry = Sh.Protocol.Asymmetric
   end)

@@ -116,6 +116,24 @@ let make ~n ~m : (module Sh.Protocol.S) =
           (bool (int (ints (int seed s.pid) s.u) phase_hash) s.conflict)
           s.decided)
 
+    (* anonymity: as in Algorithm 1, the pid only rides along in the
+       swapped pair and the [same_id] test *)
+    let symmetry =
+      Sh.Protocol.Anonymous
+        { canon_key =
+            (fun s ->
+              let phase_hash =
+                match s.phase with
+                | Reading i -> Sh.Hashx.(int (int seed 1) i)
+                | Swapping i -> Sh.Hashx.(int (int seed 2) i)
+              in
+              Sh.Hashx.(
+                opt int
+                  (bool (int (ints seed s.u) phase_hash) s.conflict)
+                  s.decided))
+        ; rename = (fun f s -> { s with pid = f s.pid })
+        }
+
     let pp_state ppf s =
       let pp_phase ppf = function
         | Reading i -> Fmt.pf ppf "R%d" i

@@ -131,6 +131,35 @@ let make ~n ~k ~m : (module Sh.Protocol.S) =
       Sh.Hashx.(
         opt int (int (ints (int seed s.pid) s.u) phase_hash) s.decided)
 
+    (* anonymity: the pid appears in the written pair and in the raw
+       register values remembered by [Collect.seen]; [rename] maps both,
+       and the canon key hashes [seen] pid-blind ([Value.hash_skel]) *)
+    let symmetry =
+      Sh.Protocol.Anonymous
+        { canon_key =
+            (fun s ->
+              let phase_hash =
+                match s.phase with
+                | Collect { i; seen } ->
+                  Sh.Hashx.(
+                    list
+                      (fun h v -> int h (Sh.Value.hash_skel v))
+                      (int (int seed 1) i)
+                      seen)
+                | Write_one i -> Sh.Hashx.(int (int seed 2) i)
+              in
+              Sh.Hashx.(opt int (int (ints seed s.u) phase_hash) s.decided))
+        ; rename =
+            (fun f s ->
+              let phase =
+                match s.phase with
+                | Collect { i; seen } ->
+                  Collect { i; seen = List.map (Sh.Value.rename f) seen }
+                | Write_one _ as p -> p
+              in
+              { s with pid = f s.pid; phase })
+        }
+
     let pp_state ppf s =
       let pp_phase ppf = function
         | Collect { i; _ } -> Fmt.pf ppf "C%d" i

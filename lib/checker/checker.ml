@@ -63,8 +63,9 @@ module Make (P : Shmem.Protocol.S) = struct
         (E.undecided c)
 
   let explore ?(max_configs = 200_000) ?(solo_cap = X.default_solo_cap)
-      ?(check_solo = true) ?(prune = fun _ -> false) ~inputs () =
-    let t = X.create ~solo_cap ~inputs () in
+      ?(check_solo = true) ?(prune = fun _ -> false) ?(sym = false)
+      ?(por = false) ~inputs () =
+    let t = X.create ~solo_cap ~sym ~por ~inputs () in
     let violations = ref [] in
     let record v = violations := v :: !violations in
     let visit v =
@@ -79,8 +80,8 @@ module Make (P : Shmem.Protocol.S) = struct
 
   let explore_parallel ?(domains = 4) ?(max_configs = 200_000)
       ?(solo_cap = X.default_solo_cap) ?(check_solo = true)
-      ?(prune = fun _ -> false) ~inputs () =
-    let t = X.create ~shards:(max 1 domains) ~solo_cap ~inputs () in
+      ?(prune = fun _ -> false) ?(sym = false) ?(por = false) ~inputs () =
+    let t = X.create ~shards:(max 1 domains) ~solo_cap ~sym ~por ~inputs () in
     let violations = ref [] in
     let lock = Mutex.create () in
     let record v =
@@ -120,13 +121,35 @@ module Make (P : Shmem.Protocol.S) = struct
     in
     go 0 []
 
-  let explore_all_inputs ?max_configs ?solo_cap ?check_solo ?prune () =
+  let explore_all_inputs ?max_configs ?solo_cap ?check_solo ?prune
+      ?(sym = false) ?(por = false) () =
+    let vectors = all_input_vectors () in
+    let vectors =
+      (* for anonymous protocols under symmetry reduction, permuting the
+         input vector permutes the whole reachable space: one initial
+         configuration per input multiset (the nondecreasing vectors)
+         suffices *)
+      let anonymous =
+        match P.symmetry with
+        | Shmem.Protocol.Anonymous _ -> true
+        | Shmem.Protocol.Asymmetric -> false
+      in
+      if sym && anonymous then
+        List.filter
+          (fun v ->
+            let s = Array.copy v in
+            Array.sort Stdlib.compare s;
+            Array.for_all2 Int.equal s v)
+          vectors
+      else vectors
+    in
     List.fold_left
       (fun acc inputs ->
         combine acc
-          (explore ?max_configs ?solo_cap ?check_solo ?prune ~inputs ()))
+          (explore ?max_configs ?solo_cap ?check_solo ?prune ~sym ~por
+             ~inputs ()))
       { configs_explored = 0; violations = []; truncated = false }
-      (all_input_vectors ())
+      vectors
 
   (* Re-simulate a schedule (pids only — responses are recomputed), checking
      after every step whether [violates] holds; steps by already-decided

@@ -50,6 +50,8 @@ module Make (P : Shmem.Protocol.S) : sig
     ?solo_cap:int ->
     ?check_solo:bool ->
     ?prune:(E.config -> bool) ->
+    ?sym:bool ->
+    ?por:bool ->
     inputs:int array ->
     unit ->
     report
@@ -58,7 +60,12 @@ module Make (P : Shmem.Protocol.S) : sig
       checking solo termination (default {!Explore.Make.default_solo_cap}
       = 64 * (number of objects + 1)); [prune c = true] stops expanding [c]
       (the configuration itself is still checked).
-      Defaults: [max_configs = 200_000], [check_solo = true]. *)
+      Defaults: [max_configs = 200_000], [check_solo = true].
+
+      [sym] and [por] (both default [false]) enable the engine's symmetry
+      and partial-order reductions (see {!Explore.Make.create}): verdicts
+      and violation traces stay sound and concrete, but [configs_explored]
+      counts the reduced graph. *)
 
   val explore_parallel :
     ?domains:int ->
@@ -66,6 +73,8 @@ module Make (P : Shmem.Protocol.S) : sig
     ?solo_cap:int ->
     ?check_solo:bool ->
     ?prune:(E.config -> bool) ->
+    ?sym:bool ->
+    ?por:bool ->
     inputs:int array ->
     unit ->
     report
@@ -84,9 +93,14 @@ module Make (P : Shmem.Protocol.S) : sig
     ?solo_cap:int ->
     ?check_solo:bool ->
     ?prune:(E.config -> bool) ->
+    ?sym:bool ->
+    ?por:bool ->
     unit ->
     report
-  (** run [explore] from every input vector and combine the reports *)
+  (** run [explore] from every input vector and combine the reports.  With
+      [sym] on an anonymous protocol, only one vector per input {e multiset}
+      (the nondecreasing ones) is explored — permuting the inputs permutes
+      the reachable space, so the others are redundant. *)
 
   val random_runs :
     ?seed:int ->

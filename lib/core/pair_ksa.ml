@@ -41,4 +41,8 @@ let make ~n ~m : (module Sh.Protocol.S) =
       Fmt.pf ppf "{input=%d%a}" s.input
         Fmt.(option (fun ppf d -> Fmt.pf ppf " decided=%d" d))
         s.decided
+
+    (* NOT anonymous: processes 0 and 1 are predesignated (init decides
+       immediately for pid >= 2), so renaming changes behaviour *)
+    let symmetry = Sh.Protocol.Asymmetric
   end)

@@ -128,6 +128,17 @@ let make_general ~n ~k ~m ~lead ~merge : (module S) =
         Fmt.(option (fun ppf d -> Fmt.pf ppf " decided=%d" d))
         s.decided
 
+    (* anonymity: the pid appears only in the swapped pair and the [same_id]
+       test, both of which a renaming maps coherently *)
+    let symmetry =
+      Sh.Protocol.Anonymous
+        { canon_key =
+            (fun s ->
+              Sh.Hashx.(
+                opt int (bool (int (ints seed s.u) s.i) s.conflict) s.decided))
+        ; rename = (fun f s -> { s with pid = f s.pid })
+        }
+
     let laps s = Array.copy s.u
     let preference s = match s.decided with
       | Some _ -> None

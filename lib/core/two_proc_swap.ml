@@ -35,4 +35,12 @@ let make ~m : (module Sh.Protocol.S) =
       Fmt.pf ppf "{input=%d%a}" s.input
         Fmt.(option (fun ppf d -> Fmt.pf ppf " decided=%d" d))
         s.decided
+
+    (* the pid is carried but never consulted: fully anonymous *)
+    let symmetry =
+      Sh.Protocol.Anonymous
+        { canon_key =
+            (fun s -> Sh.Hashx.(opt int (int seed s.input) s.decided))
+        ; rename = (fun f s -> { s with pid = f s.pid })
+        }
   end)

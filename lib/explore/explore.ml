@@ -10,6 +10,9 @@ module Make (P : Shmem.Protocol.S) = struct
   let m_visited = Obs.counter "explore.visited"
   let m_solo_hits = Obs.counter "explore.solo.cache_hits"
   let m_solo_misses = Obs.counter "explore.solo.cache_misses"
+  let m_canon = Obs.counter "explore.canon.renamed"
+  let m_por = Obs.counter "explore.por.pruned"
+  let h_orbit = Obs.histogram "explore.canon.orbit_size"
   let h_frontier = Obs.histogram "explore.frontier_level"
   let sp_bfs = Obs.span "explore.bfs"
   let sp_dfs = Obs.span "explore.dfs"
@@ -30,7 +33,17 @@ module Make (P : Shmem.Protocol.S) = struct
 
   module Cfg_tbl = Hashtbl.Make (Cfg_key)
 
-  type entry = { config : E.config; parent : (id * Shmem.Trace.step) option }
+  (* Under symmetry reduction the stored [config] is the canonical orbit
+     representative ĉ; [witness] is the permutation σ (as an array,
+     [None] = identity) with ĉ = σ·c for the configuration [c] that was
+     first reached along the recorded [parent] edge, whose step is spelled
+     in the {e parent's} canonical frame.  [trace_to] composes the inverse
+     witnesses along the back-edge chain to recover a concrete schedule. *)
+  type entry = {
+    config : E.config;
+    parent : (id * Shmem.Trace.step) option;
+    witness : int array option;
+  }
 
   (* One lockable partition of the store.  Ids interleave across shards
      ([slot * nshards + shard]), so id allocation needs no global lock. *)
@@ -58,12 +71,33 @@ module Make (P : Shmem.Protocol.S) = struct
 
   module Solo_tbl = Hashtbl.Make (Solo_key)
 
+  (* The canonical solo key used under symmetry reduction: the restriction
+     is renamed by the injective map (own pid ↦ 0, memory first-mentions
+     ↦ 1, 2, …, remaining pids ascending), so one verdict serves the whole
+     orbit of the restriction, not just one configuration. *)
+  module Solo_ckey = struct
+    type t = { h : int; st : P.state; mem : Shmem.Value.t array }
+
+    let equal a b =
+      a.h = b.h && P.equal_state a.st b.st
+      && Array.length a.mem = Array.length b.mem
+      && Array.for_all2 Shmem.Value.equal a.mem b.mem
+
+    let hash k = k.h
+  end
+
+  module Solo_ctbl = Hashtbl.Make (Solo_ckey)
+
   let mem_hash (c : E.config) =
     let h = ref 19 in
     Array.iter (fun v -> h := (!h * 31) + Shmem.Value.hash v) c.E.mem;
     !h land max_int
 
-  type solo_shard = { verdicts : int option Solo_tbl.t; solo_lock : Mutex.t }
+  type solo_shard = {
+    verdicts : int option Solo_tbl.t;
+    cverdicts : int option Solo_ctbl.t;
+    solo_lock : Mutex.t;
+  }
 
   type t = {
     shards : shard array;
@@ -73,6 +107,8 @@ module Make (P : Shmem.Protocol.S) = struct
     cap : int;
     ins : int array;
     root : id;
+    symfns : ((P.state -> int) * ((int -> int) -> P.state -> P.state)) option;
+    por : bool;
   }
 
   let locked lock f =
@@ -85,37 +121,160 @@ module Make (P : Shmem.Protocol.S) = struct
       Mutex.unlock lock;
       raise e
 
-  let intern t ?parent c =
-    let h = E.hash_config c in
+  (* ------------------------------------------------------ permutations *)
+
+  let inv sigma =
+    let r = Array.make (Array.length sigma) 0 in
+    Array.iteri (fun p j -> r.(j) <- p) sigma;
+    r
+
+  let inv_opt = function None -> None | Some s -> Some (inv s)
+
+  (* [compose a b] is a ∘ b with [None] as the identity *)
+  let compose a b =
+    match a, b with
+    | None, x | x, None -> x
+    | Some a, Some b -> Some (Array.init P.n (fun p -> a.(b.(p))))
+
+  (* First-mention rank of each pid in a structural left-to-right scan of
+     the memory.  Renaming the whole configuration by π moves π p to the
+     scan position p held, so rank is orbit-invariant and sound as a
+     canonical sort key. *)
+  let mem_ranks (c : E.config) =
+    let rank = Array.make P.n max_int in
+    let next = ref 0 in
+    Array.iter
+      (fun v ->
+        Shmem.Value.fold_pids
+          (fun () p ->
+            if p >= 0 && p < P.n && rank.(p) = max_int then begin
+              rank.(p) <- !next;
+              incr next
+            end)
+          () v)
+      c.E.mem;
+    rank
+
+  let factorial k =
+    let r = ref 1 in
+    for i = 2 to k do
+      r := !r * i
+    done;
+    !r
+
+  (* n! / ∏ (size of each equal-(key, rank) class)! — a lower bound on the
+     orbit size of the configuration (classes that are genuinely
+     interchangeable shrink the orbit; hash collisions only overcount the
+     classes, never the bound's soundness as a bound) *)
+  let orbit_lower_bound keys rank order =
+    let n = Array.length order in
+    let denom = ref 1 and run = ref 1 in
+    for j = 1 to n - 1 do
+      let p = order.(j) and q = order.(j - 1) in
+      if keys.(p) = keys.(q) && rank.(p) = rank.(q) then begin
+        incr run;
+        denom := !denom * !run
+      end
+      else run := 1
+    done;
+    factorial n / !denom
+
+  (* The canonical orbit representative: sort process slots by
+     (renaming-invariant state key, memory first-mention rank, pid) and
+     apply the resulting permutation to the whole configuration.  Both sort
+     keys are invariant across the orbit, so every member maps to the same
+     representative up to [canon_key] collisions — and a collision only
+     loses collapse, never soundness (the representative is still a genuine
+     orbit member, reached via the returned witness). *)
+  let canonicalize t (c : E.config) : E.config * int array option =
+    match t.symfns with
+    | None -> c, None
+    | Some (canon_key, rename_state) ->
+      let n = P.n in
+      let rank = mem_ranks c in
+      let keys = Array.map canon_key c.E.states in
+      let order = Array.init n Fun.id in
+      Array.sort
+        (fun p q ->
+          let cmp = compare keys.(p) keys.(q) in
+          if cmp <> 0 then cmp
+          else
+            let cmp = compare rank.(p) rank.(q) in
+            if cmp <> 0 then cmp else compare p q)
+        order;
+      if Obs.enabled () then
+        Obs.Histogram.observe h_orbit (orbit_lower_bound keys rank order);
+      let identity = ref true in
+      Array.iteri (fun j p -> if j <> p then identity := false) order;
+      if !identity then c, None
+      else begin
+        let sigma = Array.make n 0 in
+        Array.iteri (fun j p -> sigma.(p) <- j) order;
+        Obs.Counter.incr m_canon;
+        E.rename ~perm:sigma ~rename_state c, Some sigma
+      end
+
+  (* Hash-cons [c].  [frame] is the permutation mapping the caller's
+     concrete parent configuration to the parent's stored representative
+     (identity except under [walk] with reduction on): the parent step is
+     renamed into that frame and the stored witness adjusted so the
+     [trace_to] invariant holds.  The returned permutation maps THIS call's
+     [c] to the stored representative — also on dedup hits, which is what
+     [walk] needs to keep tracking its own frame. *)
+  let intern_entry t ~parent ~frame c =
+    let canon, w = canonicalize t c in
+    let parent =
+      match parent, frame with
+      | None, _ | _, None -> parent
+      | Some (id, step), Some f ->
+        Some (id, Shmem.Trace.rename_step (fun p -> f.(p)) step)
+    in
+    let witness = compose w (inv_opt frame) in
+    let h = E.hash_config canon in
     let sh = h mod t.nshards in
     let s = t.shards.(sh) in
-    let key = { Cfg_key.h; c } in
-    let ((_, fresh) as res) =
+    let key = { Cfg_key.h; c = canon } in
+    let id, fresh =
       locked s.lock (fun () ->
-        match Cfg_tbl.find_opt s.index key with
-        | Some slot -> (slot * t.nshards) + sh, false
-        | None ->
-          let slot = s.len in
-          if slot >= Array.length s.entries then begin
-            let grown =
-              Array.make (max 16 (2 * Array.length s.entries)) { config = c; parent }
-            in
-            Array.blit s.entries 0 grown 0 s.len;
-            s.entries <- grown
-          end;
-          s.entries.(slot) <- { config = c; parent };
-          s.len <- slot + 1;
-          Cfg_tbl.replace s.index key slot;
-          Atomic.incr t.total;
-          (slot * t.nshards) + sh, true)
+          match Cfg_tbl.find_opt s.index key with
+          | Some slot -> (slot * t.nshards) + sh, false
+          | None ->
+            let slot = s.len in
+            if slot >= Array.length s.entries then begin
+              let grown =
+                Array.make
+                  (max 16 (2 * Array.length s.entries))
+                  { config = canon; parent; witness }
+              in
+              Array.blit s.entries 0 grown 0 s.len;
+              s.entries <- grown
+            end;
+            s.entries.(slot) <- { config = canon; parent; witness };
+            s.len <- slot + 1;
+            Cfg_tbl.replace s.index key slot;
+            Atomic.incr t.total;
+            (slot * t.nshards) + sh, true)
     in
     if fresh then Obs.Counter.incr m_interned else Obs.Counter.incr m_dedup;
-    res
+    id, fresh, w
 
-  let create ?(shards = 1) ?(solo_cap = default_solo_cap) ~inputs () =
+  let intern t ?parent c =
+    let id, fresh, _ = intern_entry t ~parent ~frame:None c in
+    id, fresh
+
+  let create ?(shards = 1) ?(solo_cap = default_solo_cap) ?(sym = false)
+      ?(por = false) ~inputs () =
     let nshards = max 1 shards in
     let c0 = E.initial ~inputs in
-    let dummy = { config = c0; parent = None } in
+    let dummy = { config = c0; parent = None; witness = None } in
+    let symfns =
+      if not sym then None
+      else
+        match P.symmetry with
+        | Shmem.Protocol.Asymmetric -> None
+        | Shmem.Protocol.Anonymous { canon_key; rename } ->
+          Some (canon_key, rename)
+    in
     let t =
       { shards =
           Array.init nshards (fun _ ->
@@ -128,10 +287,15 @@ module Make (P : Shmem.Protocol.S) = struct
       ; total = Atomic.make 0
       ; solo =
           Array.init nshards (fun _ ->
-              { verdicts = Solo_tbl.create 1024; solo_lock = Mutex.create () })
+              { verdicts = Solo_tbl.create 1024
+              ; cverdicts = Solo_ctbl.create 1024
+              ; solo_lock = Mutex.create ()
+              })
       ; cap = solo_cap
       ; ins = Array.copy inputs
       ; root = 0 (* patched below *)
+      ; symfns
+      ; por
       }
     in
     let root, _ = intern t c0 in
@@ -141,6 +305,8 @@ module Make (P : Shmem.Protocol.S) = struct
   let inputs t = Array.copy t.ins
   let size t = Atomic.get t.total
   let solo_cap t = t.cap
+  let sym_enabled t = Option.is_some t.symfns
+  let por_enabled t = t.por
 
   let entry t id =
     let s = t.shards.(id mod t.nshards) in
@@ -149,36 +315,151 @@ module Make (P : Shmem.Protocol.S) = struct
   let config t id = (entry t id).config
 
   let trace_to t id =
-    let rec go id acc =
-      match (entry t id).parent with
-      | None -> acc
-      | Some (parent, step) -> go parent (step :: acc)
+    let rec collect id acc =
+      let e = entry t id in
+      match e.parent with
+      | None -> e.witness, acc
+      | Some (parent, step) -> collect parent ((step, e.witness) :: acc)
     in
-    go id []
+    let w0, edges = collect id [] in
+    if Option.is_none w0 && List.for_all (fun (_, w) -> Option.is_none w) edges
+    then List.map fst edges
+    else begin
+      (* Maintain F with F·(stored config) = the concrete configuration the
+         emitted prefix reaches from [E.initial]: start at inv σ_root and
+         compose F ∘ σ⁻¹ across each edge, renaming the stored step (spelled
+         in the parent's canonical frame) by the parent's F. *)
+      let f = ref (match w0 with None -> Array.init P.n Fun.id | Some s -> inv s)
+      in
+      List.map
+        (fun (step, w) ->
+          let cur = !f in
+          let step' =
+            Shmem.Trace.rename_step
+              (fun p -> if p >= 0 && p < P.n then cur.(p) else p)
+              step
+          in
+          (match w with
+          | None -> ()
+          | Some s ->
+            let is = inv s in
+            f := Array.init P.n (fun j -> cur.(is.(j))));
+          step')
+        edges
+    end
 
   let solo_steps t ~pid c =
-    let rk =
-      ((mem_hash c * 31) + P.hash_state c.E.states.(pid)) land max_int
-    in
-    let s = t.solo.((rk + pid) mod t.nshards) in
-    let key = { Solo_key.h = ((rk * 31) + pid) land max_int; pid; c } in
-    match locked s.solo_lock (fun () -> Solo_tbl.find_opt s.verdicts key) with
-    | Some verdict ->
-      Obs.Counter.incr m_solo_hits;
-      verdict
-    | None ->
-      Obs.Counter.incr m_solo_misses;
+    let run_verdict () =
       (* computed outside the lock: a racing duplicate computation is
          harmless (the verdict is deterministic) *)
-      let verdict =
-        match E.run_solo ~pid ~max_steps:t.cap c with
-        | None -> None
-        | Some (_, trace) -> Some (Shmem.Trace.length trace)
+      match E.run_solo ~pid ~max_steps:t.cap c with
+      | None -> None
+      | Some (_, trace) -> Some (Shmem.Trace.length trace)
+    in
+    match t.symfns with
+    | None ->
+      let rk =
+        ((mem_hash c * 31) + P.hash_state c.E.states.(pid)) land max_int
       in
-      locked s.solo_lock (fun () -> Solo_tbl.replace s.verdicts key verdict);
-      verdict
+      let s = t.solo.((rk + pid) mod t.nshards) in
+      let key = { Solo_key.h = ((rk * 31) + pid) land max_int; pid; c } in
+      (match
+         locked s.solo_lock (fun () -> Solo_tbl.find_opt s.verdicts key)
+       with
+      | Some verdict ->
+        Obs.Counter.incr m_solo_hits;
+        verdict
+      | None ->
+        Obs.Counter.incr m_solo_misses;
+        let verdict = run_verdict () in
+        locked s.solo_lock (fun () -> Solo_tbl.replace s.verdicts key verdict);
+        verdict)
+    | Some (_, rename_state) ->
+      (* a solo execution reads only ([pid]'s state, memory); for an
+         anonymous protocol its verdict is invariant under renaming that
+         restriction, so key it canonically: own pid ↦ 0, memory
+         first-mentions ↦ 1, 2, …, remaining pids ascending *)
+      let g = Array.make P.n (-1) in
+      g.(pid) <- 0;
+      let next = ref 1 in
+      Array.iter
+        (fun v ->
+          Shmem.Value.fold_pids
+            (fun () p ->
+              if p >= 0 && p < P.n && g.(p) < 0 then begin
+                g.(p) <- !next;
+                incr next
+              end)
+            () v)
+        c.E.mem;
+      for p = 0 to P.n - 1 do
+        if g.(p) < 0 then begin
+          g.(p) <- !next;
+          incr next
+        end
+      done;
+      let f p = if p >= 0 && p < P.n then g.(p) else p in
+      let st = rename_state f c.E.states.(pid) in
+      let mem = Array.map (Shmem.Value.rename f) c.E.mem in
+      let h = ref (P.hash_state st) in
+      Array.iter (fun v -> h := (!h * 31) + Shmem.Value.hash v) mem;
+      let key = { Solo_ckey.h = !h land max_int; st; mem } in
+      let s = t.solo.(key.Solo_ckey.h mod t.nshards) in
+      (match
+         locked s.solo_lock (fun () -> Solo_ctbl.find_opt s.cverdicts key)
+       with
+      | Some verdict ->
+        Obs.Counter.incr m_solo_hits;
+        verdict
+      | None ->
+        Obs.Counter.incr m_solo_misses;
+        let verdict = run_verdict () in
+        locked s.solo_lock (fun () ->
+            Solo_ctbl.replace s.cverdicts key verdict);
+        verdict)
 
   let solo_ok t ~pid c = solo_steps t ~pid c <> None
+
+  (* ---------------------------------------------- partial-order reduction *)
+
+  (* Two poised operations commute when they cannot influence each other's
+     response: distinct objects, or both reads of the same object. *)
+  let commuting_front c en =
+    let ops = List.map (fun p -> E.poised c p) en in
+    let commute (o : Shmem.Op.t) (o' : Shmem.Op.t) =
+      o.Shmem.Op.obj <> o'.Shmem.Op.obj
+      ||
+      match o.Shmem.Op.action, o'.Shmem.Op.action with
+      | Shmem.Op.Read, Shmem.Op.Read -> true
+      | _, _ -> false
+    in
+    let rec pairwise = function
+      | [] -> true
+      | o :: rest -> List.for_all (commute o) rest && pairwise rest
+    in
+    pairwise ops
+
+  let all_deciding c en =
+    List.for_all
+      (fun p ->
+        let c', _ = E.step c p in
+        Option.is_some (E.decision c' p))
+      en
+
+  (* The one reduction rule: when every enabled process's next step decides
+     it and the poised operations pairwise commute, every interleaving of
+     the front yields the same responses — hence the same decisions and
+     final memory — and no intermediate configuration can exhibit a
+     violation that the fully-stepped one (which IS visited) does not.
+     Expanding only the least pid is therefore sound for agreement,
+     validity and solo termination; see DESIGN.md for the argument. *)
+  let expansion t c en =
+    match en with
+    | [] | [ _ ] -> en
+    | p :: _ when t.por && commuting_front c en && all_deciding c en ->
+      Obs.Counter.add m_por (List.length en - 1);
+      [ p ]
+    | _ -> en
 
   type verdict = Continue | Prune | Stop
 
@@ -215,7 +496,7 @@ module Make (P : Shmem.Protocol.S) = struct
                 let c', step = E.step c pid in
                 let id', fresh = intern t ~parent:(id, step) c' in
                 if fresh then push (id', depth + 1))
-              (E.undecided c));
+              (expansion t c (E.undecided c)));
         if not !stopped then loop ()
     in
     loop ();
@@ -287,7 +568,8 @@ module Make (P : Shmem.Protocol.S) = struct
                     let c', step = E.step c pid in
                     let id', fresh = intern t ~parent:(id, step) c' in
                     if fresh then (id', depth + 1) :: acc else acc)
-                  acc (E.undecided c)
+                  acc
+                  (expansion t c (E.undecided c))
           end)
         [] slice
     in
@@ -384,7 +666,13 @@ module Make (P : Shmem.Protocol.S) = struct
   type walk_result = { last : id; steps : int; stop : walk_stop }
 
   let walk t ~sched ?(enabled = E.undecided) ~max_steps ~visit () =
-    let rec go id c rev_steps i =
+    (* The walk runs over concrete configurations — schedulers and visitors
+       see genuine states even under symmetry reduction — while each
+       position is interned by canonical representative.  [sigma] maps the
+       current concrete configuration to its stored representative, so the
+       parent edge can be spelled in the parent's canonical frame as
+       [trace_to] requires. *)
+    let rec go id sigma c rev_steps i =
       Obs.Counter.incr m_visited;
       match
         visit { id; config = c; depth = i; path = lazy (List.rev rev_steps) }
@@ -401,8 +689,12 @@ module Make (P : Shmem.Protocol.S) = struct
             | None -> { last = id; steps = i; stop = Stuck }
             | Some pid ->
               let c', step = E.step c pid in
-              let id', _ = intern t ~parent:(id, step) c' in
-              go id' c' (step :: rev_steps) (i + 1)))
+              let id', _, sigma' =
+                intern_entry t ~parent:(Some (id, step)) ~frame:sigma c'
+              in
+              go id' sigma' c' (step :: rev_steps) (i + 1)))
     in
-    Obs.Span.time sp_walk (fun () -> go t.root (config t t.root) [] 0)
+    let c0 = E.initial ~inputs:t.ins in
+    let sigma0 = (entry t t.root).witness in
+    Obs.Span.time sp_walk (fun () -> go t.root sigma0 c0 [] 0)
 end

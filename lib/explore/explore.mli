@@ -10,6 +10,15 @@
       {!Make.id} with a parent back-edge (predecessor id + step), so
       traversals carry ids instead of whole configurations and violation
       schedules are reconstructed on demand by {!Make.trace_to}.
+    - {b Symmetry reduction} (opt-in, [~sym:true]): for protocols declaring
+      {!Shmem.Protocol.Anonymous}, configurations are interned by their
+      canonical representative under the process-permutation group — up to
+      [n!] collapse — with a witness permutation recorded per entry so
+      {!Make.trace_to} still reconstructs concrete, replayable schedules.
+    - {b Partial-order reduction} (opt-in, [~por:true]): when every enabled
+      process's next step decides it and the poised operations pairwise
+      commute, only the least pid is expanded — every interleaving of such
+      a front yields the same responses and decisions.
     - {b Strategies}: breadth-first ({!Make.bfs}), depth-first ({!Make.dfs})
       and sampled random walks ({!Make.walk}, the Theorem-10-style search)
       share one visitor interface: the strategy calls the visitor at every
@@ -18,8 +27,8 @@
     - {b Memoized solo oracle}: {!Make.solo_ok} caches solo-termination
       verdicts keyed by the deciding process's state plus the shared memory
       ({!Exec.Make.restricted_key}), the only inputs a solo execution can
-      read.  The seed checker re-ran [run_solo] from scratch at every
-      explored configuration, which dominated its running time.
+      read.  Under symmetry reduction the key is itself canonicalized, so
+      one verdict serves the whole orbit of the restriction.
     - {b Parallel mode}: {!Make.bfs_parallel} runs a level-synchronized BFS
       over [Domain.spawn] workers; the store and oracle are sharded with
       per-shard mutexes so workers intern concurrently. *)
@@ -40,36 +49,71 @@ module Make (P : Shmem.Protocol.S) : sig
       caller overrides it *)
 
   val create :
-    ?shards:int -> ?solo_cap:int -> inputs:int array -> unit -> t
+    ?shards:int ->
+    ?solo_cap:int ->
+    ?sym:bool ->
+    ?por:bool ->
+    inputs:int array ->
+    unit ->
+    t
   (** [create ~inputs ()] interns [E.initial ~inputs] as the root.
       [shards] (default 1) is the number of independently locked store and
       oracle partitions; use [>= domains] for parallel exploration.
       [solo_cap] (default {!default_solo_cap}) bounds the oracle's solo
-      executions. *)
+      executions.
+
+      [sym] (default [false]) turns on symmetry reduction; it is a no-op
+      for protocols declaring {!Shmem.Protocol.Asymmetric}.  [por] (default
+      [false]) turns on partial-order reduction.  Both preserve the
+      verdicts of agreement, validity and solo-termination checking and
+      the set of reachable decision values; they change which (and how
+      many) configurations are interned and visited, so config counts and
+      visit orders differ from an unreduced run. *)
 
   val root : t -> id
   val inputs : t -> int array
   (** the input vector of the root configuration (a copy) *)
 
   val config : t -> id -> E.config
+  (** the stored configuration: under symmetry reduction this is the
+      canonical orbit representative, not necessarily the configuration
+      that was passed to {!intern} *)
+
   val size : t -> int
   (** number of interned configurations *)
 
   val solo_cap : t -> int
 
+  val sym_enabled : t -> bool
+  (** whether symmetry reduction is active (requested via [~sym:true] AND
+      the protocol declares {!Shmem.Protocol.Anonymous}) *)
+
+  val por_enabled : t -> bool
+
   val intern :
     t -> ?parent:id * Shmem.Trace.step -> E.config -> id * bool
   (** hash-cons a configuration; the boolean is [true] iff it was fresh.
       [parent] is recorded only on fresh insertion (first discovery wins,
-      so BFS back-edges spell shortest-known schedules). *)
+      so BFS back-edges spell shortest-known schedules).  Under symmetry
+      reduction the configuration is canonicalized first and the witness
+      permutation recorded alongside the back-edge; [parent]'s step must
+      then be spelled in the parent's {e stored} (canonical) frame, i.e.
+      the stepped configuration must be a successor of [config t parent]. *)
 
   val trace_to : t -> id -> Shmem.Trace.t
-  (** the schedule from {!root} to [id], reconstructed from back-edges *)
+  (** the schedule from {!root} to [id], reconstructed from back-edges.
+      Under symmetry reduction the stored steps are renamed through the
+      composed witness permutations, so the result is always a {e concrete}
+      schedule: replaying it from [E.initial ~inputs] reproduces every
+      recorded response and reaches a configuration in the orbit of
+      [config t id]. *)
 
   val solo_ok : t -> pid:int -> E.config -> bool
   (** whether [pid] decides within [solo_cap t] solo steps from the given
       configuration.  Memoized on [(pid's state, memory)] — sound because a
-      solo execution of [pid] reads nothing else. *)
+      solo execution of [pid] reads nothing else.  Under symmetry reduction
+      the memo key is canonicalized (own pid first, then memory
+      first-mentions, then the rest), sharing verdicts across the orbit. *)
 
   val solo_steps : t -> pid:int -> E.config -> int option
   (** the number of steps [pid] takes to decide when run alone from the
@@ -92,6 +136,9 @@ module Make (P : Shmem.Protocol.S) : sig
   type visit = {
     id : id;
     config : E.config;
+        (** for [bfs]/[dfs] this is [config t id] (the stored, possibly
+            canonical configuration); for [walk] it is the walk's own
+            concrete configuration, whose representative [id] names *)
     depth : int;  (** BFS level / walk step index *)
     path : Shmem.Trace.t Lazy.t;
         (** schedule from the root: the discovery back-edges for [bfs]/[dfs],
@@ -109,7 +156,10 @@ module Make (P : Shmem.Protocol.S) : sig
   (** breadth-first over the reachable graph from the root, expanding
       enabled processes in ascending pid order.  Once [size t] reaches
       [max_configs] no further configurations are interned (already queued
-      ones are still visited) and the result is marked truncated. *)
+      ones are still visited) and the result is marked truncated.  Under
+      reduction ([~sym] / [~por]) "the reachable graph" means the quotient
+      graph: one representative per orbit, one interleaving per reduced
+      front. *)
 
   val dfs : t -> ?max_configs:int -> visit:(visit -> verdict) -> unit -> stats
   (** same contract with a LIFO frontier *)
@@ -151,6 +201,8 @@ module Make (P : Shmem.Protocol.S) : sig
       [visit] (its [path] is the walk's own step list, its [depth] the step
       index), then — unless the verdict ended the walk or [max_steps] is
       reached — offer [enabled config] (default [E.undecided]) to [sched]
-      and take the chosen step.  Configurations along the walk are interned,
-      so repeated walks share discovery with other strategies. *)
+      and take the chosen step.  The walk itself runs over concrete
+      configurations (schedulers and visitors never see renamed states);
+      each position is interned by representative, so repeated walks share
+      discovery with other strategies. *)
 end

@@ -188,6 +188,16 @@ module Make (P : Protocol.S) = struct
     Array.iter (fun v -> h := (!h * 31) + Value.hash v) c.mem;
     !h land max_int
 
+  let rename ~perm ~rename_state c =
+    if Array.length perm <> P.n then
+      invalid_arg "Exec.rename: permutation length <> n";
+    (* pids outside 0..n-1 can only appear in malformed stored values;
+       leave them alone rather than crash *)
+    let f p = if p >= 0 && p < P.n then perm.(p) else p in
+    let states = Array.make P.n c.states.(0) in
+    Array.iteri (fun p s -> states.(perm.(p)) <- rename_state f s) c.states;
+    { states; mem = Array.map (Value.rename f) c.mem }
+
   let indistinguishable_to ~pids c1 c2 =
     List.for_all (fun pid -> P.equal_state c1.states.(pid) c2.states.(pid)) pids
 

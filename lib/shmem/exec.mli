@@ -115,6 +115,19 @@ module Make (P : Protocol.S) : sig
   val equal_config : config -> config -> bool
   val hash_config : config -> int
 
+  val rename :
+    perm:int array ->
+    rename_state:((int -> int) -> P.state -> P.state) ->
+    config ->
+    config
+  (** [rename ~perm ~rename_state c] is the configuration π·c for the
+      process permutation π = [fun p -> perm.(p)]: process [p]'s state moves
+      to slot [π p] after being renamed by [rename_state π], and every
+      memory value is renamed by [Value.rename π].  [perm] must be a
+      bijection on [0 .. n-1].  For anonymous protocols
+      ([Protocol.Anonymous]) the step relation commutes with this action,
+      which is what licenses the symmetry reduction in [lib/explore]. *)
+
   val indistinguishable_to : pids:int list -> config -> config -> bool
   (** C₁ ~P C₂: every process in [pids] has the same state in both *)
 

@@ -34,6 +34,14 @@ let installs ~resp action =
   | Write v | Swap v -> Some v
   | Cas (_, desired) -> if Value.equal resp Value.one then Some desired else None
 
+let rename_action f = function
+  | Read -> Read
+  | Write v -> Write (Value.rename f v)
+  | Swap v -> Swap (Value.rename f v)
+  | Cas (e, d) -> Cas (Value.rename f e, Value.rename f d)
+
+let rename f op = { op with action = rename_action f op.action }
+
 let equal_action a1 a2 =
   match a1, a2 with
   | Read, Read -> true

@@ -9,6 +9,24 @@
     (see {!Exec.Make}); protocol constructors such as [Swap_ksa.make] return
     first-class [(module S)] values. *)
 
+(* The symmetry hook.  [Anonymous] declares the protocol equivariant under
+   process renaming: for every bijection [f] on pids,
+   [rename f] commutes with [init] ([rename f (init ~pid ~input) =
+   init ~pid:(f pid) ~input]), with [poised] (modulo [Op.rename f]), with
+   [on_response] (modulo [Value.rename f] on the response) and with
+   [decision]/[equal_state]/[hash_state].  [canon_key] must be a
+   renaming-invariant summary ([canon_key (rename f s) = canon_key s]) —
+   hash everything {e except} the embedded pid (use [Value.hash_skel] for
+   stored raw values).  Exploration engines then intern one orbit
+   representative per process-permutation class.  [Asymmetric] (the sound
+   default) declares nothing and disables the reduction. *)
+type 'state symmetry =
+  | Asymmetric
+  | Anonymous of {
+      canon_key : 'state -> int;
+      rename : (int -> int) -> 'state -> 'state;
+    }
+
 module type S = sig
   val name : string
 
@@ -42,13 +60,76 @@ module type S = sig
   val equal_state : state -> state -> bool
   val hash_state : state -> int
   val pp_state : Format.formatter -> state -> unit
+
+  val symmetry : state symmetry
+  (** see {!type:symmetry}; [Asymmetric] is always sound *)
 end
 
 type t = (module S)
 
+(* Symmetry sanity over initial states: for a few (pid, input) pairs and
+   pid transpositions τ, [rename] must be an involution that [canon_key],
+   [hash_state] and [decision] cannot see through, [rename Fun.id] must be
+   the identity, [init] must be equivariant, and [poised] must commute with
+   the renaming.  Deeper checks on reachable states (commutation with
+   [on_response]) live in [Analyze]'s canon-coherence lint, which can step
+   the protocol. *)
+let validate_symmetry (module P : S) =
+  match P.symmetry with
+  | Asymmetric -> ()
+  | Anonymous { canon_key; rename } ->
+    let fail fmt =
+      Fmt.kstr
+        (fun s -> invalid_arg (Fmt.str "protocol %s: symmetry: %s" P.name s))
+        fmt
+    in
+    let tau a b p = if p = a then b else if p = b then a else p in
+    let pids = List.init (min P.n 4) Fun.id in
+    let inputs = List.init (min P.num_inputs 3) Fun.id in
+    List.iter
+      (fun input ->
+        List.iter
+          (fun pid ->
+            let s = P.init ~pid ~input in
+            if not (P.equal_state (rename Fun.id s) s) then
+              fail "rename by the identity changes init(p%d,%d)" pid input;
+            List.iter
+              (fun q ->
+                if q <> pid then begin
+                  let t = tau pid q in
+                  let s' = rename t s in
+                  if not (P.equal_state (rename t s') s) then
+                    fail "rename (p%d<->p%d) is not an involution on init"
+                      pid q;
+                  if P.hash_state (rename t s') <> P.hash_state s then
+                    fail "hash_state differs across a rename round-trip";
+                  if canon_key s' <> canon_key s then
+                    fail "canon_key of init(p%d,%d) not invariant under \
+                          p%d<->p%d"
+                      pid input pid q;
+                  if P.decision s' <> P.decision s then
+                    fail "decision not invariant under rename";
+                  if not (P.equal_state s' (P.init ~pid:q ~input)) then
+                    fail "init is not equivariant: rename (p%d<->p%d) of \
+                          init(p%d,%d) <> init(p%d,%d)"
+                      pid q pid input q input;
+                  if P.decision s = None then begin
+                    let op = P.poised s in
+                    let op' = P.poised s' in
+                    if not (Op.equal op' (Op.rename t op)) then
+                      fail "poised is not equivariant on init(p%d,%d) under \
+                            p%d<->p%d: %a vs %a"
+                        pid input pid q Op.pp op' Op.pp (Op.rename t op)
+                  end
+                end)
+              pids)
+          pids)
+      inputs
+
 (** Check basic well-formedness of a protocol description: object array
     nonempty unless [n <= k] (trivial tasks may use no objects), every initial
-    value within its object's domain, and parameters in range. *)
+    value within its object's domain, parameters in range, and — for
+    [Anonymous] protocols — the symmetry hook coherent on initial states. *)
 let validate (module P : S) =
   if P.n <= 0 then invalid_arg "protocol: n must be positive";
   if P.k <= 0 then invalid_arg "protocol: k must be positive";
@@ -61,7 +142,8 @@ let validate (module P : S) =
         invalid_arg
           (Fmt.str "protocol %s: initial value %a of B%d outside domain"
              P.name Value.pp v i))
-    P.objects
+    P.objects;
+  validate_symmetry (module P)
 
 let name (module P : S) = P.name
 let num_objects (module P : S) = Array.length P.objects

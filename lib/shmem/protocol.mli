@@ -9,6 +9,28 @@
     (see {!Exec.Make} and [Explore.Make]); protocol constructors such as
     [Swap_ksa.make] return first-class [(module S)] values. *)
 
+type 'state symmetry =
+  | Asymmetric
+      (** no symmetry declared; always sound, disables orbit reduction *)
+  | Anonymous of {
+      canon_key : 'state -> int;
+      rename : (int -> int) -> 'state -> 'state;
+    }
+      (** the protocol is {e anonymous}: processes differ only by their
+          embedded pid, so configurations that differ by a pid permutation
+          are behaviourally equivalent.  [rename f s] maps the pid(s)
+          embedded in [s] through [f] (including [Pid] mentions inside any
+          stored raw {!Value.t}s, via {!Value.rename}); it must be the
+          identity for [f = Fun.id], satisfy
+          [rename f (rename g s) = rename (fun p -> f (g p)) s], and commute
+          with [init]/[poised]/[on_response]/[decision] (see
+          {!validate}).  [canon_key s] is a renaming-invariant total
+          summary — [canon_key (rename f s) = canon_key s] for every
+          bijection [f] — used to sort processes into a canonical order
+          (hash everything except the pid; {!Value.hash_skel} for stored
+          values).  Key collisions between genuinely different states only
+          cost collapse, never soundness. *)
+
 module type S = sig
   val name : string
 
@@ -43,13 +65,20 @@ module type S = sig
   val equal_state : state -> state -> bool
   val hash_state : state -> int
   val pp_state : Format.formatter -> state -> unit
+
+  val symmetry : state symmetry
+  (** see {!type:symmetry}; [Asymmetric] is always sound *)
 end
 
 type t = (module S)
 
 val validate : t -> unit
 (** Check basic well-formedness of a protocol description: every initial
-    value within its object's domain and parameters in range.
+    value within its object's domain and parameters in range.  For
+    [Anonymous] protocols additionally checks the symmetry hook on initial
+    states: [rename] is an identity-respecting involution under
+    transpositions, [init] is equivariant, [poised] commutes with renaming,
+    and [canon_key]/[hash_state]/[decision] are renaming-invariant.
     @raise Invalid_argument otherwise *)
 
 val name : t -> string

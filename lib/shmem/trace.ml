@@ -5,6 +5,11 @@ let pp_step ppf { pid; op; resp } =
   Fmt.pf ppf "p%d: %a -> %a" pid Op.pp op Value.pp resp
 
 let pp ppf t = Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_step) t
+
+let rename_step f { pid; op; resp } =
+  { pid = f pid; op = Op.rename f op; resp = Value.rename f resp }
+
+let rename f t = List.map (rename_step f) t
 let history t = List.map (fun s -> s.pid, s.op) t
 
 let sorted_unique xs =

@@ -10,6 +10,12 @@ type t = step list
 val pp_step : Format.formatter -> step -> unit
 val pp : Format.formatter -> t -> unit
 
+val rename_step : (int -> int) -> step -> step
+(** apply a process renaming to one step: the acting pid and every [Pid]
+    mention in the operation's arguments and the response *)
+
+val rename : (int -> int) -> t -> t
+
 val history : t -> (int * Op.t) list
 (** the history of the execution: operations with the processes that applied
     them, responses erased *)

@@ -49,6 +49,32 @@ let rec compare v1 v2 =
 
 let hash v = Hashtbl.hash v
 
+let rec rename f v =
+  match v with
+  | Unit | Bot | Int _ | Ints _ -> v
+  | Pid p ->
+    let p' = f p in
+    if p' = p then v else Pid p'
+  | Pair (a, b) ->
+    let a' = rename f a and b' = rename f b in
+    if a' == a && b' == b then v else Pair (a', b')
+
+let rec fold_pids f acc v =
+  match v with
+  | Unit | Bot | Int _ | Ints _ -> acc
+  | Pid p -> f acc p
+  | Pair (a, b) -> fold_pids f (fold_pids f acc a) b
+
+let rec hash_skel v =
+  match v with
+  | Unit -> 0x11
+  | Bot -> 0x13
+  | Int i -> Hashx.int (Hashx.int Hashx.seed 2) i
+  | Pid _ -> 0x17  (* all pids collapse: the skeleton is pid-blind *)
+  | Ints a -> Hashx.ints (Hashx.int Hashx.seed 4) a
+  | Pair (a, b) ->
+    Hashx.int (Hashx.int (Hashx.int Hashx.seed 5) (hash_skel a)) (hash_skel b)
+
 let rec pp ppf v =
   match v with
   | Unit -> Fmt.string ppf "()"

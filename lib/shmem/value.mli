@@ -17,6 +17,23 @@ type t =
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val hash : t -> int
+
+val rename : (int -> int) -> t -> t
+(** [rename f v] maps every [Pid p] mention to [Pid (f p)], leaving all other
+    structure untouched.  Physically returns [v] when nothing changes.  With a
+    bijective [f] this is the memory half of a process-permutation action on
+    configurations (anonymity: see [Protocol.symmetry]). *)
+
+val fold_pids : ('a -> int -> 'a) -> 'a -> t -> 'a
+(** left fold over the [Pid] mentions of a value, in structural
+    (left-to-right) order *)
+
+val hash_skel : t -> int
+(** a hash of the value's skeleton: like {!hash} but every [Pid _] collapses
+    to one tag, so [hash_skel (rename f v) = hash_skel v] for any [f].
+    Canonicalization keys ([Protocol.symmetry]) must use this on any stored
+    raw values so the key is permutation-invariant. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 

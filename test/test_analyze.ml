@@ -105,6 +105,7 @@ let mk_straightline ~kinds ~(prog : (int * Sh.Op.action) list) ~n ~m :
       Sh.Hashx.(opt int (int (int seed s.input) s.step) s.decided)
 
     let pp_state ppf s = Fmt.pf ppf "{step=%d}" s.step
+    let symmetry = Sh.Protocol.Asymmetric
   end in
   (module P)
 
@@ -208,6 +209,7 @@ let cas_smuggler : Sh.Protocol.t =
       Sh.Hashx.(opt int (bool (int seed s.input) s.tried) s.decided)
 
     let pp_state ppf s = Fmt.pf ppf "{tried=%b}" s.tried
+    let symmetry = Sh.Protocol.Asymmetric
   end in
   (module P)
 
@@ -249,6 +251,7 @@ let bad_hasher : Sh.Protocol.t =
       Sh.Hashx.(opt int (int (int seed s.input) s.step) s.decided)
 
     let pp_state ppf s = Fmt.pf ppf "{step=%d}" s.step
+    let symmetry = Sh.Protocol.Asymmetric
   end in
   (module P)
 
@@ -288,6 +291,7 @@ let flipper : Sh.Protocol.t =
       Sh.Hashx.(opt int (int (int seed s.input) s.step) s.decided)
 
     let pp_state ppf s = Fmt.pf ppf "{step=%d}" s.step
+    let symmetry = Sh.Protocol.Asymmetric
   end in
   (module P)
 
@@ -318,6 +322,7 @@ let out_of_range : Sh.Protocol.t =
       Sh.Hashx.(opt int (int seed s.input) s.decided)
 
     let pp_state ppf s = Fmt.pf ppf "{input=%d}" s.input
+    let symmetry = Sh.Protocol.Asymmetric
   end in
   (module P)
 
@@ -325,6 +330,133 @@ let test_mutant_out_of_range () =
   let r = Analyze.run_protocol out_of_range in
   assert_rejected ~by:"decision-range" r;
   assert_rejected ~by:"decision-coverage" r
+
+(* claims [Anonymous] but [canon_key] peeks at the pid once the process has
+   taken a step — invariant on initial states, so [Protocol.validate]
+   passes; only the reachable-state probe can catch it *)
+let pid_key : Sh.Protocol.t =
+  (module struct
+    let name = "mutant-pid-key"
+    let n = 3
+    let k = 1
+    let num_inputs = 2
+    let objects = [| Sh.Obj_kind.Swap_only Sh.Obj_kind.Unbounded |]
+    let init_object _ = Sh.Value.Bot
+
+    type state = { pid : int; input : int; step : int; decided : int option }
+
+    let init ~pid ~input = { pid; input; step = 0; decided = None }
+    let poised s = Sh.Op.swap 0 (Sh.Value.Int s.input)
+
+    let on_response s _ =
+      if s.step >= 1 then { s with decided = Some s.input }
+      else { s with step = s.step + 1 }
+
+    let decision s = s.decided
+
+    let equal_state s1 s2 =
+      s1.pid = s2.pid && s1.input = s2.input && s1.step = s2.step
+      && Option.equal Int.equal s1.decided s2.decided
+
+    let hash_state s =
+      Sh.Hashx.(opt int (int (int seed s.input) s.step) s.decided)
+
+    let pp_state ppf s = Fmt.pf ppf "{p%d step=%d}" s.pid s.step
+
+    let symmetry =
+      Sh.Protocol.Anonymous
+        { canon_key = (fun s -> if s.step > 0 then s.pid else 0)
+        ; rename = (fun f s -> { s with pid = f s.pid })
+        }
+  end)
+
+let test_mutant_pid_key () =
+  let r = Analyze.run_protocol pid_key in
+  (* the hooks are coherent on initial states, so well-formedness passes —
+     this is exactly the gap the reachable-state lint exists to cover *)
+  if check_failed r "well-formedness" then
+    Alcotest.fail "mutant-pid-key: well-formedness should pass";
+  assert_rejected ~by:"canon-coherence" r
+
+(* [on_response] plants a pid-dependent mark; initial states are clean, so
+   [Protocol.validate] (which never steps) passes, but renaming no longer
+   commutes with stepping on reachable states *)
+let marker : Sh.Protocol.t =
+  (module struct
+    let name = "mutant-noncommuting-response"
+    let n = 3
+    let k = 1
+    let num_inputs = 2
+    let objects = [| Sh.Obj_kind.Swap_only Sh.Obj_kind.Unbounded |]
+    let init_object _ = Sh.Value.Bot
+
+    type state = { pid : int; input : int; mark : int; decided : int option }
+
+    let init ~pid ~input = { pid; input; mark = 0; decided = None }
+    let poised s = Sh.Op.swap 0 (Sh.Value.Int s.input)
+
+    let on_response s _ =
+      { s with decided = Some s.input; mark = s.pid mod 2 }
+
+    let decision s = s.decided
+
+    let equal_state s1 s2 =
+      s1.pid = s2.pid && s1.input = s2.input && s1.mark = s2.mark
+      && Option.equal Int.equal s1.decided s2.decided
+
+    let hash_state s =
+      Sh.Hashx.(opt int (int (int seed s.input) s.mark) s.decided)
+
+    let pp_state ppf s = Fmt.pf ppf "{p%d mark=%d}" s.pid s.mark
+
+    let symmetry =
+      Sh.Protocol.Anonymous
+        { canon_key = hash_state
+        ; rename = (fun f s -> { s with pid = f s.pid })
+        }
+  end)
+
+let test_mutant_marker () =
+  let r = Analyze.run_protocol marker in
+  if check_failed r "well-formedness" then
+    Alcotest.fail "mutant-noncommuting-response: well-formedness should pass";
+  assert_rejected ~by:"canon-coherence" r
+
+(* [rename] is the identity on a state that embeds its pid — incoherent from
+   the very first configuration, so the cheap init-only validation already
+   rejects it *)
+let frozen_rename : Sh.Protocol.t =
+  (module struct
+    let name = "mutant-identity-rename"
+    let n = 3
+    let k = 1
+    let num_inputs = 2
+    let objects = [| Sh.Obj_kind.Swap_only Sh.Obj_kind.Unbounded |]
+    let init_object _ = Sh.Value.Bot
+
+    type state = { pid : int; input : int; decided : int option }
+
+    let init ~pid ~input = { pid; input; decided = None }
+    let poised s = Sh.Op.swap 0 (Sh.Value.Int s.input)
+    let on_response s _ = { s with decided = Some s.input }
+    let decision s = s.decided
+
+    let equal_state s1 s2 =
+      s1.pid = s2.pid && s1.input = s2.input
+      && Option.equal Int.equal s1.decided s2.decided
+
+    let hash_state s = Sh.Hashx.(opt int (int seed s.input) s.decided)
+    let pp_state ppf s = Fmt.pf ppf "{p%d}" s.pid
+
+    let symmetry =
+      Sh.Protocol.Anonymous
+        { canon_key = (fun s -> Sh.Hashx.(int seed s.input))
+        ; rename = (fun _ s -> s)
+        }
+  end)
+
+let test_mutant_frozen_rename () =
+  assert_rejected ~by:"well-formedness" (Analyze.run_protocol frozen_rename)
 
 (* ------------------------------------------------- happens-before *)
 
@@ -490,6 +622,12 @@ let () =
             test_mutant_flipper
         ; Alcotest.test_case "decision out of range" `Quick
             test_mutant_out_of_range
+        ; Alcotest.test_case "pid-reading canon_key" `Quick
+            test_mutant_pid_key
+        ; Alcotest.test_case "non-commuting on_response" `Quick
+            test_mutant_marker
+        ; Alcotest.test_case "identity rename with embedded pid" `Quick
+            test_mutant_frozen_rename
         ] )
     ; ( "happens-before",
         [ Alcotest.test_case "clean exchange chain" `Quick

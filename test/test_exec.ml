@@ -33,6 +33,7 @@ module Tiny = struct
   let equal_state = ( = )
   let hash_state = Hashtbl.hash
   let pp_state ppf s = Fmt.pf ppf "{input=%d step=%d}" s.input s.step
+  let symmetry = Shmem.Protocol.Asymmetric
 end
 
 module E = Shmem.Exec.Make (Tiny)

@@ -37,6 +37,7 @@ let stubborn_protocol () : (module Shmem.Protocol.S) =
     let equal_state = ( = )
     let hash_state = Hashtbl.hash
     let pp_state ppf s = Fmt.pf ppf "{input=%d}" s.input
+    let symmetry = Shmem.Protocol.Asymmetric
   end)
 
 (* A protocol that decides a constant value 1 even when nobody proposed it:
@@ -59,6 +60,7 @@ let invalid_protocol () : (module Shmem.Protocol.S) =
     let equal_state = ( = )
     let hash_state = Hashtbl.hash
     let pp_state ppf _ = Fmt.pf ppf "{}"
+    let symmetry = Shmem.Protocol.Asymmetric
   end)
 
 (* A protocol that never decides when run solo (spins on its object):
@@ -88,4 +90,5 @@ let spinner_protocol () : (module Shmem.Protocol.S) =
     let equal_state = ( = )
     let hash_state = Hashtbl.hash
     let pp_state ppf s = Fmt.pf ppf "{input=%d}" s.input
+    let symmetry = Shmem.Protocol.Asymmetric
   end)
