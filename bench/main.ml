@@ -28,11 +28,15 @@
          unreduced exploration on identical state spaces — interned-state
          collapse, wall-clock, and the Theorem 10 search with canonical
          interning.
+     T13 Declared-property overhead (not in the paper): the same reduced
+         exploration with and without the §4 properties (lib/prop)
+         attached — identical graphs and verdicts, so the wall-clock delta
+         is the cost of incremental property evaluation; budget <= 10%.
      F1  The Lemma 15 induction chain (paper Figure 1).
      F2  The Lemma 19 induction chain (paper Figure 2).
 
    Usage: dune exec bench/main.exe [-- section ...] [--csv DIR] [--json FILE]
-   where section ∈ {t0..t12 f1 f2 bechamel all}; default all.  With
+   where section ∈ {t0..t13 f1 f2 bechamel all}; default all.  With
    [--csv DIR], every table is additionally written to DIR/<section>.csv;
    with [--json FILE], all tables of the run are written to FILE as one
    machine-readable JSON document (section id, title, header, rows, wall
@@ -976,6 +980,111 @@ let t12 () =
      there.@."
     "4!*3! = 144"
 
+(* ----------------------------------------------------------------- T13 *)
+
+(* Declared-property overhead: the checker's generic driver evaluates the
+   §4 properties (three step relations on every expanded edge, the
+   totality invariant on every visited configuration) incrementally during
+   exploration.  Attaching them must not change the explored graph or the
+   verdict (test/test_prop.ml proves verdict-for-verdict equality); this
+   table times what riding along costs.  Both runs are measured best-of-3
+   after a shared warm-up, on the reduced (sym + POR) graph under T12's
+   total-lap prune.  The overhead column is the gate: it must stay within
+   the 10% budget at every row. *)
+let t13 () =
+  section_header "t13"
+    "declared-property overhead: exploration with vs without §4 props";
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    r, Unix.gettimeofday () -. t0
+  in
+  (* interleave the two sides trial by trial: background-load drift on a
+     shared runner then biases both minima equally instead of landing
+     wholly on whichever side was measured second *)
+  let best_of_pair k f g =
+    let rec go k (bf, bg) =
+      if k = 0 then (bf, bg)
+      else
+        let _, tf = time f in
+        let _, tg = time g in
+        go (k - 1) (min bf tf, min bg tg)
+    in
+    go k (infinity, infinity)
+  in
+  let max_configs = 3_000_000 in
+  let sum_bare = ref 0. and sum_attached = ref 0. in
+  let rows =
+    List.map
+      (fun (n, lap) ->
+        let (module P) = Core.Swap_ksa.make ~n ~k:1 ~m:2 in
+        let module M = Core.Swap_ksa_monitor.Make (P) in
+        let module C = Checker.Make (P) in
+        let prune (c : C.E.config) =
+          let total = ref 0 in
+          Array.iter
+            (fun v ->
+              match v with
+              | Shmem.Value.Pair (Shmem.Value.Ints u, _) ->
+                Array.iter (fun x -> total := !total + x) u
+              | _ -> ())
+            c.C.E.mem;
+          !total > lap
+        in
+        let inputs = Array.init n (fun i -> i mod 2) in
+        let bare () =
+          C.explore ~max_configs ~prune ~sym:true ~por:true ~inputs ()
+        in
+        let attached () =
+          C.explore ~max_configs ~prune ~sym:true ~por:true
+            ~extra_props:(fun _ -> M.online_props)
+            ~inputs ()
+        in
+        (* identical graphs, clean verdicts — the timing below compares
+           like with like *)
+        let rb, _ = time bare in
+        let ra, _ = time attached in
+        assert (Checker.ok rb && Checker.ok ra);
+        assert (rb.Checker.configs_explored = ra.Checker.configs_explored);
+        let bare_t, attached_t = best_of_pair 5 bare attached in
+        sum_bare := !sum_bare +. bare_t;
+        sum_attached := !sum_attached +. attached_t;
+        let overhead_pct = (attached_t /. bare_t -. 1.) *. 100. in
+        [ string_of_int n
+        ; string_of_int lap
+        ; string_of_int rb.Checker.configs_explored
+        ; Fmt.str "%.3f" bare_t
+        ; Fmt.str "%.3f" attached_t
+        ; Fmt.str "%.1f" overhead_pct
+        ])
+      [ 5, 4; 6, 3; 7, 3 ]
+  in
+  let rows =
+    rows
+    @ [ [ "all"
+        ; "-"
+        ; "-"
+        ; Fmt.str "%.3f" !sum_bare
+        ; Fmt.str "%.3f" !sum_attached
+        ; Fmt.str "%.1f" ((!sum_attached /. !sum_bare -. 1.) *. 100.)
+        ]
+      ]
+  in
+  print_table
+    [ "n"
+    ; "lap budget"
+    ; "configs"
+    ; "bare wall (s)"
+    ; "props wall (s)"
+    ; "overhead %"
+    ]
+    rows;
+  Fmt.pr
+    "identical graphs and verdicts by construction; the overhead column \
+     is the property-evaluation cost.  Budget: <= 10 on the aggregate \
+     'all' row (per-row numbers are informational — single rows are \
+     noise-prone on shared runners).@."
+
 (* ------------------------------------------------------------- figures *)
 
 let f1 () =
@@ -1180,7 +1289,8 @@ let run_compare args =
 
 let sections =
   [ "t0", t0; "t1", t1; "t2", t2; "t3", t3; "t4", t4; "t5", t5; "t6", t6; "t7", t7
-  ; "t8", t8; "t9", t9; "t10", t10; "t11", t11; "t12", t12; "f1", f1
+  ; "t8", t8; "t9", t9; "t10", t10; "t11", t11; "t12", t12; "t13", t13
+  ; "f1", f1
   ; "f2", f2; "bechamel", bechamel ]
 
 let run_tables args =

@@ -231,56 +231,161 @@ let run_cmd =
 
 (* -------------------------------------------------------------- check *)
 
+(* the checker's own properties, always in force unless deselected *)
+let builtin_prop_names = [ "k-agreement"; "validity"; "solo-termination" ]
+
+(* --props all | none | P1,P2,... compiled to the checker's [?select] *)
+let parse_prop_select = function
+  | "all" -> None
+  | "none" -> Some []
+  | s ->
+    Some
+      (String.split_on_char ',' s
+      |> List.map String.trim
+      |> List.filter (fun x -> x <> ""))
+
+(* the declared-property pack the CLI attaches to a protocol built from raw
+   --algo/--n/--k/--m flags (the registry carries packs for its own
+   entries): Algorithm 1 gets the §4 invariant monitor, everything else the
+   generic protocol-independent set *)
+let pack_of_algo ~algo ~n ~k ~m (module P : Shmem.Protocol.S) : Prop.pack =
+  if algo = "swap-ksa" then
+    (module struct
+      module P = (val Core.Swap_ksa.make ~n ~k ~m)
+
+      let props =
+        let module M = Core.Swap_ksa_monitor.Make (P) in
+        M.online_props
+    end)
+  else Prop.generic_pack (module P)
+
 let check_cmd =
-  let go algo n k m cap inputs all_inputs lap_cap total_lap max_configs
-      no_solo domains no_sym no_por metrics metrics_out =
-    let (module P) = protocol_or_usage_error ~algo ~n ~k ~m ~cap in
-    let module C = Checker.Make (P) in
+  let go algo n k m cap inputs all_inputs all_algos props_sel lap_cap
+      total_lap max_configs no_solo domains no_sym no_por metrics metrics_out
+      =
     let sym = not no_sym and por = not no_por in
-    let prune (c : C.E.config) =
-      let cell_over =
-        Array.exists
-          (fun v ->
-            match v with
-            | Shmem.Value.Pair (Shmem.Value.Ints u, _) ->
-              Array.exists (fun x -> x > lap_cap) u
-            | _ -> false)
-          c.C.E.mem
+    let select = parse_prop_select props_sel in
+    (* an unknown --props name is a usage error, like an unknown --algo *)
+    let or_usage f =
+      match f () with
+      | r -> r
+      | exception Invalid_argument msg ->
+        Fmt.epr "swapspace: %s@." msg;
+        exit 2
+    in
+    if all_algos then begin
+      (* every registry entry, all input vectors, with the entry's own
+         declared-property pack riding along *)
+      let entries = Baselines.Registry.standard ~n () in
+      let results =
+        with_metrics ~metrics ~out:metrics_out (fun () ->
+            List.map
+              (fun (e : Baselines.Registry.entry) ->
+                let (module Pk) = e.props in
+                let module C = Checker.Make (Pk.P) in
+                let module PM = Prop.Make (Pk.P) in
+                let extra =
+                  List.filter
+                    (fun p ->
+                      not (List.mem (PM.name p) builtin_prop_names))
+                    Pk.props
+                in
+                let prune (c : C.E.config) = e.prune c.C.E.mem in
+                ( e.name,
+                  or_usage (fun () ->
+                      C.explore_all_inputs ~prune ~max_configs
+                        ~check_solo:(not no_solo) ~sym ~por
+                        ~extra_props:(fun _ -> extra)
+                        ?select ()) ))
+              entries)
       in
-      cell_over
-      ||
-      match total_lap with
-      | None -> false
-      | Some budget ->
-        let total = ref 0 in
-        Array.iter
-          (fun v ->
-            match v with
-            | Shmem.Value.Pair (Shmem.Value.Ints u, _) ->
-              Array.iter (fun x -> total := !total + x) u
-            | _ -> ())
-          c.C.E.mem;
-        !total > budget
-    in
-    let report =
-      with_metrics ~metrics ~out:metrics_out (fun () ->
-          if all_inputs then
-            C.explore_all_inputs ~prune ~max_configs
-              ~check_solo:(not no_solo) ~sym ~por ()
-          else
-            let inputs = parse_inputs ~n:P.n ~m:P.num_inputs inputs in
-            if domains > 1 then
-              C.explore_parallel ~domains ~prune ~max_configs
-                ~check_solo:(not no_solo) ~sym ~por ~inputs ()
-            else
-              C.explore ~prune ~max_configs ~check_solo:(not no_solo) ~sym
-                ~por ~inputs ())
-    in
-    Fmt.pr "%s: %a@." P.name Checker.pp_report report;
-    if not (Checker.ok report) then exit 1
+      List.iter
+        (fun (name, r) -> Fmt.pr "%s: %a@." name Checker.pp_report r)
+        results;
+      if not (List.for_all (fun (_, r) -> Checker.ok r) results) then exit 1
+    end
+    else begin
+      let p = protocol_or_usage_error ~algo ~n ~k ~m ~cap in
+      let (module Pk) = pack_of_algo ~algo ~n ~k ~m p in
+      let module P = Pk.P in
+      let module C = Checker.Make (P) in
+      let module PM = Prop.Make (P) in
+      let extra =
+        List.filter
+          (fun pr -> not (List.mem (PM.name pr) builtin_prop_names))
+          Pk.props
+      in
+      let extra_props _ = extra in
+      let prune (c : C.E.config) =
+        let cell_over =
+          Array.exists
+            (fun v ->
+              match v with
+              | Shmem.Value.Pair (Shmem.Value.Ints u, _) ->
+                Array.exists (fun x -> x > lap_cap) u
+              | _ -> false)
+            c.C.E.mem
+        in
+        cell_over
+        ||
+        match total_lap with
+        | None -> false
+        | Some budget ->
+          let total = ref 0 in
+          Array.iter
+            (fun v ->
+              match v with
+              | Shmem.Value.Pair (Shmem.Value.Ints u, _) ->
+                Array.iter (fun x -> total := !total + x) u
+              | _ -> ())
+            c.C.E.mem;
+          !total > budget
+      in
+      let report =
+        with_metrics ~metrics ~out:metrics_out (fun () ->
+            or_usage (fun () ->
+                if all_inputs then
+                  C.explore_all_inputs ~prune ~max_configs
+                    ~check_solo:(not no_solo) ~sym ~por ~extra_props ?select
+                    ()
+                else
+                  let inputs = parse_inputs ~n:P.n ~m:P.num_inputs inputs in
+                  if domains > 1 then
+                    C.explore_parallel ~domains ~prune ~max_configs
+                      ~check_solo:(not no_solo) ~sym ~por ~extra_props
+                      ?select ~inputs ()
+                  else
+                    C.explore ~prune ~max_configs ~check_solo:(not no_solo)
+                      ~sym ~por ~extra_props ?select ~inputs ()))
+      in
+      Fmt.pr "%s: %a@." P.name Checker.pp_report report;
+      if not (Checker.ok report) then exit 1
+    end
   in
   let all_inputs =
     Arg.(value & flag & info [ "all-inputs" ] ~doc:"Check every input vector.")
+  in
+  let all_algos =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:
+            "Check every registered algorithm (at $(b,--n)) over every \
+             input vector, each with its registry-attached declared \
+             properties; overrides $(b,--algo) and the lap-prune flags \
+             (each entry uses its own pruning).")
+  in
+  let props_sel =
+    Arg.(
+      value & opt string "all"
+      & info [ "props" ] ~docv:"P1,P2|all|none"
+          ~doc:
+            "Which properties to check: 'all' (default — the built-ins \
+             k-agreement, validity, solo-termination plus every declared \
+             property attached to the algorithm), 'none' (pure \
+             enumeration), or a comma-separated list of property names \
+             (see $(b,swapspace props)).  Unknown names are a usage error \
+             (exit 2).")
   in
   let lap_cap =
     Arg.(
@@ -312,11 +417,69 @@ let check_cmd =
           ~doc:"Explore on this many domains (single-input checks only).")
   in
   Cmd.v
-    (Cmd.info "check" ~doc:"Model-check agreement, validity, solo termination.")
+    (Cmd.info "check"
+       ~doc:
+         "Model-check declared properties (built-ins: agreement, validity, \
+          solo termination).")
     Term.(
-      const go $ algo $ n $ k $ m $ cap $ inputs_arg $ all_inputs $ lap_cap
-      $ total_lap $ max_configs $ no_solo $ domains $ no_sym_arg $ no_por_arg
-      $ metrics_arg $ metrics_out_arg)
+      const go $ algo $ n $ k $ m $ cap $ inputs_arg $ all_inputs $ all_algos
+      $ props_sel $ lap_cap $ total_lap $ max_configs $ no_solo $ domains
+      $ no_sym_arg $ no_por_arg $ metrics_arg $ metrics_out_arg)
+
+(* -------------------------------------------------------------- props *)
+
+let props_cmd =
+  let go algo n =
+    let entries =
+      match algo with
+      | None -> Baselines.Registry.standard ~n ()
+      | Some name -> (
+        match Baselines.Registry.find name ~n with
+        | Ok e -> [ e ]
+        | Error msg ->
+          Fmt.epr "swapspace: %s@." msg;
+          exit 2)
+    in
+    Fmt.pr
+      "built-in for every algorithm: k-agreement [invariant], validity \
+       [invariant], solo-termination [invariant]@.";
+    List.iter
+      (fun (e : Baselines.Registry.entry) ->
+        Fmt.pr "@.%s:@." e.name;
+        match Prop.pack_specs e.props with
+        | [] -> Fmt.pr "  (no declared properties)@."
+        | specs ->
+          List.iter (fun s -> Fmt.pr "  %a@." Prop.pp_spec s) specs)
+      entries
+  in
+  let algo =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "algo"; "a" ] ~docv:"NAME"
+          ~doc:
+            "Registry entry to list (prefix match); omitted (or with \
+             $(b,--all)), every registered algorithm is listed.")
+  in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"List every registered algorithm (default).")
+  in
+  let combine algo all =
+    if all && algo <> None then (
+      Fmt.epr "swapspace: --all and --algo are mutually exclusive@.";
+      exit 2);
+    algo
+  in
+  let algo = Term.(const combine $ algo $ all) in
+  Cmd.v
+    (Cmd.info "props"
+       ~doc:
+         "List the declared properties attached to each registered \
+          algorithm (name, kind, statement) — the names $(b,check --props) \
+          selects on.")
+    Term.(const go $ algo $ n)
 
 (* ------------------------------------------------------------- lemma9 *)
 
@@ -490,19 +653,29 @@ module Chaos_sim (P : Shmem.Protocol.S) = struct
               (Shmem.Schedule.to_string s)))
       f.F.schedule
 
-  let go ?on_step ?inputs ~burst ~max_steps ~seed ~runs ~kinds () =
-    let s = F.campaign ?on_step ?inputs ~burst ~max_steps ~seed ~runs ~kinds () in
+  let go ?on_step ?props ?inputs ~burst ~max_steps ~seed ~runs ~kinds () =
+    let s =
+      F.campaign ?on_step ?props ?inputs ~burst ~max_steps ~seed ~runs ~kinds
+        ()
+    in
     { header =
         Fmt.str "chaos (sim) %s: %d runs, seed %d, kinds [%a]" P.name runs
           seed
           Fmt.(list ~sep:(any ",") (of_to_string Fault.kind_to_string))
           kinds;
       counters =
-        Fmt.str "steps=%d fired=%d detections=%d violations=%d missed=%d"
+        Fmt.str "steps=%d fired=%d detections=%d violations=%d missed=%d%s"
           s.F.steps s.F.fired
           (List.length s.F.detections)
           (List.length s.F.violations)
-          s.F.missed;
+          s.F.missed
+          (match s.F.prop_detections with
+          | [] -> ""
+          | l ->
+            Fmt.str " prop_detections=[%a]"
+              Fmt.(
+                list ~sep:(any ",") (pair ~sep:(any ":") string int))
+              l);
       expected = List.map (fun f -> f.F.run, render f) s.F.detections;
       unexpected = List.map (fun f -> f.F.run, render f) s.F.violations;
       failed = s.F.violations <> [] || s.F.missed > 0
@@ -523,27 +696,20 @@ let chaos_cmd =
       match backend with
       | "sim" ->
         if algo = "swap-ksa" then (
-          (* Algorithm 1 additionally gets the §4 invariant monitor wired
-             into every step — the negative tests must trip it or the
-             atomicity check *)
+          (* Algorithm 1 additionally gets the §4 invariants monitored on
+             every step, as declared properties — the negative tests must
+             trip one of them or the atomicity check, and the summary's
+             prop_detections tallies which property caught what *)
           let (module P) = Core.Swap_ksa.make ~n ~k ~m in
           let module C = Chaos_sim (P) in
           let module M = Core.Swap_ksa_monitor.Make (P) in
-          let snap (c : C.F.E.config) =
-            { M.states = c.C.F.E.states; mem = c.C.F.E.mem }
-          in
-          let on_step before pid after =
-            match M.check_step_snap (snap before) pid (snap after) with
-            | () -> None
-            | exception Core.Swap_ksa_monitor.Invariant_violation msg ->
-              Some msg
-          in
           let inputs =
             Option.map
               (fun s -> parse_inputs ~n:P.n ~m:P.num_inputs (Some s))
               inputs
           in
-          C.go ~on_step ?inputs ~burst ~max_steps ~seed ~runs ~kinds ())
+          C.go ~props:M.online_props ?inputs ~burst ~max_steps ~seed ~runs
+            ~kinds ())
         else
           let (module P) = protocol_of ~algo ~n ~k ~m ~cap in
           let module C = Chaos_sim (P) in
@@ -670,7 +836,7 @@ let analyze_cmd =
             (fun (e : Baselines.Registry.entry) ->
               Analyze.run_protocol ~max_configs ?solo_bound:e.solo_bound
                 ~prune:e.prune ~sym:(not no_sym) ~por:(not no_por)
-                e.protocol)
+                ~props:e.props e.protocol)
             entries)
     in
     if json then
@@ -737,6 +903,7 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "swapspace" ~version:"1.0.0" ~doc)
-          [ run_cmd; check_cmd; analyze_cmd; lemma9_cmd; lb_binary_cmd
-          ; lb_bounded_cmd; bounds_cmd; multicore_cmd; chaos_cmd
+          [ run_cmd; check_cmd; props_cmd; analyze_cmd; lemma9_cmd
+          ; lb_binary_cmd; lb_bounded_cmd; bounds_cmd; multicore_cmd
+          ; chaos_cmd
           ]))

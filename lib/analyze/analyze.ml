@@ -144,17 +144,21 @@ let sp_run = Obs.span "analyze.run"
 module Make (P : Sh.Protocol.S) = struct
   module X = Explore.Make (P)
   module E = X.E
+  module Pr = Prop.Make (P)
 
   (* how many configurations get the (3x cost) double-step determinism
      probe, and how many states enter the O(s^2) hash-coherence pool *)
   let determinism_sample = 4_096
   let hash_pool_size = 256
 
-  (* how many reachable states get the symmetry-hook coherence probe *)
+  (* how many reachable states get the symmetry-hook coherence probe, and
+     how many configurations get the property-equivariance probe *)
   let canon_sample = 2_048
+  let prop_sample = 512
 
   let run ?(max_configs = 20_000) ?inputs ?solo_bound
-      ?(prune = fun _ -> false) ?(sym = false) ?(por = false) () =
+      ?(prune = fun _ -> false) ?(sym = false) ?(por = false) ?(props = [])
+      () =
     Obs.Span.time sp_run @@ fun () ->
     Obs.Counter.incr m_runs;
     let inputs =
@@ -178,6 +182,8 @@ module Make (P : Sh.Protocol.S) = struct
     in
     let canon = Acc.create () in
     let canon_probes = ref 0 in
+    let prop_equiv = Acc.create () in
+    let prop_probes = ref 0 in
     let conformance = Acc.create () in
     let derivation = Acc.create () in
     let determinism = Acc.create () in
@@ -335,6 +341,65 @@ module Make (P : Sh.Protocol.S) = struct
             incr pool_len
           end)
         (E.undecided c);
+      (* prop-equivariance: the verdict of every supplied declared property
+         must be invariant under process renaming — the property that makes
+         checking properties over the symmetry-reduced quotient graph sound
+         (one representative per orbit stands for the whole orbit only if
+         no property can tell orbit members apart).  Verdicts (violated or
+         not) are compared, not details, which legitimately mention pids. *)
+      (match symfns with
+      | Some (_, rename)
+        when props <> [] && !config_conforms
+             && !prop_probes < prop_sample ->
+        incr prop_probes;
+        let rot p = (p + 1) mod P.n in
+        let snap_of (cfg : E.config) =
+          { Pr.states = cfg.E.states; mem = cfg.E.mem }
+        in
+        let rename_snap (s : Pr.snap) =
+          let states = Array.make P.n s.Pr.states.(0) in
+          Array.iteri
+            (fun i st -> states.(rot i) <- rename rot st)
+            s.Pr.states;
+          { Pr.states; mem = Array.map (Sh.Value.rename rot) s.Pr.mem }
+        in
+        let s0 = snap_of c in
+        let s0' = rename_snap s0 in
+        List.iter
+          (fun p ->
+            if Pr.has_config p then
+              let v = Option.is_some (Pr.eval_config p s0) in
+              let v' = Option.is_some (Pr.eval_config p s0') in
+              if v <> v' then
+                Acc.add prop_equiv
+                  (Fmt.str
+                     "property %s: configuration verdict changes under \
+                      renaming"
+                     (Pr.name p)))
+          props;
+        (match E.undecided c with
+        | [] -> ()
+        | pid :: _ ->
+          let c', _ = E.step c pid in
+          let s1 = snap_of c' in
+          let s1' = rename_snap s1 in
+          List.iter
+            (fun p ->
+              if Pr.has_step p then
+                let v =
+                  Option.is_some (Pr.eval_step p ~before:s0 ~pid ~after:s1)
+                in
+                let v' =
+                  Option.is_some
+                    (Pr.eval_step p ~before:s0' ~pid:(rot pid) ~after:s1')
+                in
+                if v <> v' then
+                  Acc.add prop_equiv
+                    (Fmt.str
+                       "property %s: step verdict changes under renaming"
+                       (Pr.name p)))
+            props)
+      | _ -> ());
       if not !config_conforms then begin
         nonconforming := true;
         X.Prune
@@ -460,6 +525,15 @@ module Make (P : Sh.Protocol.S) = struct
               | None -> Skipped "protocol declares Asymmetric"
               | Some _ -> Acc.status canon)
           }
+        ; { id = "prop-equivariance"
+          ; title = "declared properties invariant under process renaming"
+          ; status =
+              (match symfns with
+              | None -> Skipped "protocol declares Asymmetric"
+              | Some _ ->
+                if props = [] then Skipped "no declared properties supplied"
+                else Acc.status prop_equiv)
+          }
         ; { id = "decision-range"
           ; title = "decisions lie in 0..m-1"
           ; status = Acc.status decision_range
@@ -476,10 +550,22 @@ module Make (P : Sh.Protocol.S) = struct
     }
 end
 
-let run_protocol ?max_configs ?inputs ?solo_bound ?prune ?sym ?por p =
-  let (module P : Sh.Protocol.S) = p in
-  let module A = Make (P) in
-  A.run ?max_configs ?inputs ?solo_bound ?prune ?sym ?por ()
+let run_protocol ?max_configs ?inputs ?solo_bound ?prune ?sym ?por ?props p
+    =
+  match props with
+  | Some pack ->
+    (* analyze the pack's own protocol module, so the packed properties
+       type-check against the analyzer's instantiation; callers (the
+       registry) pack the very module [p] wraps, making the two the same
+       protocol *)
+    let (module Pk : Prop.PACK) = pack in
+    let module A = Make (Pk.P) in
+    A.run ?max_configs ?inputs ?solo_bound ?prune ?sym ?por ~props:Pk.props
+      ()
+  | None ->
+    let (module P : Sh.Protocol.S) = p in
+    let module A = Make (P) in
+    A.run ?max_configs ?inputs ?solo_bound ?prune ?sym ?por ()
 
 (* ------------------------------------------------- happens-before checker *)
 

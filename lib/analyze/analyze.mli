@@ -43,6 +43,12 @@
       [on_response] commute with renaming — the property that licenses
       [Explore]'s canonical-representative interning.  Skipped for
       [Asymmetric] protocols;
+    - {b prop-equivariance}: over the same sample, every supplied declared
+      property ([lib/prop]) gives the same verdict on a configuration (and
+      on a transition) as on its renaming — the condition under which
+      checking declared properties over the symmetry-reduced quotient graph
+      is sound.  Skipped for [Asymmetric] protocols and when no properties
+      are supplied;
     - {b decision-range}: every decision lies in [0 .. m-1];
     - {b decision-coverage}: every value [v] is actually decided by the solo
       execution from the all-[v] input vector (no unreachable decision
@@ -104,6 +110,7 @@ module Make (P : Shmem.Protocol.S) : sig
     ?prune:(Shmem.Value.t array -> bool) ->
     ?sym:bool ->
     ?por:bool ->
+    ?props:Prop.Make(P).t list ->
     unit ->
     report
   (** analyze [P] from the initial configuration with the given inputs
@@ -116,7 +123,10 @@ module Make (P : Shmem.Protocol.S) : sig
       [sym] / [por] (default [false]) run the lints over the engine's
       reduced graph (see {!Explore.Make.create}) — every lint is
       orbit-invariant, so verdicts are unaffected while [configs] covers a
-      quotient of the reachable space. *)
+      quotient of the reachable space.  [props] (default none) supplies the
+      declared properties the prop-equivariance lint samples: only
+      {e verdicts} (violation vs. none) are compared under renaming, not
+      detail strings, which legitimately mention process ids. *)
 end
 
 val run_protocol :
@@ -126,10 +136,15 @@ val run_protocol :
   ?prune:(Shmem.Value.t array -> bool) ->
   ?sym:bool ->
   ?por:bool ->
+  ?props:Prop.pack ->
   Shmem.Protocol.t ->
   report
 (** {!Make.run} over a first-class protocol value — what [swapspace
-    analyze] calls for each registry entry *)
+    analyze] calls for each registry entry.  When [props] is supplied, the
+    pack's own protocol module is the one analyzed, with its declared
+    properties fed to the prop-equivariance lint — the registry packs the
+    very module the protocol value wraps, so this is the same analysis plus
+    the extra lint. *)
 
 (** {1 Happens-before race checking}
 

@@ -6,7 +6,22 @@ type entry = {
   stated_objects : string;
   multicore_runnable : bool;
   solo_bound : int option;
+  props : Prop.pack;
 }
+
+(* Algorithm 1 carries its §4 invariants as declared properties; the pack
+   is built from the same module the protocol field packs, so unpacking the
+   pack and instantiating a checker from its [P] makes the types line up.
+   Only the cheap online properties go in: the solo-bound property needs a
+   memoized oracle the checker supplies itself (as "solo-termination"). *)
+let swap_ksa_props (module P : Core.Swap_ksa.S) : Prop.pack =
+  (module struct
+    module P = P
+
+    let props =
+      let module M = Core.Swap_ksa_monitor.Make (P) in
+      M.online_props
+  end)
 
 let lap_prune bound mem =
   Array.exists
@@ -27,13 +42,15 @@ let standard ?(n = 4) () =
      the cap; they stay on the simulator backend *)
   let track make name stated =
     let (module B : Binary_track_consensus.S) = make ~n ~cap in
+    let protocol = (module B : Shmem.Protocol.S) in
     { name
-    ; protocol = (module B : Shmem.Protocol.S)
+    ; protocol
     ; prune = B.near_cap ~margin:3
     ; burst = 8 * cap
     ; stated_objects = stated
     ; multicore_runnable = false
     ; solo_bound = None
+    ; props = Prop.generic_pack protocol
     }
   in
   [ (let (module P) = Core.Swap_ksa.make ~n ~k:1 ~m:2 in
@@ -44,6 +61,7 @@ let standard ?(n = 4) () =
      ; stated_objects = "n-1 (optimal)"
      ; multicore_runnable = true
      ; solo_bound = Some (Core.Swap_ksa.solo_step_bound ~n ~k:1)
+     ; props = swap_ksa_props (module P)
      })
   ; (let (module P) = Core.Swap_ksa.make ~n ~k:k2 ~m:(k2 + 1) in
      { name = Fmt.str "swap-ksa k=%d" k2
@@ -53,60 +71,73 @@ let standard ?(n = 4) () =
      ; stated_objects = "n-k"
      ; multicore_runnable = true
      ; solo_bound = Some (Core.Swap_ksa.solo_step_bound ~n ~k:k2)
+     ; props = swap_ksa_props (module P)
      })
-  ; { name = "register-ksa k=1"
-    ; protocol = Register_ksa.make ~n ~k:1 ~m:2
-    ; prune = lap_prune 3
-    ; burst = 8 * (n + 1) * (n + 1)
-    ; stated_objects = "n-k+1"
-    ; multicore_runnable = true
-    ; solo_bound = None
-    }
-  ; { name = "readable-swap"
-    ; protocol = Readable_swap_consensus.make ~n ~m:2
-    ; prune = lap_prune 3
-    ; burst = 32 * n
-    ; stated_objects = "n-1"
-    ; multicore_runnable = true
-    ; solo_bound = None
-    }
+  ; (let protocol = Register_ksa.make ~n ~k:1 ~m:2 in
+     { name = "register-ksa k=1"
+     ; protocol
+     ; prune = lap_prune 3
+     ; burst = 8 * (n + 1) * (n + 1)
+     ; stated_objects = "n-k+1"
+     ; multicore_runnable = true
+     ; solo_bound = None
+     ; props = Prop.generic_pack protocol
+     })
+  ; (let protocol = Readable_swap_consensus.make ~n ~m:2 in
+     { name = "readable-swap"
+     ; protocol
+     ; prune = lap_prune 3
+     ; burst = 32 * n
+     ; stated_objects = "n-1"
+     ; multicore_runnable = true
+     ; solo_bound = None
+     ; props = Prop.generic_pack protocol
+     })
   ; track Binary_track_consensus.make "binary-track" "2n-1 binary [17]"
   ; track Binary_track_consensus.make_eager "binary-track eager"
       "2n-1 binary [17]"
   ; track Binary_track_consensus.make_tas "tas-track" "unbounded TAS [16]"
-  ; { name = "bitwise"
-    ; protocol = Bitwise_consensus.make ~n ~m:3 ~cap
-    ; prune = Bitwise_consensus.near_cap ~n ~m:3 ~cap ~margin:3
-    ; burst = 16 * cap
-    ; stated_objects = "O(n log m) binary"
-    ; multicore_runnable = false
-    ; solo_bound = None
-    }
+  ; (let protocol = Bitwise_consensus.make ~n ~m:3 ~cap in
+     { name = "bitwise"
+     ; protocol
+     ; prune = Bitwise_consensus.near_cap ~n ~m:3 ~cap ~margin:3
+     ; burst = 16 * cap
+     ; stated_objects = "O(n log m) binary"
+     ; multicore_runnable = false
+     ; solo_bound = None
+     ; props = Prop.generic_pack protocol
+     })
   ; (let k = max 1 ((n + 1) / 2) in
+     let protocol = Grouped_ksa.make ~n ~k ~m:2 in
      { name = "grouped-ksa"
-     ; protocol = Grouped_ksa.make ~n ~k ~m:2
+     ; protocol
      ; prune = no_prune
      ; burst = 4
      ; stated_objects = "k (n <= 2k)"
      ; multicore_runnable = true
      ; solo_bound = None
+     ; props = Prop.generic_pack protocol
      })
-  ; { name = "cas"
-    ; protocol = Cas_consensus.make ~n ~m:2
-    ; prune = no_prune
-    ; burst = 4
-    ; stated_objects = "1 (not historyless)"
-    ; multicore_runnable = true
-    ; solo_bound = None
-    }
-  ; { name = "pair-ksa"
-    ; protocol = Core.Pair_ksa.make ~n ~m:2
-    ; prune = no_prune
-    ; burst = 4
-    ; stated_objects = "1"
-    ; multicore_runnable = true
-    ; solo_bound = None
-    }
+  ; (let protocol = Cas_consensus.make ~n ~m:2 in
+     { name = "cas"
+     ; protocol
+     ; prune = no_prune
+     ; burst = 4
+     ; stated_objects = "1 (not historyless)"
+     ; multicore_runnable = true
+     ; solo_bound = None
+     ; props = Prop.generic_pack protocol
+     })
+  ; (let protocol = Core.Pair_ksa.make ~n ~m:2 in
+     { name = "pair-ksa"
+     ; protocol
+     ; prune = no_prune
+     ; burst = 4
+     ; stated_objects = "1"
+     ; multicore_runnable = true
+     ; solo_bound = None
+     ; props = Prop.generic_pack protocol
+     })
   ]
 
 let find name ~n =

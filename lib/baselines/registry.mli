@@ -26,6 +26,15 @@ type entry = {
           [8(n-k)] for Algorithm 1 (Lemma 8).  [None] where the source
           gives no closed-form solo bound.  [lib/analyze]'s solo-bound
           verifier checks measured solo executions against this. *)
+  props : Prop.pack;
+      (** the declared properties attached to this algorithm, over the
+          {e same} module the [protocol] field packs (unpack the pack first
+          and instantiate checkers from its [P] so the types unify — see
+          {!Prop.PACK}).  Algorithm 1 entries carry the §4 invariants
+          ([Core.Swap_ksa_monitor.Make.online_props]); every other entry
+          carries {!Prop.generic_pack}'s protocol-independent set.  The
+          checker's own built-ins (k-agreement, validity, solo-termination)
+          are always additionally in force. *)
 }
 
 val standard : ?n:int -> unit -> entry list

@@ -31,48 +31,154 @@ let combine r1 r2 =
 module Make (P : Shmem.Protocol.S) = struct
   module X = Explore.Make (P)
   module E = X.E
+  module Pr = Prop.Make (P)
 
-  (* The property layer: one visitor checking the paper's three properties
-     at a configuration.  All traversal (frontier, interning, back-edges,
-     solo-verdict memoization) lives in [Explore]. *)
-  let property_visitor ~t ~inputs ~solo_cap ~check_solo ~record
-      (v : X.visit) =
-    let c = v.X.config in
-    let add property detail =
-      record { property; detail; trace = Lazy.force v.X.path }
+  (* A snapshot view of an engine configuration (shares the arrays:
+     snapshots are read-only by convention). *)
+  let snap (c : E.config) : Pr.snap = { Pr.states = c.E.states; mem = c.E.mem }
+
+  (* Re-enter a snapshot into this checker's engine, e.g. to consult the
+     memoized solo oracle from inside a property. *)
+  let reconfig (s : Pr.snap) = E.unsafe_config ~states:s.Pr.states ~mem:s.Pr.mem
+
+  (* The paper's three correctness properties as [Prop] declarations.  One
+     solo-termination property per pid, evaluated in ascending pid order,
+     reproduces the seed checker's one-violation-per-stuck-process
+     reporting exactly. *)
+  let builtin_props ~t ~inputs ~solo_cap ~check_solo =
+    let solo_ok ~pid s = X.solo_ok t ~pid (reconfig s) in
+    [ Pr.agreement; Pr.validity ~inputs ]
+    @ (if check_solo then
+         List.init P.n (fun pid ->
+             Pr.solo_termination ~pid ~cap:solo_cap ~solo_ok ())
+       else [])
+
+  let apply_select ?select props =
+    match select with
+    | None -> props
+    | Some names -> (
+      match Pr.select ~names props with
+      | Ok ps -> ps
+      | Error msg -> Fmt.invalid_arg "Checker: %s" msg)
+
+  (* The generic "check these properties" driver shared by [explore] and
+     [explore_parallel]: invariants are evaluated at each visited
+     configuration (in property order — violation lists stay chronological
+     in discovery order); step relations and safety automata are driven by
+     the traversal's [on_step] observer over {e every} expanded edge, with
+     counterexample traces rebuilt by [trace_via].
+
+     Automaton markings are tracked per configuration id, seeded at the
+     root and stored at each destination's first discovery — exact on the
+     traversal tree, one-step checks on cross edges (an automaton property
+     over a DAG is evaluated along the discovery tree plus each non-tree
+     edge once).  [record] and the marking table are mutex-protected by the
+     callers that run traversals concurrently. *)
+  let prop_driver ~t ~props ~record =
+    let cprops = List.filter Pr.has_config props in
+    let sprops = List.filter Pr.has_step props in
+    let aprops = List.filter Pr.has_auto props in
+    let check_visit (v : X.visit) =
+      match cprops with
+      | [] -> ()
+      | _ ->
+        let s = snap v.X.config in
+        List.iter
+          (fun p ->
+            match Pr.eval_config p s with
+            | None -> ()
+            | Some detail ->
+              record
+                { property = Pr.name p; detail; trace = Lazy.force v.X.path })
+          cprops
     in
-    if not (E.check_agreement c) then
-      add "k-agreement"
-        (Fmt.str "values %a decided (k=%d)"
-           Fmt.(list ~sep:(any ",") int)
-           (E.decided_values c) P.k);
-    if not (E.check_validity ~inputs c) then
-      add "validity"
-        (Fmt.str "decided values %a, inputs %a"
-           Fmt.(list ~sep:(any ",") int)
-           (E.decided_values c)
-           Fmt.(array ~sep:(any ",") int)
-           inputs);
-    if check_solo then
-      List.iter
-        (fun pid ->
-          if not (X.solo_ok t ~pid c) then
-            add "solo-termination"
-              (Fmt.str "p%d does not decide within %d solo steps" pid
-                 solo_cap))
-        (E.undecided c)
+    let on_step =
+      if sprops = [] && aprops = [] then None
+      else begin
+        let markings : (X.id, Pr.marking list) Hashtbl.t =
+          Hashtbl.create 256
+        in
+        let mlock = Mutex.create () in
+        if aprops <> [] then begin
+          let s0 = snap (X.config t (X.root t)) in
+          let ms =
+            List.map
+              (fun p ->
+                match Pr.init_marking p s0 with
+                | Ok m -> m
+                | Error detail ->
+                  record { property = Pr.name p; detail; trace = [] };
+                  Pr.no_marking)
+              aprops
+          in
+          Hashtbl.replace markings (X.root t) ms
+        end;
+        Some
+          (fun (o : X.step_obs) ->
+            let before = snap o.X.before and after = snap o.X.after in
+            let pid = o.X.step.Shmem.Trace.pid in
+            List.iter
+              (fun p ->
+                match Pr.eval_step p ~before ~pid ~after with
+                | None -> ()
+                | Some detail ->
+                  record
+                    { property = Pr.name p
+                    ; detail
+                    ; trace = X.trace_via t o.X.src o.X.step
+                    })
+              sprops;
+            match aprops with
+            | [] -> ()
+            | _ -> (
+              let ms =
+                Mutex.lock mlock;
+                let r = Hashtbl.find_opt markings o.X.src in
+                Mutex.unlock mlock;
+                r
+              in
+              match ms with
+              | None -> ()
+              | Some ms ->
+                let ms' =
+                  List.map2
+                    (fun p m ->
+                      match Pr.advance_marking p m ~before ~pid ~after with
+                      | Ok m' -> m'
+                      | Error detail ->
+                        record
+                          { property = Pr.name p
+                          ; detail
+                          ; trace = X.trace_via t o.X.src o.X.step
+                          };
+                        Pr.no_marking)
+                    aprops ms
+                in
+                if o.X.fresh then begin
+                  Mutex.lock mlock;
+                  Hashtbl.replace markings o.X.dst ms';
+                  Mutex.unlock mlock
+                end))
+      end
+    in
+    check_visit, on_step
 
   let explore ?(max_configs = 200_000) ?(solo_cap = X.default_solo_cap)
       ?(check_solo = true) ?(prune = fun _ -> false) ?(sym = false)
-      ?(por = false) ~inputs () =
+      ?(por = false) ?(extra_props = fun _ -> []) ?select ~inputs () =
     let t = X.create ~solo_cap ~sym ~por ~inputs () in
+    let props =
+      apply_select ?select
+        (builtin_props ~t ~inputs ~solo_cap ~check_solo @ extra_props t)
+    in
     let violations = ref [] in
     let record v = violations := v :: !violations in
+    let check_visit, on_step = prop_driver ~t ~props ~record in
     let visit v =
-      property_visitor ~t ~inputs ~solo_cap ~check_solo ~record v;
+      check_visit v;
       if prune v.X.config then X.Prune else X.Continue
     in
-    let stats = X.bfs t ~max_configs ~visit () in
+    let stats = X.bfs t ~max_configs ?on_step ~visit () in
     { configs_explored = stats.X.visited
     ; violations = List.rev !violations
     ; truncated = stats.X.truncated
@@ -80,8 +186,13 @@ module Make (P : Shmem.Protocol.S) = struct
 
   let explore_parallel ?(domains = 4) ?(max_configs = 200_000)
       ?(solo_cap = X.default_solo_cap) ?(check_solo = true)
-      ?(prune = fun _ -> false) ?(sym = false) ?(por = false) ~inputs () =
+      ?(prune = fun _ -> false) ?(sym = false) ?(por = false)
+      ?(extra_props = fun _ -> []) ?select ~inputs () =
     let t = X.create ~shards:(max 1 domains) ~solo_cap ~sym ~por ~inputs () in
+    let props =
+      apply_select ?select
+        (builtin_props ~t ~inputs ~solo_cap ~check_solo @ extra_props t)
+    in
     let violations = ref [] in
     let lock = Mutex.create () in
     let record v =
@@ -89,11 +200,12 @@ module Make (P : Shmem.Protocol.S) = struct
       violations := v :: !violations;
       Mutex.unlock lock
     in
+    let check_visit, on_step = prop_driver ~t ~props ~record in
     let visit v =
-      property_visitor ~t ~inputs ~solo_cap ~check_solo ~record v;
+      check_visit v;
       if prune v.X.config then X.Prune else X.Continue
     in
-    let stats = X.bfs_parallel t ~domains ~max_configs ~visit () in
+    let stats = X.bfs_parallel t ~domains ~max_configs ?on_step ~visit () in
     (* workers record concurrently: order violations for reproducibility *)
     let ordered =
       List.sort
@@ -122,7 +234,7 @@ module Make (P : Shmem.Protocol.S) = struct
     go 0 []
 
   let explore_all_inputs ?max_configs ?solo_cap ?check_solo ?prune
-      ?(sym = false) ?(por = false) () =
+      ?(sym = false) ?(por = false) ?extra_props ?select () =
     let vectors = all_input_vectors () in
     let vectors =
       (* for anonymous protocols under symmetry reduction, permuting the
@@ -147,7 +259,7 @@ module Make (P : Shmem.Protocol.S) = struct
       (fun acc inputs ->
         combine acc
           (explore ?max_configs ?solo_cap ?check_solo ?prune ~sym ~por
-             ~inputs ()))
+             ?extra_props ?select ~inputs ()))
       { configs_explored = 0; violations = []; truncated = false }
       vectors
 
@@ -165,28 +277,14 @@ module Make (P : Shmem.Protocol.S) = struct
     in
     go (E.initial ~inputs) pids
 
-  let shrink_violation ?(solo_cap = X.default_solo_cap) ~inputs v =
-    let violates =
-      match v.property with
-      | "k-agreement" -> fun c -> not (E.check_agreement c)
-      | "validity" -> fun c -> not (E.check_validity ~inputs c)
-      | "solo-termination" ->
-        fun c ->
-          List.exists
-            (fun pid -> E.run_solo ~pid ~max_steps:solo_cap c = None)
-            (E.undecided c)
-      | p -> Fmt.invalid_arg "shrink_violation: unknown property %s" p
-    in
-    let pids = List.map (fun s -> s.Shmem.Trace.pid) v.trace in
-    if not (schedule_violates ~inputs ~violates pids) then
-      invalid_arg "shrink_violation: schedule does not violate the property";
-    (* one pass of greedy deletion, left to right *)
+  (* Greedy deletion to a fix-point: drop any pid whose removal keeps the
+     schedule violating. *)
+  let greedy_min ~violates pids =
     let pass pids =
       let rec go kept = function
         | [] -> List.rev kept
         | pid :: rest ->
-          if schedule_violates ~inputs ~violates (List.rev_append kept rest)
-          then go kept rest
+          if violates (List.rev_append kept rest) then go kept rest
           else go (pid :: kept) rest
       in
       go [] pids
@@ -195,53 +293,181 @@ module Make (P : Shmem.Protocol.S) = struct
       let pids' = pass pids in
       if List.length pids' < List.length pids then fix pids' else pids
     in
-    let reduced = fix pids in
-    (* rebuild the trace with the responses of the reduced schedule,
-       truncated at the first violating configuration *)
-    let rec rebuild c acc = function
-      | [] -> List.rev acc
-      | pid :: rest ->
-        if E.decision c pid <> None then rebuild c acc rest
-        else
-          let c', s = E.step c pid in
-          if violates c' then List.rev (s :: acc)
-          else rebuild c' (s :: acc) rest
+    fix pids
+
+  (* Replay a pid schedule under a single property's full monitor
+     (invariant + step relation + automaton), returning the trace up to and
+     including the first violating step ([Some []] if the initial
+     configuration already violates), or [None] if the schedule does not
+     trip the property. *)
+  let prop_violating_trace ~inputs q pids =
+    let c0 = E.initial ~inputs in
+    let r, v0 = Pr.start [ q ] (snap c0) in
+    if Option.is_some v0 then Some []
+    else
+      let rec go c acc = function
+        | [] -> None
+        | pid :: rest ->
+          if E.decision c pid <> None then go c acc rest
+          else
+            let c', s = E.step c pid in
+            if
+              Option.is_some
+                (Pr.advance r ~before:(snap c) ~pid ~after:(snap c'))
+            then Some (List.rev (s :: acc))
+            else go c' (s :: acc) rest
+      in
+      go c0 [] pids
+
+  let shrink_violation ?(solo_cap = X.default_solo_cap) ?(props = []) ~inputs
+      v =
+    let pids = List.map (fun s -> s.Shmem.Trace.pid) v.trace in
+    match v.property with
+    | "k-agreement" | "validity" | "solo-termination" ->
+      let violates =
+        match v.property with
+        | "k-agreement" -> fun c -> not (E.check_agreement c)
+        | "validity" -> fun c -> not (E.check_validity ~inputs c)
+        | _ ->
+          fun c ->
+            List.exists
+              (fun pid -> E.run_solo ~pid ~max_steps:solo_cap c = None)
+              (E.undecided c)
+      in
+      if not (schedule_violates ~inputs ~violates pids) then
+        invalid_arg "shrink_violation: schedule does not violate the property";
+      let reduced =
+        greedy_min ~violates:(schedule_violates ~inputs ~violates) pids
+      in
+      (* rebuild the trace with the responses of the reduced schedule,
+         truncated at the first violating configuration *)
+      let rec rebuild c acc = function
+        | [] -> List.rev acc
+        | pid :: rest ->
+          if E.decision c pid <> None then rebuild c acc rest
+          else
+            let c', s = E.step c pid in
+            if violates c' then List.rev (s :: acc)
+            else rebuild c' (s :: acc) rest
+      in
+      { v with trace = rebuild (E.initial ~inputs) [] reduced }
+    | pname -> (
+      (* a declared property: the oracle is a full linear replay under its
+         monitor, so step relations and automata shrink too *)
+      match List.find_opt (fun q -> String.equal (Pr.name q) pname) props with
+      | None -> Fmt.invalid_arg "shrink_violation: unknown property %s" pname
+      | Some q ->
+        let violates pids =
+          Option.is_some (prop_violating_trace ~inputs q pids)
+        in
+        if not (violates pids) then
+          invalid_arg
+            "shrink_violation: schedule does not violate the property";
+        let reduced = greedy_min ~violates pids in
+        { v with
+          trace = Option.get (prop_violating_trace ~inputs q reduced)
+        })
+
+  (* The sampling path's historical detail strings differ from the
+     exhaustive path's; the frozen-seed differentials pin them, so
+     [random_runs] declares its own [Prop] instances. *)
+  let walk_props ~t ~inputs =
+    let agreement =
+      Pr.invariant ~name:"k-agreement"
+        ~desc:(Fmt.str "at most %d distinct values are decided" P.k)
+        (fun s ->
+          let decided = Pr.decided_values s in
+          if List.length decided <= P.k then None
+          else
+            Some
+              (Fmt.str "values %a decided"
+                 Fmt.(list ~sep:(any ",") int)
+                 decided))
     in
-    { v with trace = rebuild (E.initial ~inputs) [] reduced }
+    let validity =
+      Pr.invariant ~name:"validity"
+        ~desc:"every decided value is some process's input" (fun s ->
+          if
+            List.for_all
+              (fun v -> Array.exists (Int.equal v) inputs)
+              (Pr.decided_values s)
+          then None
+          else Some "decided value is no process's input")
+    in
+    let solo =
+      List.init P.n (fun pid ->
+          Pr.invariant ~name:"solo-termination"
+            ~desc:
+              (Fmt.str "p%d decides within %d solo steps when run alone" pid
+                 X.default_solo_cap)
+            (fun s ->
+              if Option.is_some (P.decision s.Pr.states.(pid)) then None
+              else if X.solo_ok t ~pid (reconfig s) then None
+              else
+                Some
+                  (Fmt.str "p%d stuck after %d solo steps" pid
+                     X.default_solo_cap)))
+    in
+    agreement, validity, solo
 
   let random_runs ?(seed = 0xC0FFEE) ?(max_steps = 100_000)
-      ?(solo_check_every = 0) ~runs () =
+      ?(solo_check_every = 0) ?(extra_props = fun _ -> []) ~runs () =
     let rng = Random.State.make [| seed |] in
     let violations = ref [] in
     let total = ref 0 in
     for _ = 1 to runs do
       let inputs = Array.init P.n (fun _ -> Random.State.int rng P.num_inputs) in
       let t = X.create ~inputs () in
+      let agreement, validity, solo = walk_props ~t ~inputs in
+      (* extra declared properties ride along under the linear monitor *)
+      let rev_steps = ref [] in
+      let xrun =
+        match extra_props t with
+        | [] -> None
+        | xprops ->
+          let r, v0 = Pr.start xprops (snap (X.config t (X.root t))) in
+          (match v0 with
+          | Some (property, detail) ->
+            violations := { property; detail; trace = [] } :: !violations
+          | None -> ());
+          Some r
+      in
+      let on_step =
+        match xrun with
+        | None -> None
+        | Some r ->
+          Some
+            (fun (o : X.step_obs) ->
+              rev_steps := o.X.step :: !rev_steps;
+              match
+                Pr.advance r ~before:(snap o.X.before)
+                  ~pid:o.X.step.Shmem.Trace.pid ~after:(snap o.X.after)
+              with
+              | None -> ()
+              | Some (property, detail) ->
+                violations :=
+                  { property; detail; trace = List.rev !rev_steps }
+                  :: !violations)
+      in
       let visit (v : X.visit) =
         incr total;
-        let c = v.X.config in
+        let s = snap v.X.config in
         let record property detail =
           violations :=
             { property; detail; trace = Lazy.force v.X.path } :: !violations
         in
-        if not (E.check_agreement c) then
-          record "k-agreement"
-            (Fmt.str "values %a decided"
-               Fmt.(list ~sep:(any ",") int)
-               (E.decided_values c));
-        if not (E.check_validity ~inputs c) then
-          record "validity" "decided value is no process's input";
+        let eval p =
+          match Pr.eval_config p s with
+          | Some detail -> record (Pr.name p) detail
+          | None -> ()
+        in
+        eval agreement;
+        eval validity;
         if solo_check_every > 0 && v.X.depth mod solo_check_every = 0 then
-          List.iter
-            (fun pid ->
-              if not (X.solo_ok t ~pid c) then
-                record "solo-termination"
-                  (Fmt.str "p%d stuck after %d solo steps" pid
-                     X.default_solo_cap))
-            (E.undecided c);
+          List.iter eval solo;
         X.Continue
       in
-      ignore (X.walk t ~sched:(E.random rng) ~max_steps ~visit ())
+      ignore (X.walk t ~sched:(E.random rng) ?on_step ~max_steps ~visit ())
     done;
     { configs_explored = !total
     ; violations = List.rev !violations

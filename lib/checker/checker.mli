@@ -14,13 +14,19 @@
     {!Make.random_runs} complements this with long randomized-scheduler runs
     for instances whose state spaces are too large to enumerate.
 
-    Since PR 1 the checker is a thin property layer over the unified
-    exploration engine ({!Explore.Make}): the engine owns the frontier, the
+    The checker is a generic "check these properties" driver over the
+    unified exploration engine ({!Explore.Make}) and the declarative
+    property layer ({!Prop.Make}): the engine owns the frontier, the
     interned configuration store, violation-trace reconstruction and the
-    memoized solo-termination oracle; this module contributes only the
-    property hooks (agreement, validity, solo termination) and report
-    assembly.  {!Make.explore_parallel} exposes the engine's multi-domain
-    mode. *)
+    memoized solo-termination oracle; the built-in hooks (agreement,
+    validity, solo termination) are themselves [Prop] declarations, and any
+    further declared properties — per-protocol registry packs, the §4
+    monitor's invariants — ride along via [?extra_props]: invariants are
+    evaluated at every visited configuration, step relations and safety
+    automata incrementally on every expanded edge through the engine's
+    [on_step] observer, with counterexample traces rebuilt by
+    {!Explore.Make.trace_via}.  {!Make.explore_parallel} exposes the
+    engine's multi-domain mode. *)
 
 type violation = {
   property : string;
@@ -45,6 +51,10 @@ module Make (P : Shmem.Protocol.S) : sig
 
   module E : module type of Shmem.Exec.Make (P)
 
+  val snap : E.config -> Prop.Make(P).snap
+  (** the property layer's engine-independent view of a configuration
+      (shares the underlying arrays; treat as read-only) *)
+
   val explore :
     ?max_configs:int ->
     ?solo_cap:int ->
@@ -52,6 +62,8 @@ module Make (P : Shmem.Protocol.S) : sig
     ?prune:(E.config -> bool) ->
     ?sym:bool ->
     ?por:bool ->
+    ?extra_props:(X.t -> Prop.Make(P).t list) ->
+    ?select:string list ->
     inputs:int array ->
     unit ->
     report
@@ -65,7 +77,14 @@ module Make (P : Shmem.Protocol.S) : sig
       [sym] and [por] (both default [false]) enable the engine's symmetry
       and partial-order reductions (see {!Explore.Make.create}): verdicts
       and violation traces stay sound and concrete, but [configs_explored]
-      counts the reduced graph. *)
+      counts the reduced graph.
+
+      [extra_props] contributes further declared properties (it receives
+      the exploration handle so properties can consult e.g. the memoized
+      solo oracle); [select] restricts checking to the named properties
+      over the combined list — built-ins are "k-agreement", "validity" and
+      "solo-termination"; [Some []] checks nothing (pure enumeration).
+      @raise Invalid_argument if [select] names an unknown property *)
 
   val explore_parallel :
     ?domains:int ->
@@ -75,6 +94,8 @@ module Make (P : Shmem.Protocol.S) : sig
     ?prune:(E.config -> bool) ->
     ?sym:bool ->
     ?por:bool ->
+    ?extra_props:(X.t -> Prop.Make(P).t list) ->
+    ?select:string list ->
     inputs:int array ->
     unit ->
     report
@@ -95,6 +116,8 @@ module Make (P : Shmem.Protocol.S) : sig
     ?prune:(E.config -> bool) ->
     ?sym:bool ->
     ?por:bool ->
+    ?extra_props:(X.t -> Prop.Make(P).t list) ->
+    ?select:string list ->
     unit ->
     report
   (** run [explore] from every input vector and combine the reports.  With
@@ -106,17 +129,32 @@ module Make (P : Shmem.Protocol.S) : sig
     ?seed:int ->
     ?max_steps:int ->
     ?solo_check_every:int ->
+    ?extra_props:(X.t -> Prop.Make(P).t list) ->
     runs:int ->
     unit ->
     report
   (** [runs] random-scheduler executions from uniformly random inputs; checks
       agreement and validity at every configuration and solo termination
-      every [solo_check_every] steps (0 = never, the default) *)
+      every [solo_check_every] steps (0 = never, the default).
+      [extra_props] run under the property layer's linear monitor
+      ({!Prop.Make.start}/[advance]) along each walk — including step
+      relations and safety automata, which the exhaustive driver can only
+      approximate on the quotient graph. *)
 
   val shrink_violation :
-    ?solo_cap:int -> inputs:int array -> violation -> violation
+    ?solo_cap:int ->
+    ?props:Prop.Make(P).t list ->
+    inputs:int array ->
+    violation ->
+    violation
   (** greedily delete schedule steps while the violation (same property)
       still manifests when the shortened schedule is re-simulated from
       [initial ~inputs]; repeats to a fixpoint.  The result replays to a
-      violating configuration and is never longer than the input. *)
+      violating configuration and is never longer than the input.  For
+      violations of declared properties (anything beyond the three
+      built-ins) the matching property must be supplied via [props]; its
+      full monitor — invariant, step relation and automaton — is the
+      shrinking oracle.
+      @raise Invalid_argument on an unknown property or a schedule that
+      does not violate it *)
 end

@@ -12,6 +12,7 @@ module type S = sig
   include Sh.Protocol.S
 
   val laps : state -> int array
+  val laps_get : state -> int -> int
   val preference : state -> int option
   val mid_pass : state -> int
   val in_conflict : state -> bool
@@ -140,6 +141,7 @@ let make_general ~n ~k ~m ~lead ~merge : (module S) =
         }
 
     let laps s = Array.copy s.u
+    let laps_get s j = s.u.(j)
     let preference s = match s.decided with
       | Some _ -> None
       | None -> Some (leader s.u)

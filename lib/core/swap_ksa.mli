@@ -15,6 +15,11 @@ module type S = sig
   val laps : state -> int array
   (** the process's local lap counter [U] (a fresh copy) *)
 
+  val laps_get : state -> int -> int
+  (** [laps_get s j] = [(laps s).(j)] without the copy — the §4 monitor
+      reads lap components on every explored edge, where the defensive
+      allocation of {!laps} is measurable (bench T13) *)
+
   val preference : state -> int option
   (** the value whose lap the process would currently complete: the smallest
       index with maximal lap count (line 15); [None] once decided *)

@@ -1,20 +1,30 @@
 (** Executable monitors for the invariants §4 proves about Algorithm 1.
 
-    Each check corresponds to a numbered statement of the paper and raises
-    [Invariant_violation] if an execution falsifies it, so test suites and
-    long random runs double as machine checks of the proofs' premises:
+    Since the [lib/prop] refactor each numbered statement of the paper is a
+    {e declared property} ([Prop.Make(P).t]) — the checker evaluates them
+    incrementally during exhaustive exploration, the fault injector uses
+    them as detection oracles, and the legacy raising API
+    ([check_step]/[check_solo_bound]/[run_checked]) survives as a thin
+    façade that evaluates the same declarations and raises
+    [Invariant_violation] on the first violation:
 
-    - Observation 3: a process's local lap counter only grows (domination).
-    - Observation 4 + line 16: on decision of [x], the deciding counter has
-      [U.(x) >= 2] and leads every other component by at least 2.
-    - Observation 1 (externally visible form): for each component [j], the
-      maximum of [U.(j)] over all local lap counters and all object fields
-      never increases by more than 1 in a single step (new laps are minted
-      only by line 20, one at a time).
-    - Lemma 8: from any reachable configuration, each undecided process
-      decides within [8*(n-k)] solo steps.
-    - [⟨V,p⟩]-totality (used by Observation 2 and Lemma 5) is exposed as a
-      predicate for tests. *)
+    - Observation 3 ([prop_lap_domination]): a process's local lap counter
+      only grows (domination).
+    - Observation 4 + line 16 ([prop_decide_lead]): on decision of [x], the
+      deciding counter has [U.(x) >= 2] and leads every other component by
+      at least 2.
+    - Observation 1, externally visible form ([prop_max_lap_increment]):
+      for each component [j], the maximum of [U.(j)] over all local lap
+      counters and all object fields never increases by more than 1 in a
+      single step (new laps are minted only by line 20, one at a time).
+    - ⟨V,p⟩-totality, relaxed to domination ([prop_totality]; used by
+      Observation 2 and Lemma 5): whenever every object holds the same
+      ⟨V,p⟩ with a process id [p], [p]'s own lap counter dominates [V].
+      (Exact equality — the [total] predicate — is {e not} invariant: [p]
+      may advance its counter before re-installing; domination is, by
+      Observation 3 plus the fact that only [p] installs ⟨·,p⟩.)
+    - Lemma 8 ([prop_solo_bound]): from any reachable configuration, each
+      undecided process decides within [8*(n-k)] solo steps. *)
 
 exception Invariant_violation of string
 
@@ -22,12 +32,17 @@ let fail fmt = Fmt.kstr (fun s -> raise (Invariant_violation s)) fmt
 
 module Make (P : Swap_ksa.S) = struct
   module E = Shmem.Exec.Make (P)
+  module Pr = Prop.Make (P)
 
   (* the raw material of a configuration, decoupled from any particular
      execution engine: the fault-injection interpreter (lib/fault) steps its
      own [Exec.Make] instance — a distinct [config] type — but produces the
-     same states and memory *)
-  type snapshot = { states : P.state array; mem : Shmem.Value.t array }
+     same states and memory.  Identical to the property layer's snapshot
+     type, so monitor snapshots feed [Prop] evaluation directly. *)
+  type snapshot = Pr.snap = {
+    states : P.state array;
+    mem : Shmem.Value.t array;
+  }
 
   let snap (c : E.config) = { states = c.E.states; mem = c.E.mem }
 
@@ -61,45 +76,180 @@ module Make (P : Swap_ksa.S) = struct
       else None
     | _ -> None
 
-  let check_step_snap (before : snapshot) pid (after : snapshot) =
-    let u_before = P.laps before.states.(pid) in
-    let u_after = P.laps after.states.(pid) in
-    if not (Swap_ksa.dominates u_after u_before) then
-      fail "Observation 3 violated: p%d's lap counter shrank" pid;
-    (match P.decision after.states.(pid) with
-    | Some x when P.decision before.states.(pid) = None ->
-      if u_after.(x) < 2 then
-        fail "Observation 4 violated: p%d decided %d with lap %d" pid x
-          u_after.(x);
-      Array.iteri
-        (fun j uj ->
-          if j <> x && u_after.(x) < uj + 2 then
-            fail "line 16 violated: p%d decided %d without a 2-lap lead over %d"
-              pid x j)
-        u_after
-    | _ -> ());
-    let gmax_before = global_max_snap before
-    and gmax_after = global_max_snap after in
-    Array.iteri
-      (fun j mb ->
-        if gmax_after.(j) > mb + 1 then
-          fail
-            "Observation 1 violated: global max of component %d jumped %d -> %d"
-            j mb gmax_after.(j))
-      gmax_before
+  (* The per-step checks, declaratively: [Some detail] = violated.
+     Malformed object values (possible only under fault injection) surface
+     as a violation of whichever check observes them. *)
 
-  let check_step before pid after = check_step_snap (snap before) pid (snap after)
+  (* componentwise via [laps_get]: this runs on every explored edge, so
+     the defensive copies of [P.laps] are avoided *)
+  let check_obs3 ~before ~pid ~after =
+    let sb = before.states.(pid) and sa = after.states.(pid) in
+    let rec grows j =
+      j >= P.num_inputs
+      || (P.laps_get sa j >= P.laps_get sb j && grows (j + 1))
+    in
+    if grows 0 then None
+    else Some (Fmt.str "Observation 3 violated: p%d's lap counter shrank" pid)
+
+  let check_decide ~before ~pid ~after =
+    match P.decision after.states.(pid) with
+    | Some x when Option.is_none (P.decision before.states.(pid)) ->
+      let u_after = P.laps after.states.(pid) in
+      if u_after.(x) < 2 then
+        Some
+          (Fmt.str "Observation 4 violated: p%d decided %d with lap %d" pid x
+             u_after.(x))
+      else
+        let rec lead j =
+          if j >= Array.length u_after then None
+          else if j <> x && u_after.(x) < u_after.(j) + 2 then
+            Some
+              (Fmt.str
+                 "line 16 violated: p%d decided %d without a 2-lap lead over %d"
+                 pid x j)
+          else lead (j + 1)
+        in
+        lead 0
+    | _ -> None
+
+  (* A step changes only [pid]'s local state and the object it operated
+     on; a value at a physically unchanged site contributes equally to
+     both global maxima, so only the changed sites can raise the max.
+     Fast path: if every changed site stays within +1 of its own previous
+     contribution, then gmax_after <= gmax_before + 1 componentwise and
+     Observation 1 holds — no O(n) rescan.  Only a suspicious jump at a
+     changed site (never on Algorithm 1; possible in planted mutants and
+     under fault injection) triggers the exact two-scan comparison. *)
+  let check_obs1 ~before ~pid ~after =
+    match
+      let m = P.num_inputs in
+      let suspicious = ref false in
+      let bump (new_u : int array) (old_u : int array) =
+        for j = 0 to m - 1 do
+          if new_u.(j) > old_u.(j) + 1 then suspicious := true
+        done
+      in
+      let sb = before.states.(pid) and sa = after.states.(pid) in
+      for j = 0 to m - 1 do
+        if P.laps_get sa j > P.laps_get sb j + 1 then suspicious := true
+      done;
+      Array.iteri
+        (fun i v_after ->
+          if v_after != before.mem.(i) then
+            bump (lap_of_value v_after) (lap_of_value before.mem.(i)))
+        after.mem;
+      if not !suspicious then None
+      else
+        let gmax_before = global_max_snap before
+        and gmax_after = global_max_snap after in
+        let rec jumped j =
+          if j >= Array.length gmax_before then None
+          else if gmax_after.(j) > gmax_before.(j) + 1 then
+            Some
+              (Fmt.str
+                 "Observation 1 violated: global max of component %d jumped %d -> %d"
+                 j gmax_before.(j) gmax_after.(j))
+          else jumped (j + 1)
+        in
+        jumped 0
+    with
+    | r -> r
+    | exception Invariant_violation m -> Some m
+
+  (* ------------------------------------------- the declared properties *)
+
+  let prop_lap_domination =
+    Pr.step_rel ~name:"lap-domination"
+      ~desc:"Observation 3: a process's lap counter only grows" check_obs3
+
+  let prop_decide_lead =
+    Pr.step_rel ~name:"decide-lead-by-2"
+      ~desc:
+        "Observation 4 + line 16: deciding x requires lap >= 2 on x and a \
+         2-lap lead over every other component"
+      check_decide
+
+  let prop_max_lap_increment =
+    Pr.step_rel ~name:"max-lap-increment"
+      ~desc:
+        "Observation 1: the global max of each lap component grows by at \
+         most 1 per step"
+      check_obs1
+
+  let prop_totality =
+    Pr.invariant ~name:"total-config-domination"
+      ~desc:
+        "⟨V,p⟩-totality (Observation 2 / Lemma 5 premise): when every \
+         object holds the same ⟨V,p⟩, p's lap counter dominates V"
+      (fun s ->
+        match s.mem.(0) with
+        | Shmem.Value.Pair (Shmem.Value.Ints v, Shmem.Value.Pid p)
+          when p >= 0 && p < P.n ->
+          if
+            Array.for_all (Shmem.Value.equal s.mem.(0)) s.mem
+            && not (Swap_ksa.dominates (P.laps s.states.(p)) v)
+          then
+            Some
+              (Fmt.str
+                 "total configuration ⟨V,p%d⟩ but p%d's lap counter does \
+                  not dominate V"
+                 p p)
+          else None
+        | _ -> None)
+
+  let solo_bound = Swap_ksa.solo_step_bound ~n:P.n ~k:P.k
+
+  let default_solo_ok ~pid (s : snapshot) =
+    match
+      E.run_solo ~pid ~max_steps:solo_bound
+        (E.unsafe_config ~states:s.states ~mem:s.mem)
+    with
+    | Some _ -> true
+    | None -> false
+
+  let prop_solo_bound ?(solo_ok = default_solo_ok) () =
+    Pr.invariant ~name:"solo-bound"
+      ~desc:
+        (Fmt.str
+           "Lemma 8: every undecided process decides within %d solo steps"
+           solo_bound)
+      (fun s ->
+        List.find_map
+          (fun pid ->
+            if solo_ok ~pid s then None
+            else
+              Some
+                (Fmt.str
+                   "Lemma 8 violated: p%d did not decide within %d solo steps"
+                   pid solo_bound))
+          (Pr.undecided s))
+
+  let step_props =
+    [ prop_lap_domination; prop_decide_lead; prop_max_lap_increment ]
+
+  let online_props = step_props @ [ prop_totality ]
+
+  let props ?solo_ok () = online_props @ [ prop_solo_bound ?solo_ok () ]
+
+  (* --------------------------------------- legacy raising façade *)
+
+  let check_step_snap before pid after =
+    List.iter
+      (fun p ->
+        match Pr.eval_step p ~before ~pid ~after with
+        | None -> ()
+        | Some detail -> raise (Invariant_violation detail))
+      step_props
+
+  let check_step before pid after =
+    check_step_snap (snap before) pid (snap after)
+
+  let solo_bound_prop = prop_solo_bound ()
 
   let check_solo_bound c =
-    let bound = Swap_ksa.solo_step_bound ~n:P.n ~k:P.k in
-    List.iter
-      (fun pid ->
-        match E.run_solo ~pid ~max_steps:bound c with
-        | Some _ -> ()
-        | None ->
-          fail "Lemma 8 violated: p%d did not decide within %d solo steps" pid
-            bound)
-      (E.undecided c)
+    match Pr.eval_config solo_bound_prop (snap c) with
+    | None -> ()
+    | Some detail -> raise (Invariant_violation detail)
 
   (** Run under [sched], checking the per-step invariants throughout and the
       solo bound at every [solo_check_every]-th configuration (checking it at

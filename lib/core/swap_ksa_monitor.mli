@@ -1,31 +1,48 @@
 (** Executable monitors for the invariants §4 proves about Algorithm 1.
 
-    Each check corresponds to a numbered statement of the paper and raises
-    {!Invariant_violation} if an execution falsifies it, so test suites and
-    long random runs double as machine checks of the proofs' premises:
+    Each numbered statement of the paper is a {e declared property}
+    ([Prop.Make(P).t]) that the checker evaluates incrementally during
+    exploration and the fault injector uses as a detection oracle; the
+    historical raising API ({!Make.check_step}, {!Make.check_solo_bound},
+    {!Make.run_checked}) is a thin façade over the same declarations,
+    raising {!Invariant_violation} on the first violated property:
 
-    - Observation 3: a process's local lap counter only grows (domination).
-    - Observation 4 + line 16: on decision of [x], the deciding counter has
-      [U.(x) >= 2] and leads every other component by at least 2.
-    - Observation 1 (externally visible form): for each component [j], the
-      maximum of [U.(j)] over all local lap counters and all object fields
-      never increases by more than 1 in a single step (new laps are minted
-      only by line 20, one at a time).
-    - Lemma 8: from any reachable configuration, each undecided process
-      decides within [8*(n-k)] solo steps.
-    - [⟨V,p⟩]-totality (used by Observation 2 and Lemma 5) is exposed as a
-      predicate for tests. *)
+    - Observation 3 ({!Make.prop_lap_domination}): a process's local lap
+      counter only grows (domination).
+    - Observation 4 + line 16 ({!Make.prop_decide_lead}): on decision of
+      [x], the deciding counter has [U.(x) >= 2] and leads every other
+      component by at least 2.
+    - Observation 1, externally visible form
+      ({!Make.prop_max_lap_increment}): for each component [j], the maximum
+      of [U.(j)] over all local lap counters and all object fields never
+      increases by more than 1 in a single step (new laps are minted only
+      by line 20, one at a time).
+    - ⟨V,p⟩-totality relaxed to domination ({!Make.prop_totality}; the
+      premise Observation 2 and Lemma 5 consume): whenever every object
+      holds the same ⟨V,p⟩ with a process id [p], [p]'s own lap counter
+      dominates [V].  Exact equality — the {!Make.total} predicate — is
+      deliberately {e not} declared invariant: [p] may advance its counter
+      between installs; domination is invariant by Observation 3 plus the
+      fact that only [p] ever installs values tagged [p].
+    - Lemma 8 ({!Make.prop_solo_bound}): from any reachable configuration,
+      each undecided process decides within [8*(n-k)] solo steps. *)
 
 exception Invariant_violation of string
 
 module Make (P : Swap_ksa.S) : sig
   module E : module type of Shmem.Exec.Make (P)
 
-  type snapshot = { states : P.state array; mem : Shmem.Value.t array }
+  type snapshot = Prop.Make(P).snap = {
+    states : P.state array;
+    mem : Shmem.Value.t array;
+  }
   (** the raw material of a configuration, decoupled from any particular
       execution engine's [config] type: fault-injection runs (lib/fault)
       step a distinct [Exec.Make] instance but feed the same invariant
-      checks through snapshots *)
+      checks through snapshots.  The equation with [Prop.Make(P).snap]
+      means monitor snapshots are {e the} property-layer snapshots. *)
+
+  val snap : E.config -> snapshot
 
   val global_max : E.config -> int array
   (** componentwise max of the lap vector [U] over all local lap counters
@@ -33,20 +50,64 @@ module Make (P : Swap_ksa.S) : sig
 
   val total : E.config -> (int array * int) option
   (** [total c] is [Some (v, p)] iff [c] is a ⟨V,p⟩-total configuration:
-      every object holds [⟨V,p⟩] and [p]'s local lap counter is [V] *)
+      every object holds [⟨V,p⟩] and [p]'s local lap counter is exactly
+      [V] *)
+
+  (** {1 Declared properties} *)
+
+  val prop_lap_domination : Prop.Make(P).t
+  (** "lap-domination" (step relation): Observation 3 *)
+
+  val prop_decide_lead : Prop.Make(P).t
+  (** "decide-lead-by-2" (step relation): Observation 4 + line 16 *)
+
+  val prop_max_lap_increment : Prop.Make(P).t
+  (** "max-lap-increment" (step relation): Observation 1 *)
+
+  val prop_totality : Prop.Make(P).t
+  (** "total-config-domination" (invariant): ⟨V,p⟩-totality, domination
+      form *)
+
+  val solo_bound : int
+  (** [Swap_ksa.solo_step_bound ~n:P.n ~k:P.k] = 8(n-k) *)
+
+  val prop_solo_bound :
+    ?solo_ok:(pid:int -> snapshot -> bool) -> unit -> Prop.Make(P).t
+  (** "solo-bound" (invariant): Lemma 8.  The default oracle replays a solo
+      execution of up to {!solo_bound} steps per undecided process
+      ([E.run_solo] from the snapshot); pass [solo_ok] to substitute a
+      memoized oracle (e.g. [Explore.Make.solo_ok] behind a cap of
+      {!solo_bound}). *)
+
+  val step_props : Prop.Make(P).t list
+  (** the three per-step invariants, in the order the legacy monitor
+      checked them: lap-domination, decide-lead-by-2, max-lap-increment *)
+
+  val online_props : Prop.Make(P).t list
+  (** [step_props] plus "total-config-domination" — the cheap properties
+      suitable for checking on every step of long runs (no solo replays) *)
+
+  val props : ?solo_ok:(pid:int -> snapshot -> bool) -> unit -> Prop.Make(P).t list
+  (** all five §4 properties ([online_props] plus "solo-bound") *)
+
+  (** {1 Legacy raising façade}
+
+      Thin wrappers evaluating the declarations above and raising
+      {!Invariant_violation} with the first violation's detail. *)
 
   val check_step : E.config -> int -> E.config -> unit
-  (** [check_step before pid after] checks the per-step invariants
-      (Observations 1, 3 and 4, line 16) for the step [before -pid-> after].
+  (** [check_step before pid after] checks {!step_props} for the step
+      [before -pid-> after].
       @raise Invariant_violation if one fails *)
 
   val check_step_snap : snapshot -> int -> snapshot -> unit
   (** {!check_step} over raw snapshots (engine-independent form) *)
 
   val check_solo_bound : E.config -> unit
-  (** Lemma 8 at configuration [c]: every undecided process decides within
-      [Swap_ksa.solo_step_bound ~n ~k] solo steps.
-      @raise Invariant_violation if one does not *)
+  (** Lemma 8 at configuration [c], via {!prop_solo_bound}'s default
+      oracle.
+      @raise Invariant_violation if an undecided process exceeds the
+      bound *)
 
   val run_checked :
     ?solo_check_every:int ->

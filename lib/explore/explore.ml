@@ -314,7 +314,13 @@ module Make (P : Shmem.Protocol.S) = struct
 
   let config t id = (entry t id).config
 
-  let trace_to t id =
+  (* [trace_to_frame t id] is the concrete schedule reaching [id]'s orbit,
+     paired with the final frame F (as a permutation array, [None] =
+     identity) satisfying F·(stored config of [id]) = the concrete
+     configuration the schedule reaches from [E.initial] — so a further
+     step spelled in [id]'s canonical frame extends the schedule once
+     renamed by F (that is [trace_via]). *)
+  let trace_to_frame t id =
     let rec collect id acc =
       let e = entry t id in
       match e.parent with
@@ -323,7 +329,7 @@ module Make (P : Shmem.Protocol.S) = struct
     in
     let w0, edges = collect id [] in
     if Option.is_none w0 && List.for_all (fun (_, w) -> Option.is_none w) edges
-    then List.map fst edges
+    then List.map fst edges, None
     else begin
       (* Maintain F with F·(stored config) = the concrete configuration the
          emitted prefix reaches from [E.initial]: start at inv σ_root and
@@ -331,22 +337,39 @@ module Make (P : Shmem.Protocol.S) = struct
          in the parent's canonical frame) by the parent's F. *)
       let f = ref (match w0 with None -> Array.init P.n Fun.id | Some s -> inv s)
       in
-      List.map
-        (fun (step, w) ->
-          let cur = !f in
-          let step' =
-            Shmem.Trace.rename_step
-              (fun p -> if p >= 0 && p < P.n then cur.(p) else p)
-              step
-          in
-          (match w with
-          | None -> ()
-          | Some s ->
-            let is = inv s in
-            f := Array.init P.n (fun j -> cur.(is.(j))));
-          step')
-        edges
+      let steps =
+        List.map
+          (fun (step, w) ->
+            let cur = !f in
+            let step' =
+              Shmem.Trace.rename_step
+                (fun p -> if p >= 0 && p < P.n then cur.(p) else p)
+                step
+            in
+            (match w with
+            | None -> ()
+            | Some s ->
+              let is = inv s in
+              f := Array.init P.n (fun j -> cur.(is.(j))));
+            step')
+          edges
+      in
+      steps, Some !f
     end
+
+  let trace_to t id = fst (trace_to_frame t id)
+
+  let trace_via t id step =
+    let steps, frame = trace_to_frame t id in
+    let step' =
+      match frame with
+      | None -> step
+      | Some cur ->
+        Shmem.Trace.rename_step
+          (fun p -> if p >= 0 && p < P.n then cur.(p) else p)
+          step
+    in
+    steps @ [ step' ]
 
   let solo_steps t ~pid c =
     let run_verdict () =
@@ -472,10 +495,24 @@ module Make (P : Shmem.Protocol.S) = struct
 
   type stats = { visited : int; truncated : bool; stopped : bool }
 
+  (* Every expanded edge, reported to [?on_step] observers as it is taken.
+     During graph traversals [before]/[after] are spelled in [src]'s
+     canonical frame (they are concrete when reduction is off); during
+     [walk] they are the walk's own concrete configurations.  [dst] names
+     [after]'s orbit representative; [fresh] is false on dedup hits. *)
+  type step_obs = {
+    src : id;
+    before : E.config;
+    step : Shmem.Trace.step;
+    after : E.config;
+    dst : id;
+    fresh : bool;
+  }
+
   (* Serial traversal generic over the frontier discipline.  The seed
      checker's loop is reproduced exactly: visit, then prune/budget, then
      expand enabled processes in ascending pid order. *)
-  let traverse ~push ~pop t ?(max_configs = max_int) ~visit () =
+  let traverse ~push ~pop t ?(max_configs = max_int) ?on_step ~visit () =
     push (t.root, 0);
     let visited = ref 0 and truncated = ref false and stopped = ref false in
     let rec loop () =
@@ -495,6 +532,10 @@ module Make (P : Shmem.Protocol.S) = struct
               (fun pid ->
                 let c', step = E.step c pid in
                 let id', fresh = intern t ~parent:(id, step) c' in
+                (match on_step with
+                | None -> ()
+                | Some f ->
+                  f { src = id; before = c; step; after = c'; dst = id'; fresh });
                 if fresh then push (id', depth + 1))
               (expansion t c (E.undecided c)));
         if not !stopped then loop ()
@@ -502,15 +543,15 @@ module Make (P : Shmem.Protocol.S) = struct
     loop ();
     { visited = !visited; truncated = !truncated; stopped = !stopped }
 
-  let bfs t ?max_configs ~visit () =
+  let bfs t ?max_configs ?on_step ~visit () =
     Obs.Span.time sp_bfs (fun () ->
         let q = Queue.create () in
         traverse
           ~push:(fun x -> Queue.push x q)
           ~pop:(fun () -> Queue.take_opt q)
-          t ?max_configs ~visit ())
+          t ?max_configs ?on_step ~visit ())
 
-  let dfs t ?max_configs ~visit () =
+  let dfs t ?max_configs ?on_step ~visit () =
     Obs.Span.time sp_dfs (fun () ->
         let st = ref [] in
         traverse
@@ -521,7 +562,7 @@ module Make (P : Shmem.Protocol.S) = struct
             | x :: rest ->
               st := rest;
               Some x)
-          t ?max_configs ~visit ())
+          t ?max_configs ?on_step ~visit ())
 
   (* Split [items] into [n] chunks of near-equal length. *)
   let chunks n items =
@@ -535,7 +576,7 @@ module Make (P : Shmem.Protocol.S) = struct
     in
     go [] [] 0 items
 
-  let bfs_parallel t ~domains ?(max_configs = max_int) ~visit () =
+  let bfs_parallel t ~domains ?(max_configs = max_int) ?on_step ~visit () =
     let visited = Atomic.make 0 in
     let truncated = Atomic.make false in
     let stopped = Atomic.make false in
@@ -567,6 +608,14 @@ module Make (P : Shmem.Protocol.S) = struct
                   (fun acc pid ->
                     let c', step = E.step c pid in
                     let id', fresh = intern t ~parent:(id, step) c' in
+                    (match on_step with
+                    | None -> ()
+                    | Some f ->
+                      (* runs on worker domains: observers must be
+                         thread-safe *)
+                      f { src = id; before = c; step; after = c'; dst = id'
+                        ; fresh
+                        });
                     if fresh then (id', depth + 1) :: acc else acc)
                   acc
                   (expansion t c (E.undecided c))
@@ -665,7 +714,7 @@ module Make (P : Shmem.Protocol.S) = struct
 
   type walk_result = { last : id; steps : int; stop : walk_stop }
 
-  let walk t ~sched ?(enabled = E.undecided) ~max_steps ~visit () =
+  let walk t ~sched ?(enabled = E.undecided) ?on_step ~max_steps ~visit () =
     (* The walk runs over concrete configurations — schedulers and visitors
        see genuine states even under symmetry reduction — while each
        position is interned by canonical representative.  [sigma] maps the
@@ -689,9 +738,13 @@ module Make (P : Shmem.Protocol.S) = struct
             | None -> { last = id; steps = i; stop = Stuck }
             | Some pid ->
               let c', step = E.step c pid in
-              let id', _, sigma' =
+              let id', fresh, sigma' =
                 intern_entry t ~parent:(Some (id, step)) ~frame:sigma c'
               in
+              (match on_step with
+              | None -> ()
+              | Some f ->
+                f { src = id; before = c; step; after = c'; dst = id'; fresh });
               go id' sigma' c' (step :: rev_steps) (i + 1)))
     in
     let c0 = E.initial ~inputs:t.ins in

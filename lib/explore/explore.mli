@@ -108,6 +108,15 @@ module Make (P : Shmem.Protocol.S) : sig
       recorded response and reaches a configuration in the orbit of
       [config t id]. *)
 
+  val trace_via : t -> id -> Shmem.Trace.step -> Shmem.Trace.t
+  (** [trace_to t id] extended by one more step out of [id], spelled in
+      [id]'s stored (canonical) frame — exactly the shape {!step_obs} hands
+      to observers.  The extra step is renamed into the concrete frame the
+      reconstructed schedule ends in, so the result is again a concrete,
+      replayable schedule.  This is how a property violation detected {e on
+      an edge} (rather than at a visited configuration) gets its
+      counterexample trace. *)
+
   val solo_ok : t -> pid:int -> E.config -> bool
   (** whether [pid] decides within [solo_cap t] solo steps from the given
       configuration.  Memoized on [(pid's state, memory)] — sound because a
@@ -152,7 +161,31 @@ module Make (P : Shmem.Protocol.S) : sig
     stopped : bool;  (** a visitor returned [Stop] *)
   }
 
-  val bfs : t -> ?max_configs:int -> visit:(visit -> verdict) -> unit -> stats
+  type step_obs = {
+    src : id;  (** the expanded configuration *)
+    before : E.config;
+        (** the configuration stepped from: [config t src] during graph
+            traversals (spelled in [src]'s canonical frame under reduction),
+            the walk's concrete configuration during {!walk} *)
+    step : Shmem.Trace.step;  (** the step taken, in [before]'s frame *)
+    after : E.config;  (** the configuration the step produced *)
+    dst : id;  (** [after]'s (orbit representative's) id *)
+    fresh : bool;  (** [false] on a dedup hit: [dst] was already interned *)
+  }
+  (** one expanded edge, as reported to [?on_step] observers.  Graph
+      traversals report {e every} expanded edge, including edges to
+      already-interned configurations — that is what makes per-step
+      properties sound over the quotient graph: each transition is checked
+      the first time its source is expanded, whether or not its destination
+      is fresh. *)
+
+  val bfs :
+    t ->
+    ?max_configs:int ->
+    ?on_step:(step_obs -> unit) ->
+    visit:(visit -> verdict) ->
+    unit ->
+    stats
   (** breadth-first over the reachable graph from the root, expanding
       enabled processes in ascending pid order.  Once [size t] reaches
       [max_configs] no further configurations are interned (already queued
@@ -161,13 +194,20 @@ module Make (P : Shmem.Protocol.S) : sig
       graph: one representative per orbit, one interleaving per reduced
       front. *)
 
-  val dfs : t -> ?max_configs:int -> visit:(visit -> verdict) -> unit -> stats
+  val dfs :
+    t ->
+    ?max_configs:int ->
+    ?on_step:(step_obs -> unit) ->
+    visit:(visit -> verdict) ->
+    unit ->
+    stats
   (** same contract with a LIFO frontier *)
 
   val bfs_parallel :
     t ->
     domains:int ->
     ?max_configs:int ->
+    ?on_step:(step_obs -> unit) ->
     visit:(visit -> verdict) ->
     unit ->
     stats
@@ -175,7 +215,8 @@ module Make (P : Shmem.Protocol.S) : sig
       [domains] workers ([Domain.spawn]); small levels are expanded in the
       calling domain to avoid spawn overhead.  [visit] runs concurrently and
       must be thread-safe; visit order within a level is unspecified, but
-      every reachable configuration is visited exactly once.  [Stop] and the
+      every reachable configuration is visited exactly once.  [on_step] also
+      runs on worker domains and must be thread-safe.  [Stop] and the
       [max_configs] budget are honoured at level granularity (best effort
       within a level).  Create [t] with [~shards] at least [domains]. *)
 
@@ -193,6 +234,7 @@ module Make (P : Shmem.Protocol.S) : sig
     t ->
     sched:E.scheduler ->
     ?enabled:(E.config -> int list) ->
+    ?on_step:(step_obs -> unit) ->
     max_steps:int ->
     visit:(visit -> verdict) ->
     unit ->
@@ -201,7 +243,8 @@ module Make (P : Shmem.Protocol.S) : sig
       [visit] (its [path] is the walk's own step list, its [depth] the step
       index), then — unless the verdict ended the walk or [max_steps] is
       reached — offer [enabled config] (default [E.undecided]) to [sched]
-      and take the chosen step.  The walk itself runs over concrete
+      and take the chosen step.  [on_step] observes each taken step with the
+      walk's concrete [before]/[after].  The walk itself runs over concrete
       configurations (schedulers and visitors never see renamed states);
       each position is interned by representative, so repeated walks share
       discovery with other strategies. *)

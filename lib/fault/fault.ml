@@ -220,7 +220,10 @@ let gen_plan ~rng ~n ~num_objects kinds =
 
 module Sim (P : Shmem.Protocol.S) = struct
   module E = Shmem.Exec.Make (P)
+  module Pr = Prop.Make (P)
   open Shmem
+
+  let snap (c : E.config) : Pr.snap = { Pr.states = c.E.states; mem = c.E.mem }
 
   let m_plans = Obs.counter "fault.sim.plans"
   let m_steps = Obs.counter "fault.sim.steps"
@@ -239,6 +242,7 @@ module Sim (P : Shmem.Protocol.S) = struct
     outcome : E.outcome;
     fired : (fault * int) list;
     monitor : string option;
+    prop_violation : (string * string) option;
     raised : (int * string) option;
   }
 
@@ -359,6 +363,7 @@ module Sim (P : Shmem.Protocol.S) = struct
 
   type violation =
     | Monitor of string
+    | Property of string * string
     | Protocol_raise of string
     | Non_atomic of string
     | Agreement of string
@@ -367,6 +372,7 @@ module Sim (P : Shmem.Protocol.S) = struct
 
   let pp_violation ppf = function
     | Monitor d -> Fmt.pf ppf "monitor: %s" d
+    | Property (name, d) -> Fmt.pf ppf "property %s: %s" name d
     | Protocol_raise d -> Fmt.pf ppf "protocol raised: %s" d
     | Non_atomic d -> Fmt.pf ppf "non-atomic: %s" d
     | Agreement d -> Fmt.pf ppf "agreement: %s" d
@@ -375,6 +381,7 @@ module Sim (P : Shmem.Protocol.S) = struct
 
   let violation_class = function
     | Monitor _ -> "monitor"
+    | Property (name, _) -> "prop:" ^ name
     | Protocol_raise _ -> "protocol-raise"
     | Non_atomic _ -> "non-atomic"
     | Agreement _ -> "agreement"
@@ -383,40 +390,54 @@ module Sim (P : Shmem.Protocol.S) = struct
 
   type on_step = E.config -> int -> E.config -> string option
 
-  let exec ?on_step ~apply ~fired ~sched ~max_steps c0 =
-    let finish ?monitor ?raised c rev_steps outcome =
+  let exec ?on_step ?(props = []) ~apply ~fired ~sched ~max_steps c0 =
+    let finish ?monitor ?prop ?raised c rev_steps outcome =
       { final = c;
         trace = List.rev rev_steps;
         outcome;
         fired = fired ();
         monitor;
+        prop_violation = prop;
         raised
       }
     in
-    let rec go c rev_steps i =
-      if i >= max_steps then finish c rev_steps E.Step_limit
-      else
-        match E.undecided c with
-        | [] -> finish c rev_steps E.All_decided
-        | enabled -> (
-          match sched ~step_index:i c enabled with
-          | None -> finish c rev_steps E.Stopped
-          | Some pid -> (
-            (* a protocol may legitimately raise when a fault hands it a
-               response it can prove impossible — that is a detection, not
-               a campaign crash *)
-            match E.step_with ~apply c pid with
-            | exception e ->
-              finish ~raised:(pid, Printexc.to_string e) c rev_steps E.Stopped
-            | c', s -> (
-              match Option.bind on_step (fun f -> f c pid c') with
-              | Some detail ->
-                finish ~monitor:detail c' (s :: rev_steps) E.Stopped
-              | None -> go c' (s :: rev_steps) (i + 1))))
-    in
-    go c0 [] 0
+    (* the declared properties ride along as a linear monitor: invariants
+       at every configuration, step relations and automata across every
+       transition (Prop.Make.start/advance) *)
+    let mon, at_init = Pr.start props (snap c0) in
+    match at_init with
+    | Some pv -> finish ~prop:pv c0 [] E.Stopped
+    | None ->
+      let rec go c rev_steps i =
+        if i >= max_steps then finish c rev_steps E.Step_limit
+        else
+          match E.undecided c with
+          | [] -> finish c rev_steps E.All_decided
+          | enabled -> (
+            match sched ~step_index:i c enabled with
+            | None -> finish c rev_steps E.Stopped
+            | Some pid -> (
+              (* a protocol may legitimately raise when a fault hands it a
+                 response it can prove impossible — that is a detection, not
+                 a campaign crash *)
+              match E.step_with ~apply c pid with
+              | exception e ->
+                finish ~raised:(pid, Printexc.to_string e) c rev_steps
+                  E.Stopped
+              | c', s -> (
+                match Option.bind on_step (fun f -> f c pid c') with
+                | Some detail ->
+                  finish ~monitor:detail c' (s :: rev_steps) E.Stopped
+                | None -> (
+                  match
+                    Pr.advance mon ~before:(snap c) ~pid ~after:(snap c')
+                  with
+                  | Some pv -> finish ~prop:pv c' (s :: rev_steps) E.Stopped
+                  | None -> go c' (s :: rev_steps) (i + 1)))))
+      in
+      go c0 [] 0
 
-  let run ?on_step plan ~sched ~max_steps ~inputs =
+  let run ?on_step ?props plan ~sched ~max_steps ~inputs =
     (match validate ~n:P.n ~num_objects:(Array.length P.objects) plan with
     | Ok () -> ()
     | Error e -> invalid_arg (Fmt.str "Fault.Sim.run: %s" e));
@@ -425,9 +446,9 @@ module Sim (P : Shmem.Protocol.S) = struct
       E.with_crashes ~crash_at:(crashes plan)
         (E.with_stalls ~stalls:(stalls plan) sched)
     in
-    exec ?on_step ~apply ~fired ~sched ~max_steps (E.initial ~inputs)
+    exec ?on_step ?props ~apply ~fired ~sched ~max_steps (E.initial ~inputs)
 
-  let run_schedule ?on_step plan ~inputs pids =
+  let run_schedule ?on_step ?props plan ~inputs pids =
     let apply, fired = injector plan in
     let queue = ref pids in
     (* feed the explicit pid sequence; pids that have decided are skipped
@@ -443,7 +464,7 @@ module Sim (P : Shmem.Protocol.S) = struct
       in
       next ()
     in
-    exec ?on_step ~apply ~fired ~sched
+    exec ?on_step ?props ~apply ~fired ~sched
       ~max_steps:(List.length pids + 1)
       (E.initial ~inputs)
 
@@ -481,10 +502,12 @@ module Sim (P : Shmem.Protocol.S) = struct
     go 0 r.trace
 
   let detect ~inputs r =
-    match r.monitor, r.raised with
-    | Some d, _ -> Some (Monitor d)
-    | None, Some (pid, d) -> Some (Protocol_raise (Fmt.str "p%d: %s" pid d))
-    | None, None -> (
+    match r.monitor, r.prop_violation, r.raised with
+    | Some d, _, _ -> Some (Monitor d)
+    | None, Some (name, d), _ -> Some (Property (name, d))
+    | None, None, Some (pid, d) ->
+      Some (Protocol_raise (Fmt.str "p%d: %s" pid d))
+    | None, None, None -> (
       match check_atomic r with
       | Error d -> Some (Non_atomic d)
       | Ok () ->
@@ -502,10 +525,12 @@ module Sim (P : Shmem.Protocol.S) = struct
                   (E.decided_values r.final)))
         else None)
 
-  let shrink ?on_step plan ~inputs violation pids =
+  let shrink ?on_step ?props plan ~inputs violation pids =
     let cls = violation_class violation in
     let violates pids =
-      match detect ~inputs (run_schedule ?on_step plan ~inputs pids) with
+      match
+        detect ~inputs (run_schedule ?on_step ?props plan ~inputs pids)
+      with
       | Some v -> String.equal (violation_class v) cls
       | None -> false
     in
@@ -534,11 +559,12 @@ module Sim (P : Shmem.Protocol.S) = struct
     fired : int;
     violations : finding list;
     detections : finding list;
+    prop_detections : (string * int) list;
     missed : int;
   }
 
-  let campaign ?on_step ?inputs ?(burst = 32) ?(max_steps = 100_000) ~seed
-      ~runs ~kinds () =
+  let campaign ?on_step ?props ?inputs ?(burst = 32) ?(max_steps = 100_000)
+      ~seed ~runs ~kinds () =
     Obs.Span.time sp_campaign @@ fun () ->
     let num_objects = Array.length P.objects in
     let violations = ref [] in
@@ -556,7 +582,7 @@ module Sim (P : Shmem.Protocol.S) = struct
           Array.init P.n (fun _ -> Random.State.int rng P.num_inputs)
       in
       let sched = E.bursty rng ~burst in
-      let r = run ?on_step plan ~sched ~max_steps ~inputs in
+      let r = run ?on_step ?props plan ~sched ~max_steps ~inputs in
       Obs.Counter.incr m_plans;
       if Obs.enabled () then begin
         Obs.Counter.add m_steps (Trace.length r.trace);
@@ -568,7 +594,8 @@ module Sim (P : Shmem.Protocol.S) = struct
         let schedule =
           match violation with
           | Liveness _ -> None
-          | _ -> Some (shrink ?on_step plan ~inputs violation (schedule_of r))
+          | _ ->
+            Some (shrink ?on_step ?props plan ~inputs violation (schedule_of r))
         in
         let finding = { run = i; plan; violation; schedule } in
         if expected then begin
@@ -610,11 +637,29 @@ module Sim (P : Shmem.Protocol.S) = struct
                     | E.Stopped -> "stopped"
                     | E.Step_limit -> "step-limit"))))
     done;
+    let violations = List.rev !violations in
+    let detections = List.rev !detections in
+    (* per-property tally over every finding, expected or not — the chaos
+       summary's "which declared property caught what" line *)
+    let prop_detections =
+      let tally = Hashtbl.create 8 in
+      List.iter
+        (fun f ->
+          match f.violation with
+          | Property (name, _) ->
+            Hashtbl.replace tally name
+              (1 + Option.value ~default:0 (Hashtbl.find_opt tally name))
+          | _ -> ())
+        (detections @ violations);
+      List.sort compare
+        (Hashtbl.fold (fun name c acc -> (name, c) :: acc) tally [])
+    in
     { runs;
       steps = !steps;
       fired = !fired;
-      violations = List.rev !violations;
-      detections = List.rev !detections;
+      violations;
+      detections;
+      prop_detections;
       missed = !missed
     }
 end
@@ -640,10 +685,11 @@ module Mc (P : Shmem.Protocol.S) = struct
     hb_checked : int;
     hb_skipped : int;
     violations : finding list;
+    prop_detections : (string * int) list;
   }
 
-  let campaign ?inputs ?max_ops ?(deadline = 10.) ?(record = true) ~seed
-      ~runs ~kinds () =
+  let campaign ?inputs ?max_ops ?(deadline = 10.) ?(record = true)
+      ?(oracles = []) ~seed ~runs ~kinds () =
     List.iter
       (fun k ->
         if not (kind_is_benign k) then
@@ -660,6 +706,7 @@ module Mc (P : Shmem.Protocol.S) = struct
     let elapsed = ref 0. in
     let hb_checked = ref 0 in
     let hb_skipped = ref 0 in
+    let prop_tally = Hashtbl.create 8 in
     for i = 0 to runs - 1 do
       let rng = Random.State.make [| seed; i; 0xC4A05 |] in
       let plan = gen_plan ~rng ~n:P.n ~num_objects:(Array.length P.objects) kinds in
@@ -689,16 +736,30 @@ module Mc (P : Shmem.Protocol.S) = struct
          recorded histories — a crash/stall must never tear an atomic
          exchange, so any violation here is a runtime bug even when the
          degradation contract still holds *)
-      if record then
-        match R.check_hb outcome with
-        | Ok (c, s) ->
-          hb_checked := !hb_checked + c;
-          hb_skipped := !hb_skipped + s
-        | Error detail ->
-          Obs.Counter.incr m_violations;
-          violations :=
-            { run = i; plan; detail = "happens-before: " ^ detail }
-            :: !violations
+      (if record then
+         match R.check_hb outcome with
+         | Ok (c, s) ->
+           hb_checked := !hb_checked + c;
+           hb_skipped := !hb_skipped + s
+         | Error detail ->
+           Obs.Counter.incr m_violations;
+           violations :=
+             { run = i; plan; detail = "happens-before: " ^ detail }
+             :: !violations);
+      (* third detector: caller-supplied property oracles over the outcome
+         (only benign faults run here, so any oracle failure is a bug) *)
+      List.iter
+        (fun (name, oracle) ->
+          match oracle ~inputs outcome with
+          | Ok () -> ()
+          | Error detail ->
+            Obs.Counter.incr m_violations;
+            Hashtbl.replace prop_tally name
+              (1 + Option.value ~default:0 (Hashtbl.find_opt prop_tally name));
+            violations :=
+              { run = i; plan; detail = Fmt.str "property %s: %s" name detail }
+              :: !violations)
+        oracles
     done;
     { runs;
       crashes_injected = !crashes_injected;
@@ -707,6 +768,9 @@ module Mc (P : Shmem.Protocol.S) = struct
       elapsed = !elapsed;
       hb_checked = !hb_checked;
       hb_skipped = !hb_skipped;
-      violations = List.rev !violations
+      violations = List.rev !violations;
+      prop_detections =
+        List.sort compare
+          (Hashtbl.fold (fun name c acc -> (name, c) :: acc) prop_tally [])
     }
 end

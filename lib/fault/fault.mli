@@ -103,6 +103,12 @@ module Sim (P : Shmem.Protocol.S) : sig
         (** per object fault of the plan, how many times it manifested *)
     monitor : string option;
         (** detail of the first [on_step] violation; the run stops there *)
+    prop_violation : (string * string) option;
+        (** [(name, detail)] of the first declared property ([?props])
+            violated by the run — checked through the property layer's
+            linear monitor ({!Prop.Make.start} / [advance]): invariants at
+            every configuration, step relations and safety automata across
+            every transition.  The run stops there. *)
     raised : (int * string) option;
         (** a step by this pid raised (protocols may prove a faulty
             response impossible); the run stops there, the failing step is
@@ -117,6 +123,9 @@ module Sim (P : Shmem.Protocol.S) : sig
 
   type violation =
     | Monitor of string  (** an [on_step] hook (§4 invariant monitor) fired *)
+    | Property of string * string
+        (** [(name, detail)]: a declared property ([?props]) was violated —
+            any [Prop.Make(P).t] is a first-class detection oracle *)
     | Protocol_raise of string
         (** a step raised — the protocol itself rejected a response that no
             atomic execution can produce *)
@@ -131,8 +140,9 @@ module Sim (P : Shmem.Protocol.S) : sig
   val pp_violation : Format.formatter -> violation -> unit
 
   val violation_class : violation -> string
-  (** ["monitor"], ["protocol-raise"], ["non-atomic"], ["agreement"],
-      ["validity"] or ["liveness"] — shrinking preserves the class *)
+  (** ["monitor"], ["prop:<name>"], ["protocol-raise"], ["non-atomic"],
+      ["agreement"], ["validity"] or ["liveness"] — shrinking preserves the
+      class, so a [Property] violation shrinks against {e that} property *)
 
   type on_step = E.config -> int -> E.config -> string option
   (** invariant hook called after every step with (before, pid, after);
@@ -142,16 +152,24 @@ module Sim (P : Shmem.Protocol.S) : sig
 
   val run :
     ?on_step:on_step ->
+    ?props:Prop.Make(P).t list ->
     plan ->
     sched:E.scheduler ->
     max_steps:int ->
     inputs:int array ->
     report
   (** execute under the plan: crashes and stalls wrap the scheduler, object
-      faults substitute the apply function ({!E.step_with}) *)
+      faults substitute the apply function ({!E.step_with}).  [props] are
+      monitored along the run (after the legacy [on_step] hook); the first
+      violation stops it and lands in [prop_violation]. *)
 
   val run_schedule :
-    ?on_step:on_step -> plan -> inputs:int array -> int list -> report
+    ?on_step:on_step ->
+    ?props:Prop.Make(P).t list ->
+    plan ->
+    inputs:int array ->
+    int list ->
+    report
   (** replay an explicit pid sequence under the plan's {e object} faults
       (crashes and stalls are already baked into the sequence); pids that
       have decided are skipped.  This is the shrinker's oracle: same plan +
@@ -166,11 +184,13 @@ module Sim (P : Shmem.Protocol.S) : sig
       (and no event cap) needed. *)
 
   val detect : inputs:int array -> report -> violation option
-  (** first safety violation of the report: monitor, then atomicity, then
-      agreement, then validity ([Liveness] is a campaign-level concern) *)
+  (** first safety violation of the report: monitor, then declared
+      properties, then a protocol raise, then atomicity, then agreement,
+      then validity ([Liveness] is a campaign-level concern) *)
 
   val shrink :
     ?on_step:on_step ->
+    ?props:Prop.Make(P).t list ->
     plan ->
     inputs:int array ->
     violation ->
@@ -199,6 +219,9 @@ module Sim (P : Shmem.Protocol.S) : sig
         (** on {e benign} plans — always unexpected, any entry is a bug *)
     detections : finding list;
         (** on object-fault plans — the negative tests working as intended *)
+    prop_detections : (string * int) list;
+        (** findings per declared-property name (sorted), over detections
+            and violations alike — which property caught what *)
     missed : int;
         (** runs where an object fault manifested yet nothing was detected;
             should be 0 for the protocols in this repository *)
@@ -206,6 +229,7 @@ module Sim (P : Shmem.Protocol.S) : sig
 
   val campaign :
     ?on_step:on_step ->
+    ?props:Prop.Make(P).t list ->
     ?inputs:int array ->
     ?burst:int ->
     ?max_steps:int ->
@@ -217,8 +241,10 @@ module Sim (P : Shmem.Protocol.S) : sig
   (** [runs] randomized executions under random plans drawn from [kinds]
       (seeded: run [i] uses a RNG derived from [seed] and [i], so campaigns
       are bit-reproducible).  Inputs are randomized per run unless [?inputs]
-      pins them.  Every safety violation and every detection is shrunk with
-      {!shrink}.  Default [burst] 32 (bursty scheduler), default
+      pins them.  [props] are monitored along every run and shrunk
+      class-preservingly like any other violation; per-property counts land
+      in [prop_detections].  Every safety violation and every detection is
+      shrunk with {!shrink}.  Default [burst] 32 (bursty scheduler), default
       [max_steps] 100_000. *)
 end
 
@@ -245,9 +271,12 @@ module Mc (P : Shmem.Protocol.S) : sig
     hb_skipped : int;  (** histories over the event cap, left unchecked *)
     violations : finding list;
         (** failures of the graceful-degradation contract
-            ([Runtime.Make.check_degraded]) or of the happens-before
-            atomicity check (details prefixed ["happens-before:"]): any
-            entry is a bug *)
+            ([Runtime.Make.check_degraded]), of the happens-before
+            atomicity check (details prefixed ["happens-before:"]) or of a
+            caller-supplied property oracle (details prefixed
+            ["property <name>:"]): any entry is a bug *)
+    prop_detections : (string * int) list;
+        (** oracle failures per oracle name (sorted) *)
   }
 
   val campaign :
@@ -255,6 +284,9 @@ module Mc (P : Shmem.Protocol.S) : sig
     ?max_ops:int ->
     ?deadline:float ->
     ?record:bool ->
+    ?oracles:
+      (string * (inputs:int array -> R.outcome -> (unit, string) result))
+      list ->
     seed:int ->
     runs:int ->
     kinds:kind list ->
@@ -265,7 +297,10 @@ module Mc (P : Shmem.Protocol.S) : sig
       was crashed by injection; decided values satisfy k-agreement and
       validity), and — with [record] (default [true]) — its timestamped
       histories are checked by the vector-clock happens-before race
-      detector ({!Runtime.Make.check_hb}).  Default [deadline] 10s per
-      run.
+      detector ({!Runtime.Make.check_hb}).  [oracles] are named
+      per-outcome property checks evaluated on every run (real domains
+      expose no per-step hook, so declared properties enter here as outcome
+      predicates); failures are violations, tallied per name in
+      [prop_detections].  Default [deadline] 10s per run.
       @raise Invalid_argument if [kinds] contains an object-fault kind *)
 end

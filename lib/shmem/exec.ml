@@ -15,6 +15,18 @@ module Make (P : Protocol.S) = struct
     ; mem = Array.init (Array.length P.objects) P.init_object
     }
 
+  let unsafe_config ~states ~mem =
+    if Array.length states <> P.n then
+      invalid_arg
+        (Fmt.str "Exec.unsafe_config: %d states for %d processes"
+           (Array.length states) P.n);
+    if Array.length mem <> Array.length P.objects then
+      invalid_arg
+        (Fmt.str "Exec.unsafe_config: %d values for %d objects"
+           (Array.length mem)
+           (Array.length P.objects));
+    { states = Array.copy states; mem = Array.copy mem }
+
   let value c b = c.mem.(b)
   let decision c pid = P.decision c.states.(pid)
 

@@ -15,6 +15,16 @@ module Make (P : Protocol.S) : sig
   (** the initial configuration in which process [p] has input [inputs.(p)];
       [inputs] must have length [P.n] and entries in [0 .. num_inputs-1] *)
 
+  val unsafe_config : states:P.state array -> mem:Value.t array -> config
+  (** rebuild a configuration from raw state/memory arrays (defensively
+      copied).  "Unsafe" because nothing certifies the arrays describe a
+      {e reachable} configuration — the caller vouches for that.  Exists so
+      engine-independent snapshots (the property layer's [Prop.Make.snap],
+      the monitor's [snapshot]) can be re-entered into {e any} [Exec.Make]
+      instance, e.g. to measure a solo run from a snapshot taken by a
+      different engine.
+      @raise Invalid_argument on length mismatch with [P.n] / [P.objects] *)
+
   val value : config -> int -> Value.t
   (** [value c b] is value(B_b, C) *)
 
