@@ -32,11 +32,16 @@
          exploration with and without the §4 properties (lib/prop)
          attached — identical graphs and verdicts, so the wall-clock delta
          is the cost of incremental property evaluation; budget <= 10%.
+     T14 Supervised recovery (not in the paper): Runtime.Make bare vs
+         under Supervisor.Make (lib/resil) with no crash (supervision
+         overhead) and with one seeded victim crash per run
+         (detection + rebuild + respawn round, time-to-recover
+         quantiles).
      F1  The Lemma 15 induction chain (paper Figure 1).
      F2  The Lemma 19 induction chain (paper Figure 2).
 
    Usage: dune exec bench/main.exe [-- section ...] [--csv DIR] [--json FILE]
-   where section ∈ {t0..t13 f1 f2 bechamel all}; default all.  With
+   where section ∈ {t0..t14 f1 f2 bechamel all}; default all.  With
    [--csv DIR], every table is additionally written to DIR/<section>.csv;
    with [--json FILE], all tables of the run are written to FILE as one
    machine-readable JSON document (section id, title, header, rows, wall
@@ -1085,6 +1090,98 @@ let t13 () =
      'all' row (per-row numbers are informational — single rows are \
      noise-prone on shared runners).@."
 
+(* ----------------------------------------------------------------- T14 *)
+
+(* Supervision and crash-recovery cost: the same protocol on real domains
+   (a) bare through Runtime.Make, (b) under Supervisor.Make with no crash
+   injected (pure supervision overhead: breaker + merged-view accounting
+   around a single round), and (c) under supervision with one seeded
+   victim crash per run, which exercises detection, state rebuild through
+   P.recovery and a respawn round.  The crashed column also reports
+   time-to-recover quantiles out of report.recover_ns (failure detection
+   to the recovery round's last join).  Wall times feed the CI bench gate
+   like every other section; the overhead of (b) over (a) is the number
+   to watch — supervision must be free when nothing fails. *)
+let t14 () =
+  section_header "t14" "supervised recovery: overhead and time-to-recover";
+  let runs = 20 in
+  let rows =
+    List.map
+      (fun n ->
+        let (module P) = Core.Swap_ksa.make ~n ~k:1 ~m:2 in
+        let module R = Runtime.Make (P) in
+        let module Sup = Supervisor.Make (P) in
+        let inputs = Array.init n (fun i -> i mod 2) in
+        let bare = ref 0. in
+        for seed = 1 to runs do
+          let o = R.run ~inputs ~seed () in
+          (match R.check ~inputs o with Ok () -> () | Error e -> failwith e);
+          bare := !bare +. o.R.elapsed
+        done;
+        let quiet = ref 0. in
+        for seed = 1 to runs do
+          let r = Sup.supervise ~inputs ~seed () in
+          (match Sup.check ~inputs r with
+          | Ok () -> ()
+          | Error e -> failwith e);
+          assert (r.Sup.rounds = 1);
+          quiet := !quiet +. r.Sup.outcome.Sup.R.elapsed
+        done;
+        let crashed = ref 0. in
+        let respawns = ref 0 in
+        let lat = ref [] in
+        for seed = 1 to runs do
+          let victim = seed mod n in
+          let crash_plan ~round ~pid =
+            if round = 0 && pid = victim then Some (seed mod 16) else None
+          in
+          let r = Sup.supervise ~inputs ~seed ~crash_plan () in
+          (match Sup.check ~inputs r with
+          | Ok () -> ()
+          | Error e -> failwith e);
+          crashed := !crashed +. r.Sup.outcome.Sup.R.elapsed;
+          respawns := !respawns + Array.fold_left ( + ) 0 r.Sup.respawns;
+          lat := r.Sup.recover_ns @ !lat
+        done;
+        let lat = List.sort Int64.compare !lat in
+        let pct p =
+          match lat with
+          | [] -> 0.
+          | l ->
+            let len = List.length l in
+            let idx = min (len - 1) (((p * (len - 1)) + 99) / 100) in
+            Int64.to_float (List.nth l idx) /. 1e6
+        in
+        let per t = t /. float_of_int runs in
+        [ string_of_int n
+        ; Fmt.str "%.4f" (per !bare)
+        ; Fmt.str "%.4f" (per !quiet)
+        ; Fmt.str "%.1f" ((!quiet /. !bare -. 1.) *. 100.)
+        ; Fmt.str "%.4f" (per !crashed)
+        ; string_of_int !respawns
+        ; Fmt.str "%.3f" (pct 50)
+        ; Fmt.str "%.3f" (pct 99)
+        ])
+      [ 4; 8 ]
+  in
+  print_table
+    [ "n"
+    ; "bare (s)"
+    ; "supervised quiet (s)"
+    ; "overhead %"
+    ; "1-crash (s)"
+    ; "respawns"
+    ; "recover p50 (ms)"
+    ; "recover p99 (ms)"
+    ]
+    rows;
+  Fmt.pr
+    "quiet supervision = one round, no respawns: its overhead column is \
+     bookkeeping only and should stay near zero.  The crashed column \
+     pays detection (the round's watchdog join) + rebuild + one respawn \
+     round; p50/p99 are per-incarnation failure-detection-to-join \
+     latencies from report.recover_ns.@."
+
 (* ------------------------------------------------------------- figures *)
 
 let f1 () =
@@ -1290,6 +1387,7 @@ let run_compare args =
 let sections =
   [ "t0", t0; "t1", t1; "t2", t2; "t3", t3; "t4", t4; "t5", t5; "t6", t6; "t7", t7
   ; "t8", t8; "t9", t9; "t10", t10; "t11", t11; "t12", t12; "t13", t13
+  ; "t14", t14
   ; "f1", f1
   ; "f2", f2; "bechamel", bechamel ]
 

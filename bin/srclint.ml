@@ -20,7 +20,16 @@
      [=] / [<>] / [compare] on the function's own parameters — equality on
      states must be structural and explicit.
 
-   Usage: srclint DIR...   (exit 0 clean, 1 with findings on stderr)
+   Directories listed after [--monotonic] get a narrower lint instead:
+   deadline and watchdog code (lib/resil, lib/runtime) must never read
+   the wall clock — [Unix.gettimeofday] / [Unix.time] / [Sys.time] jump
+   under NTP slew and make timeouts fire early or never.  Those modules
+   legitimately use [Random] (backoff jitter) and [Unix] elsewhere is
+   already absent, so only the wall-clock reads are banned; monotonic
+   time comes from [Resil.Clock].
+
+   Usage: srclint DIR... [--monotonic DIR...]
+   (exit 0 clean, 1 with findings on stderr)
 
    Wired as the @srclint alias in bin/dune, run by the CI lint job. *)
 
@@ -57,6 +66,18 @@ let check_lid loc lid =
       report loc "use of banned module in %s" path_s
     else if List.exists (fun b -> b = path) banned_idents then
       report loc "polymorphic hash/compare: %s (use Shmem.Hashx)" path_s
+
+(* wall-clock reads banned in deadline code paths (--monotonic dirs) *)
+let banned_wallclock =
+  [ [ "Unix"; "gettimeofday" ]; [ "Unix"; "time" ]; [ "Sys"; "time" ]
+  ; [ "Stdlib"; "Sys"; "time" ]
+  ]
+
+let check_lid_monotonic loc lid =
+  let path = flatten_lid lid in
+  if List.exists (fun b -> b = path) banned_wallclock then
+    report loc "wall-clock read %s in deadline code (use Resil.Clock)"
+      (String.concat "." path)
 
 (* ---- whole-state polymorphic equality inside equal_state/hash_state ---- *)
 
@@ -119,7 +140,17 @@ let iterator =
   in
   { default_iterator with expr; value_binding }
 
-let lint_file path =
+let monotonic_iterator =
+  let open Ast_iterator in
+  let expr this e =
+    (match e.Parsetree.pexp_desc with
+    | Parsetree.Pexp_ident { txt; loc } -> check_lid_monotonic loc txt
+    | _ -> ());
+    default_iterator.expr this e
+  in
+  { default_iterator with expr }
+
+let lint_file ~iter path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
@@ -127,27 +158,31 @@ let lint_file path =
       let lexbuf = Lexing.from_channel ic in
       Lexing.set_filename lexbuf path;
       match Parse.implementation lexbuf with
-      | ast -> iterator.Ast_iterator.structure iterator ast
+      | ast -> iter.Ast_iterator.structure iter ast
       | exception exn ->
         incr errors;
         Printf.eprintf "%s: parse error (%s)\n" path
           (Printexc.to_string exn))
 
-let rec walk path =
+let rec walk ~iter path =
   if Sys.is_directory path then
     Sys.readdir path |> Array.to_list |> List.sort compare
-    |> List.iter (fun f -> walk (Filename.concat path f))
-  else if Filename.check_suffix path ".ml" then lint_file path
+    |> List.iter (fun f -> walk ~iter (Filename.concat path f))
+  else if Filename.check_suffix path ".ml" then lint_file ~iter path
 
 let () =
-  let dirs =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as dirs) -> dirs
-    | _ ->
-      prerr_endline "usage: srclint DIR...";
-      exit 2
+  let args = match Array.to_list Sys.argv with _ :: a -> a | [] -> [] in
+  let rec split acc = function
+    | [] -> List.rev acc, []
+    | "--monotonic" :: rest -> List.rev acc, rest
+    | d :: rest -> split (d :: acc) rest
   in
-  List.iter walk dirs;
+  let dirs, mono_dirs = split [] args in
+  if dirs = [] && mono_dirs = [] then (
+    prerr_endline "usage: srclint DIR... [--monotonic DIR...]";
+    exit 2);
+  List.iter (walk ~iter:iterator) dirs;
+  List.iter (walk ~iter:monotonic_iterator) mono_dirs;
   if !errors > 0 then (
     Printf.eprintf "srclint: %d finding(s)\n" !errors;
     exit 1)

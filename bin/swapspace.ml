@@ -682,9 +682,46 @@ module Chaos_sim (P : Shmem.Protocol.S) = struct
     }
 end
 
+module Chaos_mc (P : Shmem.Protocol.S) = struct
+  module MC = Fault.Mc (P)
+
+  let go ?pack ?inputs ~deadline ~seed ~runs ~kinds ~recover ~max_respawns ()
+      =
+    let s =
+      MC.campaign ?pack ?inputs ~deadline ~seed ~runs ~kinds ~recover
+        ~max_respawns ()
+    in
+    { header =
+        Fmt.str "chaos (multicore%s) %s: %d runs, seed %d, kinds [%a]"
+          (if recover then ", supervised" else "")
+          P.name runs seed
+          Fmt.(list ~sep:(any ",") (of_to_string Fault.kind_to_string))
+          kinds;
+      counters =
+        Fmt.str
+          "crashes=%d stalls=%d%s ops=%d elapsed=%.2fs hb_checked=%d \
+           hb_skipped=%d violations=%d"
+          s.MC.crashes_injected s.MC.stalls_injected
+          (if recover then
+             Fmt.str " respawns=%d rounds=%d" s.MC.respawns s.MC.rounds
+           else "")
+          s.MC.total_ops s.MC.elapsed s.MC.hb_checked s.MC.hb_skipped
+          (List.length s.MC.violations);
+      expected = [];
+      unexpected =
+        List.map
+          (fun (f : MC.finding) ->
+            ( f.MC.run,
+              Fmt.str "plan [%a]@;<1 4>%s" Fault.pp_plan f.MC.plan
+                f.MC.detail ))
+          s.MC.violations;
+      failed = s.MC.violations <> []
+    }
+end
+
 let chaos_cmd =
   let go algo n k m cap seed inputs backend runs kinds burst max_steps deadline
-      metrics metrics_out =
+      recover max_respawns metrics metrics_out =
     let kinds =
       match Fault.kinds_of_string kinds with
       | Ok [] -> Fmt.failwith "--kinds is empty"
@@ -695,6 +732,13 @@ let chaos_cmd =
       with_metrics ~metrics ~out:metrics_out @@ fun () ->
       match backend with
       | "sim" ->
+        (* --recover: draw kill-and-heal plans — appended so the crash of
+           an existing kind list is drawn first and the respawn heals it *)
+        let kinds =
+          if recover && not (List.mem Fault.Respawn_k kinds) then
+            kinds @ [ Fault.Respawn_k ]
+          else kinds
+        in
         if algo = "swap-ksa" then (
           (* Algorithm 1 additionally gets the §4 invariants monitored on
              every step, as declared properties — the negative tests must
@@ -711,7 +755,7 @@ let chaos_cmd =
           C.go ~props:M.online_props ?inputs ~burst ~max_steps ~seed ~runs
             ~kinds ())
         else
-          let (module P) = protocol_of ~algo ~n ~k ~m ~cap in
+          let (module P) = protocol_or_usage_error ~algo ~n ~k ~m ~cap in
           let module C = Chaos_sim (P) in
           let inputs =
             Option.map
@@ -722,6 +766,13 @@ let chaos_cmd =
       | "multicore" ->
         let dropped = List.filter (fun k -> not (Fault.kind_is_benign k)) kinds in
         let kinds = List.filter Fault.kind_is_benign kinds in
+        let kinds =
+          if recover && not (List.mem Fault.Respawn_k kinds) then
+            kinds @ [ Fault.Respawn_k ]
+          else if not recover then
+            List.filter (fun k -> k <> Fault.Respawn_k) kinds
+          else kinds
+        in
         if kinds = [] then
           Fmt.failwith
             "--backend multicore supports only benign fault kinds (crash, \
@@ -732,36 +783,29 @@ let chaos_cmd =
              multicore backend@."
             Fmt.(list ~sep:(any ",") (of_to_string Fault.kind_to_string))
             dropped;
-        let (module P) = protocol_of ~algo ~n ~k ~m ~cap in
-        let module MC = Fault.Mc (P) in
-        let inputs =
-          Option.map
-            (fun s -> parse_inputs ~n:P.n ~m:P.num_inputs (Some s))
-            inputs
-        in
-        let s = MC.campaign ?inputs ~deadline ~seed ~runs ~kinds () in
-        { header =
-            Fmt.str "chaos (multicore) %s: %d runs, seed %d, kinds [%a]"
-              P.name runs seed
-              Fmt.(list ~sep:(any ",") (of_to_string Fault.kind_to_string))
-              kinds;
-          counters =
-            Fmt.str
-              "crashes=%d stalls=%d ops=%d elapsed=%.2fs hb_checked=%d \
-               hb_skipped=%d violations=%d"
-              s.MC.crashes_injected s.MC.stalls_injected s.MC.total_ops
-              s.MC.elapsed s.MC.hb_checked s.MC.hb_skipped
-              (List.length s.MC.violations);
-          expected = [];
-          unexpected =
-            List.map
-              (fun (f : MC.finding) ->
-                f.MC.run,
-                Fmt.str "plan [%a]@;<1 4>%s" Fault.pp_plan f.MC.plan
-                  f.MC.detail)
-              s.MC.violations;
-          failed = s.MC.violations <> []
-        }
+        if algo = "swap-ksa" then (
+          (* under supervision the §4 config invariants double as the
+             cross-recovery-boundary oracle, evaluated on the merged final
+             snapshot *)
+          let (module P) = Core.Swap_ksa.make ~n ~k ~m in
+          let module C = Chaos_mc (P) in
+          let module M = Core.Swap_ksa_monitor.Make (P) in
+          let inputs =
+            Option.map
+              (fun s -> parse_inputs ~n:P.n ~m:P.num_inputs (Some s))
+              inputs
+          in
+          C.go ~pack:M.online_props ?inputs ~deadline ~seed ~runs ~kinds
+            ~recover ~max_respawns ())
+        else
+          let (module P) = protocol_or_usage_error ~algo ~n ~k ~m ~cap in
+          let module C = Chaos_mc (P) in
+          let inputs =
+            Option.map
+              (fun s -> parse_inputs ~n:P.n ~m:P.num_inputs (Some s))
+              inputs
+          in
+          C.go ?inputs ~deadline ~seed ~runs ~kinds ~recover ~max_respawns ()
       | s -> Fmt.failwith "unknown backend %s (sim, multicore)" s
     in
     Fmt.pr "%s@.%s@." out.header out.counters;
@@ -787,8 +831,28 @@ let chaos_cmd =
     Arg.(
       value & opt string "all"
       & info [ "kinds" ] ~docv:"K1,K2,..."
-          ~doc:"Fault kinds to draw plans from: crash, stall, torn, lost, \
-                stale; or the groups 'all' and 'benign'.")
+          ~doc:"Fault kinds to draw plans from: crash, stall, respawn, \
+                torn, lost, stale; or the groups 'all', 'benign' and \
+                'recovery'.")
+  in
+  let recover =
+    Arg.(
+      value & flag
+      & info [ "recover" ]
+          ~doc:"Kill-and-heal campaigns: crashed processes come back \
+                through the protocol's recovery hook — respawn plan \
+                entries on the simulator, supervised respawns on fresh \
+                domains on the multicore backend — and every run is held \
+                to the degraded (k + crashed-incarnations)-agreement \
+                contract, the cross-boundary happens-before check and the \
+                declared property pack.")
+  in
+  let max_respawns =
+    Arg.(
+      value & opt int 2
+      & info [ "max-respawns" ] ~docv:"R"
+          ~doc:"Per-process respawn budget before the supervisor \
+                escalates (multicore --recover).")
   in
   let burst =
     Arg.(
@@ -811,10 +875,106 @@ let chaos_cmd =
        ~doc:"Run seeded randomized fault-injection campaigns: crash/stall \
              plans on either backend, torn/lost/stale object faults on the \
              simulator (negative tests — every manifestation must be \
-             detected and is shrunk to a locally-minimal schedule).")
+             detected and is shrunk to a locally-minimal schedule), and \
+             kill-and-heal recovery campaigns with $(b,--recover). Exit 0 \
+             when clean, 1 on violations, 2 on usage errors.")
     Term.(
       const go $ algo $ n $ k $ m $ cap $ seed $ inputs_arg $ backend $ runs
-      $ kinds $ burst $ max_steps $ deadline $ metrics_arg $ metrics_out_arg)
+      $ kinds $ burst $ max_steps $ deadline $ recover $ max_respawns
+      $ metrics_arg $ metrics_out_arg)
+
+(* -------------------------------------------------------------- resil *)
+
+let resil_cmd =
+  let go algo n k m cap seed inputs runs max_respawns deadline metrics
+      metrics_out =
+    let (module P) = protocol_or_usage_error ~algo ~n ~k ~m ~cap in
+    let module Sup = Supervisor.Make (P) in
+    let inputs = parse_inputs ~n:P.n ~m:P.num_inputs inputs in
+    let failures = ref [] in
+    let respawns = ref 0 in
+    let rounds = ref 0 in
+    let gave_up = ref 0 in
+    let lat = ref [] in
+    with_metrics ~metrics ~out:metrics_out (fun () ->
+        for i = 0 to runs - 1 do
+          let rng = Random.State.make [| seed; i; 0x0E51 |] in
+          let victim = Random.State.int rng P.n in
+          let crash_op = Random.State.int rng 32 in
+          (* round 0 always kills one victim early; respawned incarnations
+             are re-killed with probability 1/2 until the breaker trips *)
+          let crash_plan ~round ~pid =
+            if round = 0 then if pid = victim then Some crash_op else None
+            else if Random.State.bool rng then
+              Some (Random.State.int rng 32)
+            else None
+          in
+          let policy =
+            { (Sup.default_policy ()) with
+              max_respawns;
+              round_deadline = Some deadline
+            }
+          in
+          let report =
+            Sup.supervise ~inputs ~seed:(seed + i) ~policy ~crash_plan ()
+          in
+          respawns := !respawns + Array.fold_left ( + ) 0 report.Sup.respawns;
+          rounds := !rounds + report.Sup.rounds;
+          gave_up := !gave_up + List.length report.Sup.gave_up;
+          lat := report.Sup.recover_ns @ !lat;
+          match Sup.check ~inputs report with
+          | Ok () -> ()
+          | Error e -> failures := (i, e) :: !failures
+        done);
+    let lat = List.sort Int64.compare !lat in
+    let pct p =
+      match lat with
+      | [] -> 0.
+      | l ->
+        let len = List.length l in
+        let idx = min (len - 1) (((p * (len - 1)) + 99) / 100) in
+        Int64.to_float (List.nth l idx) /. 1e6
+    in
+    Fmt.pr "resil %s: %d supervised runs, seed %d, max-respawns %d@." P.name
+      runs seed max_respawns;
+    Fmt.pr
+      "respawns=%d rounds=%d gave_up=%d recoveries=%d recover_ms p50=%.3f \
+       p99=%.3f@."
+      !respawns !rounds !gave_up (List.length lat) (pct 50) (pct 99);
+    List.iter
+      (fun (i, e) -> Fmt.pr "VIOLATION (run %d): %s@." i e)
+      (List.rev !failures);
+    if !failures <> [] then exit 1
+  in
+  let runs =
+    Arg.(
+      value & opt int 20
+      & info [ "runs" ] ~docv:"N" ~doc:"Number of supervised runs.")
+  in
+  let max_respawns =
+    Arg.(
+      value & opt int 2
+      & info [ "max-respawns" ] ~docv:"R"
+          ~doc:"Per-process respawn budget before the supervisor escalates.")
+  in
+  let deadline =
+    Arg.(
+      value & opt float 10.
+      & info [ "deadline" ] ~docv:"SECS" ~doc:"Per-round watchdog.")
+  in
+  Cmd.v
+    (Cmd.info "resil"
+       ~doc:"Run an algorithm under supervision on real domains: a seeded \
+             victim is crashed each run, recovered through the protocol's \
+             recovery hook on a fresh domain against the same memory, \
+             re-killed with probability 1/2 up to the respawn budget, and \
+             the outcome is held to the degraded \
+             (k + crashed-incarnations)-agreement contract. Prints respawn \
+             counts and time-to-recover quantiles. Exit 0 when every run \
+             passes, 1 on a violation, 2 on usage errors.")
+    Term.(
+      const go $ algo $ n $ k $ m $ cap $ seed $ inputs_arg $ runs
+      $ max_respawns $ deadline $ metrics_arg $ metrics_out_arg)
 
 (* ------------------------------------------------------------ analyze *)
 
@@ -905,5 +1065,5 @@ let () =
           (Cmd.info "swapspace" ~version:"1.0.0" ~doc)
           [ run_cmd; check_cmd; props_cmd; analyze_cmd; lemma9_cmd
           ; lb_binary_cmd; lb_bounded_cmd; bounds_cmd; multicore_cmd
-          ; chaos_cmd
+          ; chaos_cmd; resil_cmd
           ]))

@@ -134,6 +134,7 @@ let make_general ?(eager = false) ~kind_name ~kind ~n ~cap () : (module S) =
               Sh.Hashx.(opt int (int (int seed s.pref) phase_hash) s.decided))
         ; rename = (fun f s -> { s with pid = f s.pid })
         }
+    let recovery = Sh.Protocol.Restart
 
     let pp_state ppf s =
       let pp_phase ppf = function

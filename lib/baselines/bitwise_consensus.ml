@@ -187,6 +187,7 @@ module Make (B : Sh.Protocol.S) = struct
       (* NOT anonymous: each process posts to its own board row
          ([bit_cell ~pid]), so the object layout itself is pid-indexed *)
       let symmetry = Sh.Protocol.Asymmetric
+      let recovery = Sh.Protocol.Restart
     end)
 end
 

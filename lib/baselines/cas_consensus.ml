@@ -54,4 +54,15 @@ let make ~n ~m : (module Sh.Protocol.S) =
     let symmetry =
       Sh.Protocol.Anonymous
         { canon_key = hash_state; rename = (fun _ s -> s) }
+
+    (* genuine resumption: a CAS winner is durable in shared memory, so a
+       respawned process re-reads the cell and adopts the installed value —
+       exactly the protocol's own [Read_back] path, precomputed.  An empty
+       cell means nothing was installed yet: start over. *)
+    let recovery =
+      Sh.Protocol.Resume
+        (fun ~pid:_ ~input mem ->
+          match mem.(0) with
+          | Sh.Value.Int w -> { input; phase = Read_back; decided = Some w }
+          | _ -> { input; phase = Try; decided = None })
   end)

@@ -42,4 +42,5 @@ let make ~n ~k ~m : (module Sh.Protocol.S) =
     (* NOT anonymous: the target object is [pid mod k], so renaming a
        process moves its operations to a different object *)
     let symmetry = Sh.Protocol.Asymmetric
+    let recovery = Sh.Protocol.Restart
   end)

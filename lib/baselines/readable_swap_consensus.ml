@@ -133,6 +133,7 @@ let make ~n ~m : (module Sh.Protocol.S) =
                   s.decided))
         ; rename = (fun f s -> { s with pid = f s.pid })
         }
+    let recovery = Sh.Protocol.Restart
 
     let pp_state ppf s =
       let pp_phase ppf = function

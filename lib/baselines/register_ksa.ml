@@ -159,6 +159,7 @@ let make ~n ~k ~m : (module Sh.Protocol.S) =
               in
               { s with pid = f s.pid; phase })
         }
+    let recovery = Sh.Protocol.Restart
 
     let pp_state ppf s =
       let pp_phase ppf = function

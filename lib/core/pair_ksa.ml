@@ -45,4 +45,5 @@ let make ~n ~m : (module Sh.Protocol.S) =
     (* NOT anonymous: processes 0 and 1 are predesignated (init decides
        immediately for pid >= 2), so renaming changes behaviour *)
     let symmetry = Sh.Protocol.Asymmetric
+    let recovery = Sh.Protocol.Restart
   end)

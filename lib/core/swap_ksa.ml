@@ -139,6 +139,7 @@ let make_general ~n ~k ~m ~lead ~merge : (module S) =
                 opt int (bool (int (ints seed s.u) s.i) s.conflict) s.decided))
         ; rename = (fun f s -> { s with pid = f s.pid })
         }
+    let recovery = Sh.Protocol.Restart
 
     let laps s = Array.copy s.u
     let laps_get s j = s.u.(j)

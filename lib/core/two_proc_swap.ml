@@ -43,4 +43,5 @@ let make ~m : (module Sh.Protocol.S) =
             (fun s -> Sh.Hashx.(opt int (int seed s.input) s.decided))
         ; rename = (fun f s -> { s with pid = f s.pid })
         }
+    let recovery = Sh.Protocol.Restart
   end)

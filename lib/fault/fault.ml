@@ -9,6 +9,7 @@
 type fault =
   | Crash of int * int
   | Stall of int * int * int
+  | Respawn of int * int
   | Torn_swap of int
   | Lost_update of int
   | Stale_read of int * int
@@ -18,6 +19,7 @@ type plan = fault list
 let pp_fault ppf = function
   | Crash (p, t) -> Fmt.pf ppf "crash(p%d@%d)" p t
   | Stall (p, t, d) -> Fmt.pf ppf "stall(p%d@%d+%d)" p t d
+  | Respawn (p, d) -> Fmt.pf ppf "respawn(p%d+%d)" p d
   | Torn_swap o -> Fmt.pf ppf "torn-swap(B%d)" o
   | Lost_update o -> Fmt.pf ppf "lost-update(B%d)" o
   | Stale_read (o, lag) -> Fmt.pf ppf "stale-read(B%d,lag=%d)" o lag
@@ -27,19 +29,19 @@ let pp_plan ppf = function
   | plan -> Fmt.(list ~sep:(any ", ") pp_fault) ppf plan
 
 let is_benign = function
-  | Crash _ | Stall _ -> true
+  | Crash _ | Stall _ | Respawn _ -> true
   | Torn_swap _ | Lost_update _ | Stale_read _ -> false
 
 let benign plan = List.for_all is_benign plan
 
 let fault_object = function
   | Torn_swap o | Lost_update o | Stale_read (o, _) -> Some o
-  | Crash _ | Stall _ -> None
+  | Crash _ | Stall _ | Respawn _ -> None
 
 let validate ~n ~num_objects plan =
   let check_pid p = p >= 0 && p < n in
   let check_obj o = o >= 0 && o < num_objects in
-  let rec go seen_objs = function
+  let rec go seen_objs seen_respawns = function
     | [] -> Ok ()
     | f :: rest -> (
       let bad fmt = Fmt.kstr (fun s -> Error s) fmt in
@@ -47,12 +49,18 @@ let validate ~n ~num_objects plan =
       | Crash (p, t) ->
         if not (check_pid p) then bad "%a: pid out of range" pp_fault f
         else if t < 0 then bad "%a: negative time" pp_fault f
-        else go seen_objs rest
+        else go seen_objs seen_respawns rest
       | Stall (p, t, d) ->
         if not (check_pid p) then bad "%a: pid out of range" pp_fault f
         else if t < 0 then bad "%a: negative time" pp_fault f
         else if d < 1 then bad "%a: duration must be positive" pp_fault f
-        else go seen_objs rest
+        else go seen_objs seen_respawns rest
+      | Respawn (p, d) ->
+        if not (check_pid p) then bad "%a: pid out of range" pp_fault f
+        else if d < 1 then bad "%a: delay must be positive" pp_fault f
+        else if List.mem p seen_respawns then
+          bad "%a: p%d already has a respawn" pp_fault f p
+        else go seen_objs (p :: seen_respawns) rest
       | Torn_swap o | Lost_update o | Stale_read (o, _) ->
         if not (check_obj o) then bad "%a: object out of range" pp_fault f
         else if List.mem o seen_objs then
@@ -60,9 +68,9 @@ let validate ~n ~num_objects plan =
         else if
           (match f with Stale_read (_, lag) -> lag < 1 | _ -> false)
         then bad "%a: lag must be positive" pp_fault f
-        else go (o :: seen_objs) rest)
+        else go (o :: seen_objs) seen_respawns rest)
   in
-  go [] plan
+  go [] [] plan
 
 let crashes plan =
   List.filter_map (function Crash (p, t) -> Some (p, t) | _ -> None) plan
@@ -71,6 +79,9 @@ let stalls plan =
   List.filter_map
     (function Stall (p, t, d) -> Some (p, t, d) | _ -> None)
     plan
+
+let respawns plan =
+  List.filter_map (function Respawn (p, d) -> Some (p, d) | _ -> None) plan
 
 (* ------------------------------------------------------------------ *)
 (* ddmin (Zeller & Hildebrandt), plus a final single-deletion pass so   *)
@@ -133,14 +144,19 @@ let ddmin ~violates input =
 (* ------------------------------------------------------------------ *)
 (* Random plans *)
 
-type kind = Crash_k | Stall_k | Torn_k | Lost_k | Stale_k
+type kind = Crash_k | Stall_k | Respawn_k | Torn_k | Lost_k | Stale_k
 
+(* [all_kinds] deliberately excludes [Respawn_k]: existing seeded campaigns
+   and their recorded expectations stay bit-identical; recovery campaigns
+   opt in through the ["recovery"] group or an explicit kind list *)
 let all_kinds = [ Crash_k; Stall_k; Torn_k; Lost_k; Stale_k ]
 let benign_kinds = [ Crash_k; Stall_k ]
+let recovery_kinds = [ Crash_k; Stall_k; Respawn_k ]
 
 let kind_to_string = function
   | Crash_k -> "crash"
   | Stall_k -> "stall"
+  | Respawn_k -> "respawn"
   | Torn_k -> "torn"
   | Lost_k -> "lost"
   | Stale_k -> "stale"
@@ -149,18 +165,21 @@ let kind_of_string s =
   match String.lowercase_ascii (String.trim s) with
   | "crash" -> Ok Crash_k
   | "stall" -> Ok Stall_k
+  | "respawn" -> Ok Respawn_k
   | "torn" | "torn-swap" -> Ok Torn_k
   | "lost" | "lost-update" -> Ok Lost_k
   | "stale" | "stale-read" -> Ok Stale_k
   | other ->
     Error
-      (Fmt.str "unknown fault kind %S (crash, stall, torn, lost, stale)"
+      (Fmt.str
+         "unknown fault kind %S (crash, stall, respawn, torn, lost, stale)"
          other)
 
 let kinds_of_string s =
   match String.lowercase_ascii (String.trim s) with
   | "all" -> Ok all_kinds
   | "benign" -> Ok benign_kinds
+  | "recovery" -> Ok recovery_kinds
   | _ ->
     String.split_on_char ',' s
     |> List.filter (fun tok -> String.trim tok <> "")
@@ -174,7 +193,7 @@ let kinds_of_string s =
     |> Result.map List.rev
 
 let kind_is_benign = function
-  | Crash_k | Stall_k -> true
+  | Crash_k | Stall_k | Respawn_k -> true
   | Torn_k | Lost_k | Stale_k -> false
 
 let gen_plan ~rng ~n ~num_objects kinds =
@@ -194,26 +213,50 @@ let gen_plan ~rng ~n ~num_objects kinds =
       incr next_obj;
       Some o)
   in
-  List.filter_map
-    (fun k ->
-      if not (Random.State.bool rng) then None
+  (* a left fold (not filter_map) so [Respawn_k] can see the crash drawn
+     for an earlier kind; the RNG consumption order for the pre-existing
+     kinds is unchanged, keeping historical seeds bit-identical *)
+  List.fold_left
+    (fun acc k ->
+      if not (Random.State.bool rng) then acc
       else
         match k with
         | Crash_k ->
-          Some (Crash (Random.State.int rng n, Random.State.int rng 64))
+          Crash (Random.State.int rng n, Random.State.int rng 64) :: acc
         | Stall_k ->
-          Some
-            (Stall
-               ( Random.State.int rng n,
-                 Random.State.int rng 64,
-                 1 + Random.State.int rng 127 ))
-        | Torn_k -> Option.map (fun o -> Torn_swap o) (take_obj ())
-        | Lost_k -> Option.map (fun o -> Lost_update o) (take_obj ())
-        | Stale_k ->
-          Option.map
-            (fun o -> Stale_read (o, 1 + Random.State.int rng 3))
-            (take_obj ()))
-    kinds
+          Stall
+            ( Random.State.int rng n,
+              Random.State.int rng 64,
+              1 + Random.State.int rng 127 )
+          :: acc
+        | Respawn_k -> (
+          (* heal an already-drawn crash when there is one; otherwise draw
+             a fresh kill-and-heal pair *)
+          let delay = 1 + Random.State.int rng 32 in
+          match
+            List.filter_map
+              (function Crash (p, t) -> Some (p, t) | _ -> None)
+              acc
+          with
+          | (p, _) :: _ -> Respawn (p, delay) :: acc
+          | [] ->
+            let p = Random.State.int rng n in
+            let t = Random.State.int rng 64 in
+            Respawn (p, delay) :: Crash (p, t) :: acc)
+        | Torn_k -> (
+          match take_obj () with
+          | Some o -> Torn_swap o :: acc
+          | None -> acc)
+        | Lost_k -> (
+          match take_obj () with
+          | Some o -> Lost_update o :: acc
+          | None -> acc)
+        | Stale_k -> (
+          match take_obj () with
+          | Some o -> Stale_read (o, 1 + Random.State.int rng 3) :: acc
+          | None -> acc))
+    [] kinds
+  |> List.rev
 
 (* ------------------------------------------------------------------ *)
 (* Simulator campaigns *)
@@ -230,6 +273,8 @@ module Sim (P : Shmem.Protocol.S) = struct
   let m_fired = Obs.counter "fault.sim.manifestations"
   let m_missed = Obs.counter "fault.sim.missed"
   let m_violations = Obs.counter "fault.sim.violations"
+  let m_revivals = Obs.counter "fault.sim.revivals"
+  let h_ttd = Obs.histogram "fault.time_to_detection"
   let sp_campaign = Obs.span "fault.sim.campaign"
 
   (* one counter per detection channel, so a campaign's snapshot shows
@@ -244,6 +289,8 @@ module Sim (P : Shmem.Protocol.S) = struct
     monitor : string option;
     prop_violation : (string * string) option;
     raised : (int * string) option;
+    revived : (int * int) list;
+    first_fired_step : int option;
   }
 
   let fired_total r = List.fold_left (fun acc (_, c) -> acc + c) 0 r.fired
@@ -278,7 +325,7 @@ module Sim (P : Shmem.Protocol.S) = struct
         | Torn_swap o -> torn.(o) <- true
         | Lost_update o -> lost.(o) <- true
         | Stale_read (o, lag) -> stale.(o) <- lag
-        | Crash _ | Stall _ -> ())
+        | Crash _ | Stall _ | Respawn _ -> ())
       plan;
     let counts : (fault, int) Hashtbl.t = Hashtbl.create 8 in
     let fire f =
@@ -390,7 +437,34 @@ module Sim (P : Shmem.Protocol.S) = struct
 
   type on_step = E.config -> int -> E.config -> string option
 
-  let exec ?on_step ?(props = []) ~apply ~fired ~sched ~max_steps c0 =
+  let exec ?on_step ?(props = []) ?(revivals = []) ?revive ~apply ~fired
+      ~sched ~max_steps c0 =
+    let fired_total_now () =
+      List.fold_left (fun acc (_, c) -> acc + c) 0 (fired ())
+    in
+    let first_fired = ref None in
+    let note_fired i =
+      if Option.is_none !first_fired && fired_total_now () > 0 then
+        first_fired := Some i
+    in
+    let revived = ref [] in
+    (* crash windows that end in a revival: (pid, dead_from, revive_at);
+       the pid is unschedulable from [dead_from] until its entry is
+       consumed by [apply_revival] *)
+    let remaining = ref revivals in
+    (* revived pids that have not yet taken their first post-revival step:
+       while nonempty, the linear property monitor and the legacy on_step
+       hook are suppressed and the monitor is re-anchored (Pr.start) once
+       every revived pid has stepped.  Config invariants that relate a
+       process's private state to residue the previous incarnation left in
+       shared memory (e.g. the §4 totality invariant) would false-alarm on
+       the reset state; one step by the new incarnation overwrites or
+       re-anchors that residue, after which the invariants are sound
+       again.  Step relations never see the discontinuity either way:
+       before/after snapshots are taken around a single step. *)
+    let pending = ref [] in
+    let mon0, at_init = Pr.start props (snap c0) in
+    let mon = ref mon0 in
     let finish ?monitor ?prop ?raised c rev_steps outcome =
       { final = c;
         trace = List.rev rev_steps;
@@ -398,58 +472,148 @@ module Sim (P : Shmem.Protocol.S) = struct
         fired = fired ();
         monitor;
         prop_violation = prop;
-        raised
+        raised;
+        revived = List.rev !revived;
+        first_fired_step = !first_fired
       }
     in
-    (* the declared properties ride along as a linear monitor: invariants
-       at every configuration, step relations and automata across every
-       transition (Prop.Make.start/advance) *)
-    let mon, at_init = Pr.start props (snap c0) in
     match at_init with
     | Some pv -> finish ~prop:pv c0 [] E.Stopped
     | None ->
+      let dead_now i pid =
+        List.exists (fun (p, from, _) -> p = pid && i >= from) !remaining
+      in
+      let apply_revival i c (pid, _, _) =
+        remaining := List.filter (fun (p, _, _) -> p <> pid) !remaining;
+        match P.decision c.E.states.(pid) with
+        | Some _ -> c (* crashed after deciding: nothing to recover *)
+        | None ->
+          let st =
+            match revive with
+            | Some f -> f ~pid c
+            | None -> invalid_arg "Fault.Sim: revival without a revive fn"
+          in
+          let states =
+            Array.mapi (fun j s -> if j = pid then st else s) c.E.states
+          in
+          revived := (pid, i) :: !revived;
+          pending := pid :: !pending;
+          Obs.Counter.incr m_revivals;
+          E.unsafe_config ~states ~mem:c.E.mem
+      in
       let rec go c rev_steps i =
+        (* due revivals rebuild the pid's state in place *)
+        let due, _ = List.partition (fun (_, _, at) -> at <= i) !remaining in
+        let c = List.fold_left (apply_revival i) c due in
         if i >= max_steps then finish c rev_steps E.Step_limit
         else
           match E.undecided c with
           | [] -> finish c rev_steps E.All_decided
           | enabled -> (
-            match sched ~step_index:i c enabled with
-            | None -> finish c rev_steps E.Stopped
-            | Some pid -> (
-              (* a protocol may legitimately raise when a fault hands it a
-                 response it can prove impossible — that is a detection, not
-                 a campaign crash *)
-              match E.step_with ~apply c pid with
-              | exception e ->
-                finish ~raised:(pid, Printexc.to_string e) c rev_steps
-                  E.Stopped
-              | c', s -> (
-                match Option.bind on_step (fun f -> f c pid c') with
-                | Some detail ->
-                  finish ~monitor:detail c' (s :: rev_steps) E.Stopped
-                | None -> (
-                  match
-                    Pr.advance mon ~before:(snap c) ~pid ~after:(snap c')
-                  with
-                  | Some pv -> finish ~prop:pv c' (s :: rev_steps) E.Stopped
-                  | None -> go c' (s :: rev_steps) (i + 1)))))
+            let alive =
+              List.filter (fun pid -> not (dead_now i pid)) enabled
+            in
+            (* every undecided pid sits inside a crash window that ends in
+               a revival: pull the earliest revival forward so the run
+               makes progress instead of wedging (step indexes only
+               advance on executed steps, so waiting cannot help) *)
+            let early =
+              if alive <> [] then None
+              else
+                List.filter (fun (p, _, _) -> List.mem p enabled) !remaining
+                |> List.fold_left
+                     (fun best ((_, _, at) as r) ->
+                       match best with
+                       | Some (_, _, bat) when bat <= at -> best
+                       | _ -> Some r)
+                     None
+            in
+            match early with
+            | Some r -> go (apply_revival i c r) rev_steps i
+            | None when alive = [] -> finish c rev_steps E.Stopped
+            | None -> (
+              match sched ~step_index:i c alive with
+              | None -> finish c rev_steps E.Stopped
+              | Some pid -> (
+                (* a protocol may legitimately raise when a fault hands it a
+                   response it can prove impossible — that is a detection,
+                   not a campaign crash *)
+                match E.step_with ~apply c pid with
+                | exception e ->
+                  note_fired i;
+                  finish ~raised:(pid, Printexc.to_string e) c rev_steps
+                    E.Stopped
+                | c', s -> (
+                  note_fired i;
+                  if !pending <> [] then begin
+                    (* monitor suppressed across the recovery boundary *)
+                    pending := List.filter (fun p -> p <> pid) !pending;
+                    if !pending = [] then begin
+                      match Pr.start props (snap c') with
+                      | _, Some pv ->
+                        finish ~prop:pv c' (s :: rev_steps) E.Stopped
+                      | m, None ->
+                        mon := m;
+                        go c' (s :: rev_steps) (i + 1)
+                    end
+                    else go c' (s :: rev_steps) (i + 1)
+                  end
+                  else
+                    match Option.bind on_step (fun f -> f c pid c') with
+                    | Some detail ->
+                      finish ~monitor:detail c' (s :: rev_steps) E.Stopped
+                    | None -> (
+                      match
+                        Pr.advance !mon ~before:(snap c) ~pid
+                          ~after:(snap c')
+                      with
+                      | Some pv ->
+                        finish ~prop:pv c' (s :: rev_steps) E.Stopped
+                      | None -> go c' (s :: rev_steps) (i + 1))))))
       in
       go c0 [] 0
+
+  (* the crash/revival split: crashes whose pid also has a [Respawn] in
+     the plan become finite windows handled inside [exec] (the pid is
+     unschedulable from the crash step until the revival rebuilds its
+     state via [P.recovery]); plain crashes keep compiling to the
+     [E.with_crashes] combinator exactly as before *)
+  let recovery_of plan ~inputs =
+    let resp = respawns plan in
+    let cr = crashes plan in
+    let plain =
+      List.filter (fun (p, _) -> not (List.mem_assoc p resp)) cr
+    in
+    let revivals =
+      List.filter_map
+        (fun (p, t) ->
+          Option.map (fun d -> p, t, t + d) (List.assoc_opt p resp))
+        cr
+    in
+    let revive ~pid (c : E.config) =
+      match P.recovery with
+      | Shmem.Protocol.Restart -> P.init ~pid ~input:inputs.(pid)
+      | Shmem.Protocol.Resume f ->
+        f ~pid ~input:inputs.(pid) (Array.copy c.E.mem)
+    in
+    plain, revivals, revive
 
   let run ?on_step ?props plan ~sched ~max_steps ~inputs =
     (match validate ~n:P.n ~num_objects:(Array.length P.objects) plan with
     | Ok () -> ()
     | Error e -> invalid_arg (Fmt.str "Fault.Sim.run: %s" e));
     let apply, fired = injector plan in
+    let plain_crashes, revivals, revive = recovery_of plan ~inputs in
     let sched =
-      E.with_crashes ~crash_at:(crashes plan)
+      E.with_crashes ~crash_at:plain_crashes
         (E.with_stalls ~stalls:(stalls plan) sched)
     in
-    exec ?on_step ?props ~apply ~fired ~sched ~max_steps (E.initial ~inputs)
+    exec ?on_step ?props ~revivals ~revive ~apply ~fired ~sched ~max_steps
+      (E.initial ~inputs)
 
   let run_schedule ?on_step ?props plan ~inputs pids =
     let apply, fired = injector plan in
+    let _, revivals, revive = recovery_of plan ~inputs in
     let queue = ref pids in
     (* feed the explicit pid sequence; pids that have decided are skipped
        (deletions during shrinking leave other pids further along) *)
@@ -464,7 +628,7 @@ module Sim (P : Shmem.Protocol.S) = struct
       in
       next ()
     in
-    exec ?on_step ?props ~apply ~fired ~sched
+    exec ?on_step ?props ~revivals ~revive ~apply ~fired ~sched
       ~max_steps:(List.length pids + 1)
       (E.initial ~inputs)
 
@@ -501,7 +665,8 @@ module Sim (P : Shmem.Protocol.S) = struct
     in
     go 0 r.trace
 
-  let detect ~inputs r =
+  let detect ?bound ~inputs r =
+    let bound = match bound with None -> P.k | Some b -> b in
     match r.monitor, r.prop_violation, r.raised with
     | Some d, _, _ -> Some (Monitor d)
     | None, Some (name, d), _ -> Some (Property (name, d))
@@ -511,12 +676,12 @@ module Sim (P : Shmem.Protocol.S) = struct
       match check_atomic r with
       | Error d -> Some (Non_atomic d)
       | Ok () ->
-        if not (E.check_agreement r.final) then
+        if List.length (E.decided_values r.final) > bound then
           Some
             (Agreement
-               (Fmt.str "%d distinct values decided (k = %d)"
+               (Fmt.str "%d distinct values decided (bound = %d, k = %d)"
                   (List.length (E.decided_values r.final))
-                  P.k))
+                  bound P.k))
         else if not (E.check_validity ~inputs r.final) then
           Some
             (Validity
@@ -525,11 +690,11 @@ module Sim (P : Shmem.Protocol.S) = struct
                   (E.decided_values r.final)))
         else None)
 
-  let shrink ?on_step ?props plan ~inputs violation pids =
+  let shrink ?on_step ?props ?bound plan ~inputs violation pids =
     let cls = violation_class violation in
     let violates pids =
       match
-        detect ~inputs (run_schedule ?on_step ?props plan ~inputs pids)
+        detect ?bound ~inputs (run_schedule ?on_step ?props plan ~inputs pids)
       with
       | Some v -> String.equal (violation_class v) cls
       | None -> false
@@ -557,6 +722,7 @@ module Sim (P : Shmem.Protocol.S) = struct
     runs : int;
     steps : int;
     fired : int;
+    revived : int;
     violations : finding list;
     detections : finding list;
     prop_detections : (string * int) list;
@@ -572,6 +738,7 @@ module Sim (P : Shmem.Protocol.S) = struct
     let missed = ref 0 in
     let steps = ref 0 in
     let fired = ref 0 in
+    let revived_total = ref 0 in
     for i = 0 to runs - 1 do
       let rng = Random.State.make [| seed; i; 0x5EED |] in
       let plan = gen_plan ~rng ~n:P.n ~num_objects kinds in
@@ -590,12 +757,28 @@ module Sim (P : Shmem.Protocol.S) = struct
       end;
       steps := !steps + Trace.length r.trace;
       fired := !fired + fired_total r;
+      revived_total := !revived_total + List.length r.revived;
+      (* restart-recovery degrades agreement: each replaced incarnation is
+         at most one extra silent participant (it may have left its value
+         in shared memory before dying), so a run that revived [c]
+         incarnations is held to [(k + c)]-set agreement, not [k] *)
+      let bound =
+        match P.recovery with
+        | Shmem.Protocol.Resume _ -> P.k
+        | Shmem.Protocol.Restart -> P.k + List.length r.revived
+      in
       let record ~expected violation =
+        (match r.first_fired_step with
+        | Some f ->
+          Obs.Histogram.observe h_ttd (max 0 (Trace.length r.trace - f))
+        | None -> ());
         let schedule =
           match violation with
           | Liveness _ -> None
           | _ ->
-            Some (shrink ?on_step ?props plan ~inputs violation (schedule_of r))
+            Some
+              (shrink ?on_step ?props ~bound plan ~inputs violation
+                 (schedule_of r))
         in
         let finding = { run = i; plan; violation; schedule } in
         if expected then begin
@@ -607,18 +790,23 @@ module Sim (P : Shmem.Protocol.S) = struct
           violations := finding :: !violations
         end
       in
-      match detect ~inputs r with
+      match detect ~bound ~inputs r with
       | Some v -> record ~expected:(not (benign plan)) v
       | None ->
         if fired_total r > 0 then begin
           Obs.Counter.incr m_missed;
           incr missed
         end;
-        (* liveness: every process that was not crashed must have decided
+        (* liveness: every process that was not crashed must have decided —
+           and a crashed pid that was revived counts as a survivor again
            (object faults may legitimately wedge a protocol — only benign
            plans carry the expectation) *)
         if benign plan then (
-          let crashed = List.map fst (crashes plan) in
+          let crashed =
+            List.filter
+              (fun pid -> not (List.mem_assoc pid r.revived))
+              (List.map fst (crashes plan))
+          in
           let stuck =
             List.filter
               (fun pid -> not (List.mem pid crashed))
@@ -657,6 +845,7 @@ module Sim (P : Shmem.Protocol.S) = struct
     { runs;
       steps = !steps;
       fired = !fired;
+      revived = !revived_total;
       violations;
       detections;
       prop_detections;
@@ -669,6 +858,7 @@ end
 
 module Mc (P : Shmem.Protocol.S) = struct
   module R = Runtime.Make (P)
+  module Sup = Supervisor.Make (P)
 
   let m_runs = Obs.counter "fault.mc.runs"
   let m_violations = Obs.counter "fault.mc.violations"
@@ -680,6 +870,8 @@ module Mc (P : Shmem.Protocol.S) = struct
     runs : int;
     crashes_injected : int;
     stalls_injected : int;
+    respawns : int;
+    rounds : int;
     total_ops : int;
     elapsed : float;
     hb_checked : int;
@@ -689,27 +881,46 @@ module Mc (P : Shmem.Protocol.S) = struct
   }
 
   let campaign ?inputs ?max_ops ?(deadline = 10.) ?(record = true)
-      ?(oracles = []) ~seed ~runs ~kinds () =
+      ?(oracles = []) ?(recover = false) ?(max_respawns = 2) ?(pack = [])
+      ~seed ~runs ~kinds () =
     List.iter
       (fun k ->
         if not (kind_is_benign k) then
           invalid_arg
             (Fmt.str
                "Fault.Mc.campaign: %s faults only exist on the simulator"
-               (kind_to_string k)))
+               (kind_to_string k));
+        if k = Respawn_k && not recover then
+          invalid_arg
+            "Fault.Mc.campaign: respawn faults need recover:true \
+             (supervised campaigns)")
       kinds;
     Obs.Span.time sp_campaign @@ fun () ->
     let violations = ref [] in
     let crashes_injected = ref 0 in
     let stalls_injected = ref 0 in
+    let respawns_total = ref 0 in
+    let rounds_total = ref 0 in
     let total_ops = ref 0 in
     let elapsed = ref 0. in
     let hb_checked = ref 0 in
     let hb_skipped = ref 0 in
     let prop_tally = Hashtbl.create 8 in
+    let violation i plan detail =
+      Obs.Counter.incr m_violations;
+      violations := { run = i; plan; detail } :: !violations
+    in
     for i = 0 to runs - 1 do
       let rng = Random.State.make [| seed; i; 0xC4A05 |] in
-      let plan = gen_plan ~rng ~n:P.n ~num_objects:(Array.length P.objects) kinds in
+      (* the supervisor owns respawning on this backend, so [Respawn_k]
+         contributes no plan entry: crashes drive the kill, the
+         supervisor the heal *)
+      let plan =
+        gen_plan ~rng ~n:P.n
+          ~num_objects:(Array.length P.objects)
+          (if recover then List.filter (fun k -> k <> Respawn_k) kinds
+           else kinds)
+      in
       let inputs =
         match inputs with
         | Some inputs -> inputs
@@ -718,52 +929,101 @@ module Mc (P : Shmem.Protocol.S) = struct
       in
       let crash_at = crashes plan in
       let stalls = stalls plan in
-      crashes_injected := !crashes_injected + List.length crash_at;
       stalls_injected := !stalls_injected + List.length stalls;
-      let outcome =
-        R.run ~inputs ~seed:(seed + i) ?max_ops ~record ~crash_at ~stalls
-          ~deadline ()
-      in
       Obs.Counter.incr m_runs;
-      total_ops := !total_ops + Array.fold_left ( + ) 0 outcome.R.ops;
-      elapsed := !elapsed +. outcome.R.elapsed;
-      (match R.check_degraded ~inputs outcome with
-      | Ok () -> ()
-      | Error detail ->
-        Obs.Counter.incr m_violations;
-        violations := { run = i; plan; detail } :: !violations);
-      (* second detector: the vector-clock happens-before pass over the
-         recorded histories — a crash/stall must never tear an atomic
-         exchange, so any violation here is a runtime bug even when the
-         degradation contract still holds *)
-      (if record then
-         match R.check_hb outcome with
-         | Ok (c, s) ->
-           hb_checked := !hb_checked + c;
-           hb_skipped := !hb_skipped + s
-         | Error detail ->
-           Obs.Counter.incr m_violations;
-           violations :=
-             { run = i; plan; detail = "happens-before: " ^ detail }
-             :: !violations);
-      (* third detector: caller-supplied property oracles over the outcome
-         (only benign faults run here, so any oracle failure is a bug) *)
-      List.iter
-        (fun (name, oracle) ->
-          match oracle ~inputs outcome with
-          | Ok () -> ()
-          | Error detail ->
-            Obs.Counter.incr m_violations;
-            Hashtbl.replace prop_tally name
-              (1 + Option.value ~default:0 (Hashtbl.find_opt prop_tally name));
-            violations :=
-              { run = i; plan; detail = Fmt.str "property %s: %s" name detail }
-              :: !violations)
-        oracles
+      if recover then begin
+        (* supervised kill-and-heal: round 0 crashes per the plan, and
+           every respawned incarnation is re-killed with probability 1/2
+           at a small operation count, so a single campaign run exercises
+           repeated crash-recovery cycles up to the breaker limit *)
+        let crash_plan ~round ~pid =
+          if round = 0 then (
+            match List.assoc_opt pid crash_at with
+            | Some t ->
+              incr crashes_injected;
+              Some t
+            | None -> None)
+          else if Random.State.bool rng then begin
+            incr crashes_injected;
+            Some (Random.State.int rng 32)
+          end
+          else None
+        in
+        let policy =
+          { (Sup.default_policy ()) with
+            max_respawns;
+            round_deadline = Some deadline
+          }
+        in
+        let report =
+          Sup.supervise ~inputs ~seed:(seed + i) ~policy ?max_ops ~record
+            ~crash_plan ~stalls ()
+        in
+        respawns_total :=
+          !respawns_total + Array.fold_left ( + ) 0 report.Sup.respawns;
+        rounds_total := !rounds_total + report.Sup.rounds;
+        total_ops :=
+          !total_ops + Array.fold_left ( + ) 0 report.Sup.outcome.Sup.R.ops;
+        elapsed := !elapsed +. report.Sup.outcome.Sup.R.elapsed;
+        (match Sup.check ~inputs report with
+        | Ok () -> ()
+        | Error detail -> violation i plan ("degraded: " ^ detail));
+        (if record then
+           match Sup.R.check_hb report.Sup.outcome with
+           | Ok (c, s) ->
+             hb_checked := !hb_checked + c;
+             hb_skipped := !hb_skipped + s
+           | Error detail ->
+             violation i plan ("happens-before: " ^ detail));
+        match Sup.check_props pack report with
+        | None -> ()
+        | Some (name, detail) ->
+          Hashtbl.replace prop_tally name
+            (1 + Option.value ~default:0 (Hashtbl.find_opt prop_tally name));
+          violation i plan (Fmt.str "property %s: %s" name detail)
+      end
+      else begin
+        crashes_injected := !crashes_injected + List.length crash_at;
+        let outcome =
+          R.run ~inputs ~seed:(seed + i) ?max_ops ~record ~crash_at ~stalls
+            ~deadline ()
+        in
+        total_ops := !total_ops + Array.fold_left ( + ) 0 outcome.R.ops;
+        elapsed := !elapsed +. outcome.R.elapsed;
+        (match R.check_degraded ~inputs outcome with
+        | Ok () -> ()
+        | Error detail -> violation i plan detail);
+        (* second detector: the vector-clock happens-before pass over the
+           recorded histories — a crash/stall must never tear an atomic
+           exchange, so any violation here is a runtime bug even when the
+           degradation contract still holds *)
+        (if record then
+           match R.check_hb outcome with
+           | Ok (c, s) ->
+             hb_checked := !hb_checked + c;
+             hb_skipped := !hb_skipped + s
+           | Error detail ->
+             violation i plan ("happens-before: " ^ detail));
+        (* third detector: caller-supplied property oracles over the
+           outcome (only benign faults run here, so any oracle failure is
+           a bug) *)
+        List.iter
+          (fun (name, oracle) ->
+            match oracle ~inputs outcome with
+            | Ok () -> ()
+            | Error detail ->
+              Hashtbl.replace prop_tally name
+                (1
+                + Option.value ~default:0 (Hashtbl.find_opt prop_tally name));
+              violation i plan (Fmt.str "property %s: %s" name detail))
+          oracles
+      end
     done;
     { runs;
       crashes_injected = !crashes_injected;
       stalls_injected = !stalls_injected;
+      respawns = !respawns_total;
+      rounds = !rounds_total;
       total_ops = !total_ops;
       elapsed = !elapsed;
       hb_checked = !hb_checked;

@@ -23,6 +23,15 @@ type fault =
           global steps [t .. t+dur-1]; runtime — [pid] spins a forced
           preemption window of [dur] [Domain.cpu_relax] before its [t]-th
           operation *)
+  | Respawn of int * int
+      (** [Respawn (pid, delay)]: heal a [Crash (pid, t)] of the same plan
+          — the pid's crash window becomes finite, ending [delay] steps
+          after the crash, when a {e new incarnation} is rebuilt through
+          [Protocol.S.recovery] ([Restart] from scratch, [Resume] from the
+          current memory) and becomes schedulable again.  Simulator-only
+          as a plan entry; on the multicore backend healing is the
+          supervisor's job ({!Mc.campaign} [~recover:true]).  Without a
+          matching crash the respawn is inert. *)
   | Torn_swap of int
       (** the object's swaps lose atomicity: the read half responds
           immediately but the write half is withheld until the next access
@@ -52,8 +61,9 @@ val benign : plan -> bool
     safety properties, and any violation is a genuine bug *)
 
 val validate : n:int -> num_objects:int -> plan -> (unit, string) result
-(** pids and objects in range, times non-negative, durations and lags
-    positive, and at most one object fault per object *)
+(** pids and objects in range, times non-negative, durations, delays and
+    lags positive, at most one object fault per object and at most one
+    respawn per pid *)
 
 val crashes : plan -> (int * int) list
 (** the [(pid, t)] crash points, in plan order — feed to
@@ -61,6 +71,9 @@ val crashes : plan -> (int * int) list
 
 val stalls : plan -> (int * int * int) list
 (** the [(pid, t, dur)] stall windows, in plan order *)
+
+val respawns : plan -> (int * int) list
+(** the [(pid, delay)] respawn points, in plan order *)
 
 val ddmin : violates:(int list -> bool) -> int list -> int list
 (** [ddmin ~violates input] is a locally-minimal sublist of [input] that
@@ -71,24 +84,36 @@ val ddmin : violates:(int list -> bool) -> int list -> int list
 
 (** {1 Random plans} *)
 
-type kind = Crash_k | Stall_k | Torn_k | Lost_k | Stale_k
+type kind = Crash_k | Stall_k | Respawn_k | Torn_k | Lost_k | Stale_k
 
 val all_kinds : kind list
+(** every kind {e except} [Respawn_k] — recovery campaigns opt in through
+    {!recovery_kinds} or an explicit list, so historical seeded campaigns
+    stay bit-identical *)
+
 val benign_kinds : kind list
+(** [Crash_k; Stall_k] *)
+
+val recovery_kinds : kind list
+(** [Crash_k; Stall_k; Respawn_k] — the kill-and-heal campaign mix
+    (["recovery"] on the command line) *)
+
 val kind_to_string : kind -> string
 val kind_of_string : string -> (kind, string) result
 
 val kinds_of_string : string -> (kind list, string) result
-(** comma-separated kind names, e.g. ["crash,stall,torn"]; ["all"] and
-    ["benign"] are accepted as groups *)
+(** comma-separated kind names, e.g. ["crash,stall,torn"]; ["all"],
+    ["benign"] and ["recovery"] are accepted as groups *)
 
 val kind_is_benign : kind -> bool
 
 val gen_plan :
   rng:Random.State.t -> n:int -> num_objects:int -> kind list -> plan
 (** one random plan: each requested kind is included with probability 1/2
-    with randomized parameters; object faults target distinct objects.
-    Deterministic in [rng] and the kind list. *)
+    with randomized parameters; object faults target distinct objects, and
+    a drawn [Respawn_k] heals the plan's crash when one was drawn (pairing
+    a fresh kill-and-heal otherwise).  Deterministic in [rng] and the kind
+    list. *)
 
 (** {1 Simulator campaigns} *)
 
@@ -113,6 +138,16 @@ module Sim (P : Shmem.Protocol.S) : sig
         (** a step by this pid raised (protocols may prove a faulty
             response impossible); the run stops there, the failing step is
             not in the trace *)
+    revived : (int * int) list;
+        (** [(pid, step)] revivals actually applied: the plan's
+            [Respawn]s whose crash fired before the run ended and whose
+            pid had not decided.  Crash-recovery degrades agreement: under
+            [Restart] recovery each entry is at most one extra silent
+            participant, so checks use bound [k + length revived]. *)
+    first_fired_step : int option;
+        (** the step index at which the first object-fault manifestation
+            fired — the injection end of the time-to-detection window
+            ([None] when nothing fired) *)
   }
 
   val schedule_of : report -> int list
@@ -161,7 +196,19 @@ module Sim (P : Shmem.Protocol.S) : sig
   (** execute under the plan: crashes and stalls wrap the scheduler, object
       faults substitute the apply function ({!E.step_with}).  [props] are
       monitored along the run (after the legacy [on_step] hook); the first
-      violation stops it and lands in [prop_violation]. *)
+      violation stops it and lands in [prop_violation].
+
+      Crashes healed by a [Respawn] become finite windows: at the revival
+      step the pid's state is rebuilt through [Protocol.S.recovery] and it
+      is schedulable again (if every undecided pid is inside such a window,
+      the earliest revival is pulled forward so the run cannot wedge).
+      Across each recovery boundary the property monitor is {e suppressed}
+      until every revived pid has taken one step, then re-anchored with a
+      fresh [Prop.Make.start]: configuration invariants that relate a
+      process's private state to residue its previous incarnation left in
+      shared memory would false-alarm on the reset state, and one step by
+      the new incarnation restores their soundness (see DESIGN.md,
+      "Supervision & recovery"). *)
 
   val run_schedule :
     ?on_step:on_step ->
@@ -183,14 +230,17 @@ module Sim (P : Shmem.Protocol.S) : sig
       so the trace order {e is} the real-time order — no Wing & Gong search
       (and no event cap) needed. *)
 
-  val detect : inputs:int array -> report -> violation option
+  val detect : ?bound:int -> inputs:int array -> report -> violation option
   (** first safety violation of the report: monitor, then declared
-      properties, then a protocol raise, then atomicity, then agreement,
-      then validity ([Liveness] is a campaign-level concern) *)
+      properties, then a protocol raise, then atomicity, then agreement —
+      within [bound] distinct values, default [P.k]; recovery campaigns
+      pass [k + revived] — then validity ([Liveness] is a campaign-level
+      concern) *)
 
   val shrink :
     ?on_step:on_step ->
     ?props:Prop.Make(P).t list ->
+    ?bound:int ->
     plan ->
     inputs:int array ->
     violation ->
@@ -215,6 +265,7 @@ module Sim (P : Shmem.Protocol.S) : sig
     runs : int;
     steps : int;  (** total simulator steps across all runs *)
     fired : int;  (** total object-fault manifestations *)
+    revived : int;  (** revivals applied across all runs *)
     violations : finding list;
         (** on {e benign} plans — always unexpected, any entry is a bug *)
     detections : finding list;
@@ -245,7 +296,15 @@ module Sim (P : Shmem.Protocol.S) : sig
       class-preservingly like any other violation; per-property counts land
       in [prop_detections].  Every safety violation and every detection is
       shrunk with {!shrink}.  Default [burst] 32 (bursty scheduler), default
-      [max_steps] 100_000. *)
+      [max_steps] 100_000.
+
+      Kill-and-heal campaigns (kinds including [Respawn_k], e.g.
+      {!recovery_kinds}): runs that revived [c] incarnations under
+      [Restart] recovery are checked against agreement bound [k + c]
+      ([Resume] keeps [k]), revived pids count as survivors for the
+      liveness check, and each detection on a run whose fault manifested
+      feeds the [fault.time_to_detection] histogram (steps from first
+      manifestation to the detecting step). *)
 end
 
 (** {1 Multicore campaigns}
@@ -256,13 +315,18 @@ end
 
 module Mc (P : Shmem.Protocol.S) : sig
   module R : module type of Runtime.Make (P)
+  module Sup : module type of Supervisor.Make (P)
 
   type finding = { run : int; plan : plan; detail : string }
 
   type summary = {
     runs : int;
     crashes_injected : int;
+        (** round-0 plan crashes plus, under [recover], the re-crashes
+            injected into respawned incarnations *)
     stalls_injected : int;
+    respawns : int;  (** supervisor respawns across all runs (recover only) *)
+    rounds : int;  (** supervision rounds across all runs (recover only) *)
     total_ops : int;  (** shared-memory operations across all runs *)
     elapsed : float;  (** summed wall-clock seconds of the runs *)
     hb_checked : int;
@@ -287,6 +351,9 @@ module Mc (P : Shmem.Protocol.S) : sig
     ?oracles:
       (string * (inputs:int array -> R.outcome -> (unit, string) result))
       list ->
+    ?recover:bool ->
+    ?max_respawns:int ->
+    ?pack:Prop.Make(P).t list ->
     seed:int ->
     runs:int ->
     kinds:kind list ->
@@ -302,5 +369,19 @@ module Mc (P : Shmem.Protocol.S) : sig
       expose no per-step hook, so declared properties enter here as outcome
       predicates); failures are violations, tallied per name in
       [prop_detections].  Default [deadline] 10s per run.
-      @raise Invalid_argument if [kinds] contains an object-fault kind *)
+
+      [recover] (default [false]) runs every plan {e supervised}
+      ({!Supervisor.Make.supervise}): crashed processes are respawned
+      through [Protocol.S.recovery] on fresh domains against the same
+      arena, each respawned incarnation is re-killed with probability 1/2
+      (up to [max_respawns] per pid, default 2), and each run is checked
+      with the supervisor's degraded contract ([Sup.check]: agreement
+      within [k + crashed-incarnations]), the happens-before checker over
+      the {e merged} cross-boundary histories, and the [pack] properties
+      on the merged final snapshot ([Sup.check_props]).  [oracles] are
+      skipped under [recover] (they are typed against single-round
+      outcomes); [Respawn_k] in [kinds] is accepted and ignored — the
+      supervisor owns healing on this backend.
+      @raise Invalid_argument if [kinds] contains an object-fault kind, or
+      [Respawn_k] without [recover] *)
 end

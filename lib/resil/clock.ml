@@ -1,0 +1,16 @@
+(* bechamel's monotonic clock: a noalloc external over
+   clock_gettime(CLOCK_MONOTONIC), safe to call from any domain *)
+let now_ns () = Monotonic_clock.now ()
+
+let elapsed_ns ~since =
+  let d = Int64.sub (now_ns ()) since in
+  if Int64.compare d 0L < 0 then 0L else d
+
+let elapsed_s ~since = Int64.to_float (elapsed_ns ~since) *. 1e-9
+
+let ns_of_s s =
+  if s <= 0. then 0L
+  else if s >= 9.2e9 (* ~2^63 ns *) then Int64.max_int
+  else Int64.of_float (s *. 1e9)
+
+let s_of_ns ns = Int64.to_float ns *. 1e-9

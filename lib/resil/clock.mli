@@ -1,0 +1,24 @@
+(** Monotonic time.
+
+    Every deadline, watchdog and latency measurement in the runtime and the
+    supervisor reads this clock: a monotonic source ([CLOCK_MONOTONIC]) that
+    NTP steps, leap seconds or a suspended laptop can never rewind, so a
+    watchdog can neither fire spuriously nor starve.  Wall-clock reads
+    ([Unix.gettimeofday]) are banned from deadline code paths by [srclint].
+
+    Readings are nanoseconds from an arbitrary origin — only differences
+    are meaningful. *)
+
+val now_ns : unit -> int64
+(** current monotonic reading, in nanoseconds from an arbitrary origin *)
+
+val elapsed_ns : since:int64 -> int64
+(** [now_ns () - since], clamped at 0 (defensive: the source is monotonic) *)
+
+val elapsed_s : since:int64 -> float
+(** [elapsed_ns] in seconds *)
+
+val ns_of_s : float -> int64
+(** seconds to nanoseconds, saturating on overflow/negatives to 0 *)
+
+val s_of_ns : int64 -> float

@@ -1,0 +1,114 @@
+let m_backoff_spins = Obs.counter "resil.backoff.spins"
+let m_breaker_trips = Obs.counter "resil.breaker.trips"
+let m_retry_attempts = Obs.counter "resil.retry.attempts"
+
+module Backoff = struct
+  type t = { base : int; cap : int; jitter : bool }
+
+  let exponential ?(base = 1) ?(cap = 1024) ?(jitter = false) () =
+    if base < 1 then invalid_arg "Policy.Backoff: base must be >= 1";
+    if cap < base then invalid_arg "Policy.Backoff: cap must be >= base";
+    { base; cap; jitter }
+
+  let bound t ~attempt =
+    let attempt = if attempt < 0 then 0 else attempt in
+    (* overflow-safe doubling: once the shifted base clears the cap (or the
+       shift would overflow), the answer is the cap *)
+    if attempt >= 62 || t.base lsl attempt >= t.cap || t.base lsl attempt < 0
+    then t.cap
+    else t.base lsl attempt
+
+  let spins ?rng t ~attempt =
+    let b = bound t ~attempt in
+    match rng with
+    | Some rng when t.jitter -> if b <= 1 then 0 else Random.State.int rng b
+    | _ -> b
+
+  let once ?rng t ~attempt =
+    let s = spins ?rng t ~attempt in
+    for _ = 1 to s do
+      Domain.cpu_relax ()
+    done;
+    Obs.Counter.add m_backoff_spins s;
+    s
+end
+
+module Deadline = struct
+  (* absolute monotonic expiry in ns; [never] is the sentinel max *)
+  type t = int64
+
+  let never = Int64.max_int
+  let is_never t = Int64.equal t never
+
+  let after ~seconds =
+    if seconds = infinity then never
+    else if seconds <= 0. then
+      invalid_arg "Policy.Deadline.after: seconds must be positive"
+    else Int64.add (Clock.now_ns ()) (Clock.ns_of_s seconds)
+
+  let of_expiry_ns ns = ns
+  let expired t = (not (is_never t)) && Int64.compare (Clock.now_ns ()) t >= 0
+
+  let remaining_s t =
+    if is_never t then infinity
+    else
+      let d = Int64.sub t (Clock.now_ns ()) in
+      if Int64.compare d 0L <= 0 then 0. else Clock.s_of_ns d
+end
+
+module Breaker = struct
+  type t = { threshold : int; counts : int Atomic.t array }
+
+  let create ~threshold ~n =
+    if threshold < 1 then invalid_arg "Policy.Breaker: threshold must be >= 1";
+    if n < 1 then invalid_arg "Policy.Breaker: n must be >= 1";
+    { threshold; counts = Array.init n (fun _ -> Atomic.make 0) }
+
+  let record_failure t ~pid =
+    let c = 1 + Atomic.fetch_and_add t.counts.(pid) 1 in
+    if c = t.threshold then Obs.Counter.incr m_breaker_trips
+
+  let failures t ~pid = Atomic.get t.counts.(pid)
+  let tripped t ~pid = Atomic.get t.counts.(pid) >= t.threshold
+
+  let trips t =
+    Array.fold_left
+      (fun acc c -> if Atomic.get c >= t.threshold then acc + 1 else acc)
+      0 t.counts
+
+  let threshold t = t.threshold
+end
+
+module Retry = struct
+  type budget = { max_attempts : int; deadline : Deadline.t }
+
+  let budget ?(max_attempts = 3) ?(deadline = Deadline.never) () =
+    if max_attempts < 1 then
+      invalid_arg "Policy.Retry: max_attempts must be >= 1";
+    { max_attempts; deadline }
+
+  type error = Attempts_exhausted | Deadline_exceeded
+
+  let pp_error ppf = function
+    | Attempts_exhausted -> Fmt.string ppf "attempts exhausted"
+    | Deadline_exceeded -> Fmt.string ppf "deadline exceeded"
+
+  let run ?backoff ?rng budget f =
+    let rec go attempt last =
+      if Deadline.expired budget.deadline then
+        Error (Deadline_exceeded, last)
+      else if attempt >= budget.max_attempts then
+        Error (Attempts_exhausted, last)
+      else begin
+        Obs.Counter.incr m_retry_attempts;
+        match f ~attempt with
+        | Ok v -> Ok v
+        | Error e ->
+          (match backoff with
+          | Some b -> ignore (Backoff.once ?rng b ~attempt)
+          | None -> ());
+          go (attempt + 1) (Some e)
+      end
+    in
+    go 0 None
+end

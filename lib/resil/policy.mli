@@ -1,0 +1,103 @@
+(** Composable resilience policies: backoff, deadline budgets, circuit
+    breakers, retry budgets.
+
+    One audited implementation replaces the ad-hoc loops that used to live
+    in [lib/runtime] (CAS-retry backoff, TAS-retry backoff, the
+    obstruction-free solo-window backoff) and gives the supervisor its
+    respawn discipline.  Everything here is allocation-free on the hot path
+    and uses only the monotonic {!Clock} for time — never wall clock.
+
+    All policies are values: build once, thread through, compose. *)
+
+(** {1 Backoff} *)
+
+module Backoff : sig
+  type t
+  (** a capped exponential backoff curve: attempt [a] yields a bound of
+      [min cap (base * 2^a)] spins, optionally fully jittered (uniform in
+      [\[0, bound)]) *)
+
+  val exponential : ?base:int -> ?cap:int -> ?jitter:bool -> unit -> t
+  (** defaults: [base = 1], [cap = 1024], [jitter = false].
+      @raise Invalid_argument unless [1 <= base <= cap] *)
+
+  val bound : t -> attempt:int -> int
+  (** the (pre-jitter) spin bound for the given 0-based attempt *)
+
+  val spins : ?rng:Random.State.t -> t -> attempt:int -> int
+  (** number of spins to perform: the bound, or — when the policy is
+      jittered and an [rng] is supplied — uniform in [\[0, bound)].
+      Deterministic given the same [rng] state. *)
+
+  val once : ?rng:Random.State.t -> t -> attempt:int -> int
+  (** [spins] followed by that many [Domain.cpu_relax] calls; returns the
+      spin count actually performed (for caller-side tallies) *)
+end
+
+(** {1 Deadlines} *)
+
+module Deadline : sig
+  type t
+  (** an absolute expiry on the monotonic clock, or [never] *)
+
+  val never : t
+
+  val after : seconds:float -> t
+  (** expires [seconds] from now ([never] when [seconds] is infinite).
+      @raise Invalid_argument if [seconds <= 0] and finite *)
+
+  val of_expiry_ns : int64 -> t
+  (** an absolute monotonic expiry — lets several parties share one budget *)
+
+  val expired : t -> bool
+  val remaining_s : t -> float
+  (** seconds left, 0 when expired, [infinity] for [never] *)
+
+  val is_never : t -> bool
+end
+
+(** {1 Circuit breakers} *)
+
+module Breaker : sig
+  type t
+  (** per-process trip counters: each pid accumulates failures; once a
+      pid's count reaches the threshold its circuit is open (tripped) and
+      stays open — callers must stop retrying that pid and escalate.
+      Thread-safe (atomic counters). *)
+
+  val create : threshold:int -> n:int -> t
+  (** @raise Invalid_argument unless [threshold >= 1] and [n >= 1] *)
+
+  val record_failure : t -> pid:int -> unit
+  val failures : t -> pid:int -> int
+  val tripped : t -> pid:int -> bool
+  val trips : t -> int
+  (** number of pids currently tripped *)
+
+  val threshold : t -> int
+end
+
+(** {1 Retry budgets} *)
+
+module Retry : sig
+  type budget = { max_attempts : int; deadline : Deadline.t }
+
+  val budget : ?max_attempts:int -> ?deadline:Deadline.t -> unit -> budget
+  (** defaults: [max_attempts = 3], [deadline = Deadline.never].
+      @raise Invalid_argument unless [max_attempts >= 1] *)
+
+  type error = Attempts_exhausted | Deadline_exceeded
+
+  val pp_error : Format.formatter -> error -> unit
+
+  val run :
+    ?backoff:Backoff.t ->
+    ?rng:Random.State.t ->
+    budget ->
+    (attempt:int -> ('a, 'e) result) ->
+    ('a, error * 'e option) result
+  (** run the thunk until it succeeds or the budget is spent: at most
+      [max_attempts] calls, none started past the deadline, with [backoff]
+      spins between attempts.  The carried ['e] is the last attempt's
+      error, or [None] when the deadline expired before the first call. *)
+end

@@ -10,12 +10,12 @@ let m_tas_retries = Obs.counter "runtime.tas_retries"
 
 (* bounded backoff between atomic retry attempts: 1, 2, 4, ... capped at
    1024 cpu_relax, so a contended loop yields the cache line instead of
-   hammering it, but a process never sleeps unboundedly long *)
+   hammering it, but a process never sleeps unboundedly long.  The curve
+   lives in [Resil.Policy] — one audited implementation for every retry
+   loop in the tree. *)
+let retry_policy = Resil.Policy.Backoff.exponential ~base:1 ~cap:1024 ()
 let retry_backoff attempts =
-  let spins = if attempts >= 10 then 1024 else 1 lsl attempts in
-  for _ = 1 to spins do
-    Domain.cpu_relax ()
-  done
+  ignore (Resil.Policy.Backoff.once retry_policy ~attempt:attempts)
 
 (* ------------------------------------------------------------------ cells *)
 
@@ -163,9 +163,26 @@ module Make (P : Sh.Protocol.S) = struct
     backoffs : int array;
     elapsed : float;
     histories : Linearize.Obj_history.event list array;
+    finals : P.state option array;
+    mem : Sh.Value.t array;
   }
 
   let num_objects = Array.length P.objects
+
+  (* the shared side of a run, separated from the processes so a supervisor
+     can respawn crashed processes against the same memory: the atomic
+     cells plus the logical timestamp source for recorded histories (which
+     therefore stays totally ordered across respawn rounds) *)
+  type arena = { cells : Cell.t array; tick : int Atomic.t }
+
+  let make_arena ?exchange () =
+    { cells =
+        Array.init num_objects (fun i ->
+            Cell.make ?exchange P.objects.(i) (P.init_object i));
+      tick = Atomic.make 0
+    }
+
+  let arena_mem a = Array.map Cell.peek a.cells
 
   let m_ops = Obs.counter "runtime.ops"
   let m_backoff_rounds = Obs.counter "runtime.backoff_rounds"
@@ -176,17 +193,23 @@ module Make (P : Sh.Protocol.S) = struct
   let h_exchange = Obs.histogram "runtime.exchange_ns"
   let sp_run = Obs.span "runtime.run"
 
-  let run ~inputs ?(seed = 0x5EED) ?(max_ops = 4_000_000) ?backoff_window
-      ?(record = false) ?exchange ?(crash_at = []) ?(stalls = []) ?deadline
-      () =
-    if Array.length inputs <> P.n then
-      invalid_arg
-        (Fmt.str "Runtime.run %s: expected %d inputs" P.name P.n);
-    Array.iter
-      (fun v ->
-        if v < 0 || v >= P.num_inputs then
-          invalid_arg (Fmt.str "Runtime.run %s: input out of range" P.name))
-      inputs;
+  (* the obstruction-free solo-window backoff curve: fully jittered so
+     contending processes desynchronize, capped so nobody sleeps forever *)
+  let solo_policy =
+    Resil.Policy.Backoff.exponential ~base:2 ~cap:(1 lsl 16) ~jitter:true ()
+
+  let run_round ~arena ~entries ?(seed = 0x5EED) ?(max_ops = 4_000_000)
+      ?backoff_window ?(record = false) ?(crash_at = []) ?(stalls = [])
+      ?deadline () =
+    List.iter
+      (fun (pid, _) ->
+        if pid < 0 || pid >= P.n then
+          invalid_arg (Fmt.str "Runtime.run %s: pid out of range" P.name))
+      entries;
+    if
+      List.length (List.sort_uniq compare (List.map fst entries))
+      <> List.length entries
+    then invalid_arg (Fmt.str "Runtime.run %s: duplicate pid" P.name);
     List.iter
       (fun (pid, t) ->
         if pid < 0 || pid >= P.n || t < 0 then
@@ -209,44 +232,45 @@ module Make (P : Sh.Protocol.S) = struct
       | None -> 8 * (num_objects + 1)
     in
     Obs.Span.time sp_run @@ fun () ->
-    let cells =
-      Array.init num_objects (fun i ->
-          Cell.make ?exchange P.objects.(i) (P.init_object i))
-    in
-    let clock = Atomic.make 0 in
-    let now () = Atomic.fetch_and_add clock 1 in
+    let cells = arena.cells in
+    let now () = Atomic.fetch_and_add arena.tick 1 in
     let decisions = Array.make P.n (-1) in
     let statuses = Array.make P.n Timed_out in
     let ops = Array.make P.n 0 in
     let backoffs = Array.make P.n 0 in
     let events = Array.make P.n [] in
-    (* the wall-clock watchdog: whichever process first observes the
+    let finals = Array.make P.n None in
+    (* the watchdog: whichever process first observes the monotonic
        deadline exceeded flips the flag, and everyone winds down with
        status [Timed_out] and partial data — no exception ever crosses a
-       domain boundary for budget/deadline exhaustion *)
+       domain boundary for budget/deadline exhaustion.  Monotonic on
+       purpose: an NTP step or a suspended laptop must neither fire the
+       watchdog spuriously nor starve it. *)
     let give_up = Atomic.make false in
-    let t0 = Unix.gettimeofday () in
-    let over_deadline () =
+    let t0 = Resil.Clock.now_ns () in
+    let expiry =
       match deadline with
-      | None -> false
-      | Some d ->
-        Atomic.get give_up
-        ||
-        if Unix.gettimeofday () -. t0 > d then begin
-          if not (Atomic.exchange give_up true) then
-            Obs.Counter.incr m_watchdog;
-          true
-        end
-        else false
+      | None -> Resil.Policy.Deadline.never
+      | Some d -> Resil.Policy.Deadline.after ~seconds:d
     in
-    let process pid =
+    let over_deadline () =
+      Atomic.get give_up
+      ||
+      if Resil.Policy.Deadline.expired expiry then begin
+        if not (Atomic.exchange give_up true) then
+          Obs.Counter.incr m_watchdog;
+        true
+      end
+      else false
+    in
+    let process (pid, state0) =
       let rng = Random.State.make [| seed; pid |] in
-      let state = ref (P.init ~pid ~input:inputs.(pid)) in
+      let state = ref state0 in
       let my_ops = ref 0 in
       let my_backoffs = ref 0 in
       let my_spins = ref 0 in
       let my_events = ref [] in
-      let backoff = ref 1 in
+      let attempt = ref 0 in
       let until_backoff = ref window in
       let crash_point = List.assoc_opt pid crash_at in
       let my_stalls =
@@ -309,14 +333,14 @@ module Make (P : Sh.Protocol.S) = struct
                  response
                end
                else if Obs.enabled () then begin
-                 (* per-operation latency: a float timestamp pair per op is
-                    paid only when metrics are on *)
-                 let t0 = Unix.gettimeofday () in
+                 (* per-operation latency: a monotonic timestamp pair per
+                    op is paid only when metrics are on *)
+                 let t0 = Resil.Clock.now_ns () in
                  let response =
                    Cell.apply cells.(op.Sh.Op.obj) op.Sh.Op.action
                  in
                  Obs.Histogram.observe h_exchange
-                   (Obs.Span.ns_of_s (Unix.gettimeofday () -. t0));
+                   (Int64.to_int (Resil.Clock.elapsed_ns ~since:t0));
                  response
                end
                else Cell.apply cells.(op.Sh.Op.obj) op.Sh.Op.action
@@ -326,15 +350,21 @@ module Make (P : Sh.Protocol.S) = struct
              if !my_ops land 255 = 0 && over_deadline () then ();
              decr until_backoff;
              if !until_backoff <= 0 && P.decision !state = None then begin
-               (* randomized exponential backoff: obstruction-free protocols
-                  need some process to eventually run effectively alone *)
+               (* jittered exponential backoff ([solo_policy]):
+                  obstruction-free protocols need some process to
+                  eventually run effectively alone.  [Backoff.spins] is
+                  pure, so the spin tally stays process-local and is
+                  flushed once at exit. *)
                incr my_backoffs;
-               let spins = Random.State.int rng !backoff in
+               let spins =
+                 Resil.Policy.Backoff.spins ~rng solo_policy
+                   ~attempt:!attempt
+               in
+               incr attempt;
                my_spins := !my_spins + spins;
                for _ = 1 to spins do
                  Domain.cpu_relax ()
                done;
-               if !backoff < 1 lsl 16 then backoff := !backoff * 2;
                until_backoff := window;
                ignore (over_deadline ())
              end
@@ -351,6 +381,7 @@ module Make (P : Sh.Protocol.S) = struct
       ops.(pid) <- !my_ops;
       backoffs.(pid) <- !my_backoffs;
       events.(pid) <- !my_events;
+      finals.(pid) <- Some !state;
       (* hot-loop tallies accumulated in local ints, flushed once here so
          the loop itself never touches a shared cache line for metrics *)
       Obs.Counter.add m_ops !my_ops;
@@ -358,24 +389,44 @@ module Make (P : Sh.Protocol.S) = struct
       Obs.Counter.add m_backoff_spins !my_spins
     in
     let domains =
-      Array.init P.n (fun pid -> Domain.spawn (fun () -> process pid))
+      List.map
+        (fun entry -> fst entry, Domain.spawn (fun () -> process entry))
+        entries
     in
     (* join *every* domain, even if one's join re-raises: a single faulted
        process must neither leak running siblings nor mask their results *)
-    Array.iteri
-      (fun pid d ->
+    List.iter
+      (fun (pid, d) ->
         match Domain.join d with
         | () -> ()
         | exception e -> statuses.(pid) <- Faulted e)
       domains;
-    let elapsed = Unix.gettimeofday () -. t0 in
+    let elapsed = Resil.Clock.elapsed_s ~since:t0 in
     { decisions
     ; statuses
     ; ops
     ; backoffs
     ; elapsed
     ; histories = assemble_histories ~num_objects events
+    ; finals
+    ; mem = arena_mem arena
     }
+
+  let run ~inputs ?seed ?max_ops ?backoff_window ?record ?exchange
+      ?crash_at ?stalls ?deadline () =
+    if Array.length inputs <> P.n then
+      invalid_arg (Fmt.str "Runtime.run %s: expected %d inputs" P.name P.n);
+    Array.iter
+      (fun v ->
+        if v < 0 || v >= P.num_inputs then
+          invalid_arg (Fmt.str "Runtime.run %s: input out of range" P.name))
+      inputs;
+    let arena = make_arena ?exchange () in
+    let entries =
+      List.init P.n (fun pid -> pid, P.init ~pid ~input:inputs.(pid))
+    in
+    run_round ~arena ~entries ?seed ?max_ops ?backoff_window ?record
+      ?crash_at ?stalls ?deadline ()
 
   let check ~inputs outcome =
     let undecided =
@@ -404,10 +455,15 @@ module Make (P : Sh.Protocol.S) = struct
     then Error "a decided value is no process's input"
     else Ok ()
 
-  let check_degraded ~inputs outcome =
+  let check_degraded ?bound ~inputs outcome =
     (* graceful-degradation contract: injected crashes are fine, every
-       *surviving* process must decide, and the decided values still satisfy
-       k-agreement and validity *)
+       *surviving* process must decide, and the decided values still
+       satisfy agreement — within [bound] (default [P.k]; a supervisor
+       that respawned [c] crashed incarnations passes [k + c], Gafni's
+       degraded set-agreement view) — and validity *)
+    let bound = match bound with None -> P.k | Some b -> b in
+    if bound < P.k then
+      invalid_arg "Runtime.check_degraded: bound must be >= k";
     let bad =
       Array.to_list outcome.statuses
       |> List.mapi (fun pid s -> pid, s)
@@ -428,10 +484,10 @@ module Make (P : Sh.Protocol.S) = struct
              list ~sep:(any ", ") (fun ppf (pid, s) ->
                  Fmt.pf ppf "p%d %a" pid pp_status s))
            bad)
-    else if List.length distinct > P.k then
+    else if List.length distinct > bound then
       Error
-        (Fmt.str "%d distinct values decided, k=%d" (List.length distinct)
-           P.k)
+        (Fmt.str "%d distinct values decided, bound=%d (k=%d)"
+           (List.length distinct) bound P.k)
     else if
       List.exists (fun v -> not (Array.exists (Int.equal v) inputs)) distinct
     then Error "a decided value is no process's input"

@@ -81,11 +81,58 @@ module Make (P : Shmem.Protocol.S) : sig
     statuses : status array;  (** one per process *)
     ops : int array;  (** shared-memory operations per process *)
     backoffs : int array;  (** backoff rounds taken per process *)
-    elapsed : float;  (** wall-clock seconds, spawn to last join *)
+    elapsed : float;  (** monotonic seconds, spawn to last join *)
     histories : Linearize.Obj_history.event list array;
         (** per object, sorted by invocation timestamp; all empty unless the
             run recorded *)
+    finals : P.state option array;
+        (** each participating process's final local state — the
+            configuration half of a post-run property snapshot; [None] for
+            pids that did not run (possible only under {!run_round}) *)
+    mem : Shmem.Value.t array;
+        (** snapshot of every cell after the last join — the memory half of
+            a post-run property snapshot *)
   }
+
+  type arena
+  (** the shared side of a run, decoupled from the processes: the atomic
+      cells plus the logical timestamp source used by recorded histories.
+      A supervisor keeps one arena across respawn rounds, so respawned
+      incarnations see the memory their predecessors left and recorded
+      timestamps stay totally ordered across recovery boundaries. *)
+
+  val make_arena :
+    ?exchange:(Shmem.Value.t Atomic.t -> Shmem.Value.t -> Shmem.Value.t) ->
+    unit ->
+    arena
+  (** fresh cells holding each object's initial value; [?exchange] as in
+      {!Cell.make} *)
+
+  val arena_mem : arena -> Shmem.Value.t array
+  (** snapshot of every cell's current value (indexed by object id) — the
+      memory snapshot handed to [Protocol.S.recovery] hooks *)
+
+  val run_round :
+    arena:arena ->
+    entries:(int * P.state) list ->
+    ?seed:int ->
+    ?max_ops:int ->
+    ?backoff_window:int ->
+    ?record:bool ->
+    ?crash_at:(int * int) list ->
+    ?stalls:(int * int * int) list ->
+    ?deadline:float ->
+    unit ->
+    outcome
+  (** run only the given [(pid, starting state)] processes — each on a
+      fresh domain — against an existing arena.  This is {!run}'s engine
+      and the supervisor's respawn primitive: round 0 runs every pid from
+      [P.init]; later rounds run just the recovered pids from their
+      [Protocol.S.recovery] states.  [crash_at]/[max_ops] count the {e
+      round's} operations (each incarnation starts at 0).  In the returned
+      outcome, pids not in [entries] have decision [-1], status
+      [Timed_out], 0 ops and [finals] [None] — callers merge rounds.
+      @raise Invalid_argument on out-of-range or duplicate pids *)
 
   val run :
     inputs:int array ->
@@ -125,19 +172,29 @@ module Make (P : Shmem.Protocol.S) : sig
       @param stalls [(pid, t, dur)] fault injection: [pid] spins a forced
              preemption window of [dur] [Domain.cpu_relax] before its
              [t]-th operation
-      @param deadline wall-clock watchdog in seconds: once exceeded, every
-             still-running process winds down with status [Timed_out]
-             (checked every 256 operations and at every backoff)
+      @param deadline watchdog budget in seconds, measured on the
+             {e monotonic} clock ([Resil.Clock] — immune to NTP steps and
+             suspend/resume): once exceeded, every still-running process
+             winds down with status [Timed_out] (checked every 256
+             operations and at every backoff)
       @raise Invalid_argument on malformed [inputs] or fault points *)
 
   val check : inputs:int array -> outcome -> (unit, string) result
   (** every process decided, at most [P.k] distinct values (k-agreement),
       and every decided value is some process's input (validity) *)
 
-  val check_degraded : inputs:int array -> outcome -> (unit, string) result
+  val check_degraded :
+    ?bound:int -> inputs:int array -> outcome -> (unit, string) result
   (** the graceful-degradation contract for runs with injected crashes:
       every process either decided or was [Crashed_injected] (no timeouts,
-      no faults), and the decided values satisfy k-agreement and validity *)
+      no faults), and the decided values satisfy agreement within [bound]
+      (default [P.k]) plus validity.  A supervisor that let [c] crashed
+      incarnations touch memory before respawning passes
+      [~bound:(P.k + c)] — restart-from-initial is indistinguishable from
+      [c] extra silent participants, so agreement degrades to
+      [(k + c)]-set agreement (Gafni's restricted-runs view) and no
+      further.
+      @raise Invalid_argument if [bound < P.k] *)
 
   val check_histories :
     ?max_events:int -> outcome -> (int * int, string) result

@@ -27,6 +27,20 @@ type 'state symmetry =
       rename : (int -> int) -> 'state -> 'state;
     }
 
+(* The recovery hook.  A crashed process that comes back has lost its local
+   state but not the shared memory; [Restart] rejoins from [init] (always
+   sound for historyless protocols: the respawned incarnation is
+   indistinguishable from a late-starting fresh participant, and safety
+   degrades at most to (k + crashes)-agreement — Gafni's restricted-runs
+   view).  [Resume] lets a protocol rebuild a richer state from a snapshot
+   of the shared memory, e.g. CAS-based consensus re-reading the decided
+   winner.  The rebuilt state must be reachable-equivalent: every value it
+   can decide must be decidable by some fresh process reading the same
+   memory. *)
+type 'state recovery =
+  | Restart
+  | Resume of (pid:int -> input:int -> Value.t array -> 'state)
+
 module type S = sig
   val name : string
 
@@ -63,6 +77,10 @@ module type S = sig
 
   val symmetry : state symmetry
   (** see {!type:symmetry}; [Asymmetric] is always sound *)
+
+  val recovery : state recovery
+  (** see {!type:recovery}; [Restart] is always sound for historyless
+      protocols *)
 end
 
 type t = (module S)

@@ -31,6 +31,21 @@ type 'state symmetry =
           values).  Key collisions between genuinely different states only
           cost collapse, never soundness. *)
 
+type 'state recovery =
+  | Restart
+      (** a respawned process rejoins from [init ~pid ~input] — always
+          sound for historyless / swap-only protocols (which [Analyze]
+          derives): the new incarnation is indistinguishable from a
+          late-starting fresh participant, so safety degrades at most to
+          [(k + crashed)]-set agreement (Gafni's restricted-runs view) and
+          validity is untouched *)
+  | Resume of (pid:int -> input:int -> Value.t array -> 'state)
+      (** rebuild the local state from a snapshot of the shared memory
+          (index = object id).  The rebuilt state must be
+          reachable-equivalent: anything it can go on to decide must be
+          decidable by some fresh process reading the same memory —
+          e.g. CAS consensus adopting the already-installed winner. *)
+
 module type S = sig
   val name : string
 
@@ -68,6 +83,10 @@ module type S = sig
 
   val symmetry : state symmetry
   (** see {!type:symmetry}; [Asymmetric] is always sound *)
+
+  val recovery : state recovery
+  (** see {!type:recovery}; [Restart] is always sound for historyless
+      protocols *)
 end
 
 type t = (module S)

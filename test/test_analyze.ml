@@ -106,6 +106,7 @@ let mk_straightline ~kinds ~(prog : (int * Sh.Op.action) list) ~n ~m :
 
     let pp_state ppf s = Fmt.pf ppf "{step=%d}" s.step
     let symmetry = Sh.Protocol.Asymmetric
+    let recovery = Sh.Protocol.Restart
   end in
   (module P)
 
@@ -210,6 +211,7 @@ let cas_smuggler : Sh.Protocol.t =
 
     let pp_state ppf s = Fmt.pf ppf "{tried=%b}" s.tried
     let symmetry = Sh.Protocol.Asymmetric
+    let recovery = Sh.Protocol.Restart
   end in
   (module P)
 
@@ -252,6 +254,7 @@ let bad_hasher : Sh.Protocol.t =
 
     let pp_state ppf s = Fmt.pf ppf "{step=%d}" s.step
     let symmetry = Sh.Protocol.Asymmetric
+    let recovery = Sh.Protocol.Restart
   end in
   (module P)
 
@@ -292,6 +295,7 @@ let flipper : Sh.Protocol.t =
 
     let pp_state ppf s = Fmt.pf ppf "{step=%d}" s.step
     let symmetry = Sh.Protocol.Asymmetric
+    let recovery = Sh.Protocol.Restart
   end in
   (module P)
 
@@ -323,6 +327,7 @@ let out_of_range : Sh.Protocol.t =
 
     let pp_state ppf s = Fmt.pf ppf "{input=%d}" s.input
     let symmetry = Sh.Protocol.Asymmetric
+    let recovery = Sh.Protocol.Restart
   end in
   (module P)
 
@@ -368,6 +373,7 @@ let pid_key : Sh.Protocol.t =
         { canon_key = (fun s -> if s.step > 0 then s.pid else 0)
         ; rename = (fun f s -> { s with pid = f s.pid })
         }
+    let recovery = Sh.Protocol.Restart
   end)
 
 let test_mutant_pid_key () =
@@ -414,6 +420,7 @@ let marker : Sh.Protocol.t =
         { canon_key = hash_state
         ; rename = (fun f s -> { s with pid = f s.pid })
         }
+    let recovery = Sh.Protocol.Restart
   end)
 
 let test_mutant_marker () =
@@ -453,6 +460,7 @@ let frozen_rename : Sh.Protocol.t =
         { canon_key = (fun s -> Sh.Hashx.(int seed s.input))
         ; rename = (fun _ s -> s)
         }
+    let recovery = Sh.Protocol.Restart
   end)
 
 let test_mutant_frozen_rename () =

@@ -34,6 +34,7 @@ module Tiny = struct
   let hash_state = Hashtbl.hash
   let pp_state ppf s = Fmt.pf ppf "{input=%d step=%d}" s.input s.step
   let symmetry = Shmem.Protocol.Asymmetric
+  let recovery = Shmem.Protocol.Restart
 end
 
 module E = Shmem.Exec.Make (Tiny)

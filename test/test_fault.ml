@@ -23,6 +23,7 @@ let test_validate () =
   ok [ Fault.Crash (0, 0); Fault.Stall (2, 3, 1) ];
   ok [ Fault.Torn_swap 0; Fault.Lost_update 1 ];
   ok [ Fault.Stale_read (1, 1) ];
+  ok [ Fault.Crash (1, 4); Fault.Respawn (1, 2) ];
   bad "a crash of an out-of-range pid" [ Fault.Crash (3, 0) ];
   bad "a crash at negative time" [ Fault.Crash (0, -1) ];
   bad "a stall of an out-of-range pid" [ Fault.Stall (-1, 0, 1) ];
@@ -30,7 +31,10 @@ let test_validate () =
   bad "a torn swap on an out-of-range object" [ Fault.Torn_swap 2 ];
   bad "a zero-lag stale read" [ Fault.Stale_read (0, 0) ];
   bad "two object faults on one object"
-    [ Fault.Torn_swap 0; Fault.Lost_update 0 ]
+    [ Fault.Torn_swap 0; Fault.Lost_update 0 ];
+  bad "a respawn of an out-of-range pid" [ Fault.Respawn (3, 1) ];
+  bad "a zero-delay respawn" [ Fault.Respawn (0, 0) ];
+  bad "two respawns of one pid" [ Fault.Respawn (0, 1); Fault.Respawn (0, 2) ]
 
 let test_kinds () =
   List.iter
@@ -52,6 +56,17 @@ let test_kinds () =
   | Ok ks ->
     Alcotest.(check bool) "comma list" true (ks = [ Fault.Crash_k; Fault.Torn_k ])
   | Error e -> Alcotest.fail e);
+  (match Fault.kinds_of_string "recovery" with
+  | Ok ks ->
+    Alcotest.(check bool) "recovery group" true (ks = Fault.recovery_kinds)
+  | Error e -> Alcotest.fail e);
+  (match Fault.kind_of_string "respawn" with
+  | Ok k -> Alcotest.(check bool) "respawn parses" true (k = Fault.Respawn_k)
+  | Error e -> Alcotest.fail e);
+  (* seed stability: historical 'all' campaigns must not silently start
+     drawing kill-and-heal plans *)
+  Alcotest.(check bool) "all excludes respawn" false
+    (List.mem Fault.Respawn_k Fault.all_kinds);
   match Fault.kinds_of_string "crash,bogus" with
   | Ok _ -> Alcotest.fail "accepted an unknown kind"
   | Error _ -> ()
@@ -74,6 +89,34 @@ let test_gen_plan () =
     | Ok () -> ()
     | Error e -> Alcotest.failf "seed %d: generated invalid plan: %s" seed e
   done
+
+let test_gen_plan_recovery_pairs () =
+  (* kill-and-heal generation: plans validate and every respawn heals an
+     actual crash of the same pid (either an earlier draw or the fresh
+     kill drawn alongside it) *)
+  let respawned = ref 0 in
+  for seed = 0 to 99 do
+    let plan =
+      Fault.gen_plan
+        ~rng:(Random.State.make [| seed |])
+        ~n:4 ~num_objects:3 Fault.recovery_kinds
+    in
+    (match Fault.validate ~n:4 ~num_objects:3 plan with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "seed %d: invalid recovery plan: %s" seed e);
+    List.iter
+      (fun (p, d) ->
+        incr respawned;
+        Alcotest.(check bool)
+          (Fmt.str "seed %d: respawn(p%d+%d) heals a crash" seed p d)
+          true
+          (List.exists
+             (function Fault.Crash (q, _) -> q = p | _ -> false)
+             plan))
+      (Fault.respawns plan)
+  done;
+  Alcotest.(check bool) "the generator does draw respawns" true
+    (!respawned > 0)
 
 (* ---------- ddmin ---------- *)
 
@@ -294,6 +337,44 @@ let test_protocol_can_reject_faulty_responses () =
   Alcotest.(check bool) "cas: faults manifested" true (s.F.fired > 0);
   Alcotest.(check bool) "cas: and were detected" true (s.F.detections <> [])
 
+let test_recovery_campaign_clean () =
+  (* kill-and-heal on the simulator: revived incarnations re-enter against
+     the memory residue their predecessors left, the monitor re-anchors
+     across each boundary, and every run stays within the degraded
+     agreement bound — zero violations, with actual revivals exercised *)
+  let (module P) = mk_swap_ksa () in
+  let module F = Fault.Sim (P) in
+  let s = F.campaign ~seed:13 ~runs:40 ~kinds:Fault.recovery_kinds () in
+  Alcotest.(check int) "no violations" 0 (List.length s.F.violations);
+  Alcotest.(check int) "no object faults in a recovery campaign" 0 s.F.fired;
+  Alcotest.(check bool) "revivals happened" true (s.F.revived > 0);
+  (* reproducible like every other campaign *)
+  let s' = F.campaign ~seed:13 ~runs:40 ~kinds:Fault.recovery_kinds () in
+  Alcotest.(check bool) "seed-reproducible" true (s = s')
+
+let test_recovery_run_revives () =
+  (* a single kill-and-heal plan end to end: the crashed pid is revived at
+     its window and decides with everyone else *)
+  let (module P) = mk_swap_ksa () in
+  let module F = Fault.Sim (P) in
+  let inputs = [| 0; 1; 1 |] in
+  let plan = [ Fault.Crash (1, 2); Fault.Respawn (1, 5) ] in
+  let rng = Random.State.make [| 31 |] in
+  let r =
+    F.run plan ~sched:(F.E.bursty rng ~burst:20) ~max_steps:10_000 ~inputs
+  in
+  Alcotest.(check bool) "p1 revived" true
+    (List.exists (fun (p, _) -> p = 1) r.F.revived);
+  List.iter
+    (fun pid ->
+      Alcotest.(check bool)
+        (Fmt.str "p%d decided" pid)
+        true
+        (F.E.decision r.F.final pid <> None))
+    [ 0; 1; 2 ];
+  Alcotest.(check bool) "within the degraded bound" true
+    (F.detect ~bound:(P.k + List.length r.F.revived) ~inputs r = None)
+
 (* ---------- multicore campaigns ---------- *)
 
 let test_mc_rejects_object_kinds () =
@@ -313,12 +394,40 @@ let test_mc_benign_campaign () =
   Alcotest.(check (list string)) "no degradation violations" []
     (List.map (fun (f : Mc.finding) -> f.Mc.detail) s.Mc.violations)
 
+let test_mc_rejects_respawn_without_recover () =
+  let (module P) = mk_swap_ksa () in
+  let module Mc = Fault.Mc (P) in
+  try
+    ignore (Mc.campaign ~seed:1 ~runs:1 ~kinds:Fault.recovery_kinds ());
+    Alcotest.fail "unsupervised campaign accepted Respawn_k"
+  with Invalid_argument _ -> ()
+
+let test_mc_supervised_campaign () =
+  (* supervised kill-and-heal on real domains: crashed pids come back on
+     fresh domains against the same arena; every run must satisfy the
+     degraded contract, the cross-boundary HB check and the prop pack *)
+  let (module P) = mk_swap_ksa () in
+  let module Mc = Fault.Mc (P) in
+  let module M = Core.Swap_ksa_monitor.Make (P) in
+  let s =
+    Mc.campaign ~pack:M.online_props ~seed:4 ~runs:4
+      ~kinds:Fault.recovery_kinds ~recover:true ()
+  in
+  Alcotest.(check int) "4 runs" 4 s.Mc.runs;
+  Alcotest.(check (list string)) "no violations" []
+    (List.map (fun (f : Mc.finding) -> f.Mc.detail) s.Mc.violations);
+  Alcotest.(check bool) "supervision rounds counted" true (s.Mc.rounds >= 4);
+  Alcotest.(check bool) "hb checked on merged histories" true
+    (s.Mc.hb_checked > 0)
+
 let () =
   Alcotest.run "fault"
     [ ( "plans",
         [ Alcotest.test_case "validation" `Quick test_validate
         ; Alcotest.test_case "kind names" `Quick test_kinds
         ; Alcotest.test_case "plan generation" `Quick test_gen_plan
+        ; Alcotest.test_case "kill-and-heal generation" `Quick
+            test_gen_plan_recovery_pairs
         ] )
     ; ( "ddmin",
         [ Alcotest.test_case "shrinking" `Quick test_ddmin ] )
@@ -338,12 +447,20 @@ let () =
             test_campaign_reproducible
         ; Alcotest.test_case "protocols may reject faulty responses" `Quick
             test_protocol_can_reject_faulty_responses
+        ; Alcotest.test_case "recovery campaign is clean" `Slow
+            test_recovery_campaign_clean
+        ; Alcotest.test_case "kill-and-heal run revives and decides" `Quick
+            test_recovery_run_revives
         ] )
     ; ( "multicore",
         [ Alcotest.test_case "object kinds rejected" `Quick
             test_mc_rejects_object_kinds
         ; Alcotest.test_case "benign campaign degrades gracefully" `Quick
             test_mc_benign_campaign
+        ; Alcotest.test_case "respawn kind needs supervision" `Quick
+            test_mc_rejects_respawn_without_recover
+        ; Alcotest.test_case "supervised kill-and-heal campaign" `Slow
+            test_mc_supervised_campaign
         ] )
     ; Util.qsuite "fault-props" [ prop_ddmin_one_minimal ]
     ]

@@ -387,6 +387,7 @@ let mutant ~name
       Fmt.pf ppf "{p%d laps=%a}" s.pid Fmt.(Dump.array int) s.laps
 
     let symmetry = Sh.Protocol.Asymmetric
+    let recovery = Sh.Protocol.Restart
     let laps s = Array.copy s.laps
     let laps_get s j = s.laps.(j)
     let preference s = if s.decided = None then Some 0 else None

@@ -1,0 +1,354 @@
+(* Tests for the resilience layer (lib/resil): the monotonic clock, the
+   composable policy pieces (backoff, deadline, breaker, retry), and the
+   supervisor — crash detection, state rebuild through [Protocol.S.recovery]
+   ([Restart] and [Resume]), respawn budgets and escalation, the degraded
+   agreement contract, and histories/HB across recovery boundaries. *)
+
+module Policy = Resil.Policy
+module Clock = Resil.Clock
+
+(* --------------------------------------------------------------- clock *)
+
+let test_clock_monotone () =
+  let prev = ref (Clock.now_ns ()) in
+  for _ = 1 to 1_000 do
+    let t = Clock.now_ns () in
+    Alcotest.(check bool) "never rewinds" true (Int64.compare t !prev >= 0);
+    prev := t
+  done
+
+let test_clock_conversions () =
+  Alcotest.(check int64) "1s" 1_000_000_000L (Clock.ns_of_s 1.);
+  Alcotest.(check int64) "negative saturates" 0L (Clock.ns_of_s (-3.));
+  Alcotest.(check (float 1e-9)) "round trip" 0.25
+    (Clock.s_of_ns (Clock.ns_of_s 0.25));
+  let since = Clock.now_ns () in
+  Alcotest.(check bool) "elapsed non-negative" true
+    (Int64.compare (Clock.elapsed_ns ~since) 0L >= 0)
+
+(* -------------------------------------------------------------- backoff *)
+
+let test_backoff_curve () =
+  let b = Policy.Backoff.exponential ~base:2 ~cap:16 () in
+  Alcotest.(check (list int)) "doubles then caps" [ 2; 4; 8; 16; 16 ]
+    (List.map (fun a -> Policy.Backoff.bound b ~attempt:a) [ 0; 1; 2; 3; 9 ]);
+  (* unjittered: spins = bound, rng or not *)
+  let rng = Random.State.make [| 1 |] in
+  Alcotest.(check int) "unjittered ignores rng" 8
+    (Policy.Backoff.spins ~rng b ~attempt:2)
+
+let test_backoff_jitter () =
+  let b = Policy.Backoff.exponential ~base:8 ~cap:64 ~jitter:true () in
+  let rng = Random.State.make [| 42 |] in
+  for a = 0 to 5 do
+    let s = Policy.Backoff.spins ~rng b ~attempt:a in
+    let bound = Policy.Backoff.bound b ~attempt:a in
+    Alcotest.(check bool)
+      (Fmt.str "attempt %d within [0, %d)" a bound)
+      true
+      (s >= 0 && s < bound)
+  done;
+  (* deterministic given the same rng state *)
+  let draw () =
+    let rng = Random.State.make [| 7 |] in
+    List.init 6 (fun a -> Policy.Backoff.spins ~rng b ~attempt:a)
+  in
+  Alcotest.(check (list int)) "seeded draws reproduce" (draw ()) (draw ())
+
+let test_backoff_validation () =
+  (try
+     ignore (Policy.Backoff.exponential ~base:0 ());
+     Alcotest.fail "accepted base = 0"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Policy.Backoff.exponential ~base:10 ~cap:5 ());
+    Alcotest.fail "accepted base > cap"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------ deadlines *)
+
+let test_deadline_never () =
+  Alcotest.(check bool) "is_never" true (Policy.Deadline.is_never Policy.Deadline.never);
+  Alcotest.(check bool) "never expires" false
+    (Policy.Deadline.expired Policy.Deadline.never);
+  Alcotest.(check (float 0.)) "infinite remaining" infinity
+    (Policy.Deadline.remaining_s Policy.Deadline.never);
+  Alcotest.(check bool) "infinite seconds = never" true
+    (Policy.Deadline.is_never (Policy.Deadline.after ~seconds:infinity))
+
+let test_deadline_expiry () =
+  let d = Policy.Deadline.after ~seconds:0.001 in
+  Alcotest.(check bool) "fresh deadline not expired" true
+    (Policy.Deadline.remaining_s d > 0. || Policy.Deadline.expired d);
+  let deadline = Clock.now_ns () in
+  (* an expiry in the past (shared absolute budget) is immediately gone *)
+  let past = Policy.Deadline.of_expiry_ns deadline in
+  Alcotest.(check bool) "past expiry expired" true
+    (Policy.Deadline.expired past || Policy.Deadline.remaining_s past = 0.);
+  try
+    ignore (Policy.Deadline.after ~seconds:0.);
+    Alcotest.fail "accepted zero deadline"
+  with Invalid_argument _ -> ()
+
+(* -------------------------------------------------------------- breaker *)
+
+let test_breaker () =
+  let b = Policy.Breaker.create ~threshold:2 ~n:3 in
+  Alcotest.(check int) "threshold" 2 (Policy.Breaker.threshold b);
+  Alcotest.(check bool) "fresh pid closed" false (Policy.Breaker.tripped b ~pid:0);
+  Policy.Breaker.record_failure b ~pid:0;
+  Alcotest.(check bool) "one failure: still closed" false
+    (Policy.Breaker.tripped b ~pid:0);
+  Policy.Breaker.record_failure b ~pid:0;
+  Alcotest.(check bool) "two failures: open" true (Policy.Breaker.tripped b ~pid:0);
+  Alcotest.(check int) "failures counted" 2 (Policy.Breaker.failures b ~pid:0);
+  Alcotest.(check bool) "other pid independent" false
+    (Policy.Breaker.tripped b ~pid:1);
+  Alcotest.(check int) "one trip" 1 (Policy.Breaker.trips b);
+  try
+    ignore (Policy.Breaker.create ~threshold:0 ~n:1);
+    Alcotest.fail "accepted threshold = 0"
+  with Invalid_argument _ -> ()
+
+(* ---------------------------------------------------------------- retry *)
+
+let test_retry_succeeds () =
+  let calls = ref 0 in
+  match
+    Policy.Retry.run
+      (Policy.Retry.budget ~max_attempts:5 ())
+      (fun ~attempt ->
+        incr calls;
+        if attempt >= 2 then Ok (attempt * 10) else Error "not yet")
+  with
+  | Ok v ->
+    Alcotest.(check int) "third attempt's value" 20 v;
+    Alcotest.(check int) "three calls" 3 !calls
+  | Error _ -> Alcotest.fail "budget should have sufficed"
+
+let test_retry_exhausts () =
+  match
+    Policy.Retry.run
+      (Policy.Retry.budget ~max_attempts:3 ())
+      (fun ~attempt:_ -> Error "always")
+  with
+  | Error (Policy.Retry.Attempts_exhausted, Some "always") -> ()
+  | Error (e, _) ->
+    Alcotest.fail (Fmt.str "wrong error: %a" Policy.Retry.pp_error e)
+  | Ok _ -> Alcotest.fail "cannot succeed"
+
+let test_retry_deadline () =
+  (* an already-expired shared budget: no attempt may start *)
+  let calls = ref 0 in
+  match
+    Policy.Retry.run
+      (Policy.Retry.budget ~max_attempts:3
+         ~deadline:(Policy.Deadline.of_expiry_ns (Clock.now_ns ())) ())
+      (fun ~attempt:_ ->
+        incr calls;
+        Ok ())
+  with
+  | Error (Policy.Retry.Deadline_exceeded, None) ->
+    Alcotest.(check int) "no attempt started" 0 !calls
+  | Error (e, _) ->
+    Alcotest.fail (Fmt.str "wrong error: %a" Policy.Retry.pp_error e)
+  | Ok () -> Alcotest.fail "expired budget accepted"
+
+(* ----------------------------------------------------------- supervisor *)
+
+let test_supervise_quiet () =
+  (* nothing fails: exactly one round, no respawns, plain contract holds *)
+  let (module P) = Core.Swap_ksa.make ~n:3 ~k:1 ~m:2 in
+  let module Sup = Supervisor.Make (P) in
+  let inputs = [| 0; 1; 0 |] in
+  let r = Sup.supervise ~inputs ~seed:11 () in
+  Alcotest.(check int) "one round" 1 r.Sup.rounds;
+  Alcotest.(check (array int)) "no respawns" [| 0; 0; 0 |] r.Sup.respawns;
+  Alcotest.(check int) "degraded_k = k" P.k r.Sup.degraded_k;
+  Alcotest.(check bool) "no recoveries timed" true (r.Sup.recover_ns = []);
+  match Sup.check ~inputs r with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_supervise_crash_recovers () =
+  (* kill p1 early in round 0: the supervisor must respawn it and every
+     process — including the new incarnation — must decide *)
+  let (module P) = Core.Swap_ksa.make ~n:3 ~k:1 ~m:2 in
+  let module Sup = Supervisor.Make (P) in
+  let inputs = [| 0; 1; 1 |] in
+  let crash_plan ~round ~pid =
+    if round = 0 && pid = 1 then Some 1 else None
+  in
+  let r = Sup.supervise ~inputs ~seed:3 ~crash_plan () in
+  Alcotest.(check bool) "at least two rounds" true (r.Sup.rounds >= 2);
+  Alcotest.(check int) "p1 respawned once" 1 r.Sup.respawns.(1);
+  Alcotest.(check (list int)) "nobody abandoned" [] r.Sup.gave_up;
+  Alcotest.(check bool) "every process decided" true
+    (Array.for_all (fun s -> s = Sup.R.Decided) r.Sup.outcome.Sup.R.statuses);
+  Alcotest.(check bool) "recovery latency recorded" true
+    (List.length r.Sup.recover_ns >= 1
+    && List.for_all (fun ns -> Int64.compare ns 0L >= 0) r.Sup.recover_ns);
+  Alcotest.(check bool) "degraded bound covers the lost incarnation" true
+    (r.Sup.degraded_k >= P.k && r.Sup.degraded_k <= P.k + 1);
+  match Sup.check ~inputs r with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_supervise_escalates () =
+  (* p0 is killed in every round: after max_respawns budgets it must be
+     abandoned (escalation), everyone else still decides, and the degraded
+     contract still accepts the outcome *)
+  let (module P) = Core.Swap_ksa.make ~n:3 ~k:1 ~m:2 in
+  let module Sup = Supervisor.Make (P) in
+  let inputs = [| 1; 0; 0 |] in
+  let crash_plan ~round:_ ~pid = if pid = 0 then Some 0 else None in
+  let policy = { (Sup.default_policy ()) with max_respawns = 2 } in
+  let r = Sup.supervise ~inputs ~seed:5 ~policy ~crash_plan () in
+  Alcotest.(check int) "respawned to the budget" 2 r.Sup.respawns.(0);
+  Alcotest.(check (list int)) "then abandoned" [ 0 ] r.Sup.gave_up;
+  Alcotest.(check bool) "survivors decided" true
+    (List.for_all
+       (fun pid -> r.Sup.outcome.Sup.R.statuses.(pid) = Sup.R.Decided)
+       [ 1; 2 ]);
+  match Sup.check ~inputs r with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_supervise_zero_budget () =
+  (* max_respawns = 0 disables recovery: the first failure is abandoned *)
+  let (module P) = Core.Swap_ksa.make ~n:3 ~k:1 ~m:2 in
+  let module Sup = Supervisor.Make (P) in
+  let inputs = [| 0; 0; 1 |] in
+  let crash_plan ~round ~pid =
+    if round = 0 && pid = 2 then Some 0 else None
+  in
+  let policy = { (Sup.default_policy ()) with max_respawns = 0 } in
+  let r = Sup.supervise ~inputs ~seed:9 ~policy ~crash_plan () in
+  Alcotest.(check int) "one round" 1 r.Sup.rounds;
+  Alcotest.(check (list int)) "abandoned immediately" [ 2 ] r.Sup.gave_up;
+  Alcotest.(check int) "no incarnation touched memory after" P.k
+    r.Sup.degraded_k;
+  match Sup.check ~inputs r with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_supervise_resume_protocol () =
+  (* cas declares [Resume]: the respawned incarnation restarts from the
+     arena snapshot instead of a fresh init, and still decides *)
+  let (module P) = Baselines.Cas_consensus.make ~n:3 ~m:2 in
+  let module Sup = Supervisor.Make (P) in
+  let inputs = [| 1; 0; 1 |] in
+  (* crash before the first op: cas can decide in a single operation, so a
+     later crash point might never be reached *)
+  let crash_plan ~round ~pid =
+    if round = 0 && pid = 0 then Some 0 else None
+  in
+  let r = Sup.supervise ~inputs ~seed:17 ~crash_plan () in
+  Alcotest.(check int) "p0 respawned" 1 r.Sup.respawns.(0);
+  Alcotest.(check (list int)) "resume never leaves residue" []
+    r.Sup.unanchored;
+  match Sup.check ~inputs r with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_supervise_histories_across_boundaries () =
+  (* recorded histories merge across incarnations on the shared arena
+     clock; the happens-before checker must accept the merged histories *)
+  let (module P) = Baselines.Cas_consensus.make ~n:3 ~m:2 in
+  let module Sup = Supervisor.Make (P) in
+  let inputs = [| 0; 1; 0 |] in
+  let crash_plan ~round ~pid =
+    if round = 0 && pid = 1 then Some 0 else None
+  in
+  let r = Sup.supervise ~inputs ~seed:23 ~record:true ~crash_plan () in
+  Alcotest.(check bool) "events recorded" true
+    (Array.exists (fun h -> h <> []) r.Sup.outcome.Sup.R.histories);
+  (* timestamps stay totally ordered across the recovery boundary *)
+  Array.iter
+    (fun h ->
+      ignore
+        (List.fold_left
+           (fun prev (e : Linearize.Obj_history.event) ->
+             Alcotest.(check bool) "merged history sorted" true
+               (e.start >= prev);
+             e.start)
+           (-1) h))
+    r.Sup.outcome.Sup.R.histories;
+  match Sup.R.check_hb r.Sup.outcome with
+  | Ok (checked, _) ->
+    Alcotest.(check bool) "checked something" true (checked >= 1)
+  | Error e -> Alcotest.fail e
+
+let test_supervise_prop_pack () =
+  (* the §4 config invariants evaluated on the merged final snapshot: a
+     clean supervised run either passes them or abstains (never a false
+     alarm), and a run with no crash at all must pass outright *)
+  let (module P) = Core.Swap_ksa.make ~n:3 ~k:1 ~m:2 in
+  let module Sup = Supervisor.Make (P) in
+  let module M = Core.Swap_ksa_monitor.Make (P) in
+  let inputs = [| 0; 1; 0 |] in
+  let quiet = Sup.supervise ~inputs ~seed:29 () in
+  (match Sup.check_props M.online_props quiet with
+  | None -> ()
+  | Some (name, detail) ->
+    Alcotest.fail (Fmt.str "quiet run violated %s: %s" name detail));
+  let crash_plan ~round ~pid =
+    if round = 0 && pid = 0 then Some 1 else None
+  in
+  let r = Sup.supervise ~inputs ~seed:31 ~crash_plan () in
+  match Sup.check_props M.online_props r with
+  | None -> ()
+  | Some (name, detail) ->
+    Alcotest.fail (Fmt.str "recovered run violated %s: %s" name detail)
+
+let test_supervise_validation () =
+  let (module P) = Core.Swap_ksa.make ~n:3 ~k:1 ~m:2 in
+  let module Sup = Supervisor.Make (P) in
+  (try
+     ignore (Sup.supervise ~inputs:[| 0; 1 |] ());
+     Alcotest.fail "accepted wrong input count"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Sup.supervise ~inputs:[| 0; 1; 9 |] ());
+     Alcotest.fail "accepted out-of-range input"
+   with Invalid_argument _ -> ());
+  try
+    let policy = { (Sup.default_policy ()) with max_respawns = -1 } in
+    ignore (Sup.supervise ~inputs:[| 0; 1; 0 |] ~policy ());
+    Alcotest.fail "accepted negative respawn budget"
+  with Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "resil"
+    [ ( "clock",
+        [ Alcotest.test_case "monotone" `Quick test_clock_monotone
+        ; Alcotest.test_case "conversions" `Quick test_clock_conversions
+        ] )
+    ; ( "backoff",
+        [ Alcotest.test_case "capped exponential curve" `Quick
+            test_backoff_curve
+        ; Alcotest.test_case "jitter bounded and seeded" `Quick
+            test_backoff_jitter
+        ; Alcotest.test_case "validation" `Quick test_backoff_validation
+        ] )
+    ; ( "deadline",
+        [ Alcotest.test_case "never" `Quick test_deadline_never
+        ; Alcotest.test_case "expiry" `Quick test_deadline_expiry
+        ] )
+    ; ( "breaker",
+        [ Alcotest.test_case "per-pid trip behavior" `Quick test_breaker ] )
+    ; ( "retry",
+        [ Alcotest.test_case "succeeds within budget" `Quick
+            test_retry_succeeds
+        ; Alcotest.test_case "exhausts attempts" `Quick test_retry_exhausts
+        ; Alcotest.test_case "expired deadline blocks" `Quick
+            test_retry_deadline
+        ] )
+    ; ( "supervisor",
+        [ Alcotest.test_case "quiet run: one round" `Quick
+            test_supervise_quiet
+        ; Alcotest.test_case "crash, respawn, decide" `Quick
+            test_supervise_crash_recovers
+        ; Alcotest.test_case "persistent crasher escalates" `Quick
+            test_supervise_escalates
+        ; Alcotest.test_case "zero budget abandons" `Quick
+            test_supervise_zero_budget
+        ; Alcotest.test_case "resume protocol recovers" `Quick
+            test_supervise_resume_protocol
+        ; Alcotest.test_case "histories and HB across boundaries" `Quick
+            test_supervise_histories_across_boundaries
+        ; Alcotest.test_case "prop pack on the merged snapshot" `Quick
+            test_supervise_prop_pack
+        ; Alcotest.test_case "validation" `Quick test_supervise_validation
+        ] )
+    ]

@@ -268,6 +268,8 @@ let test_check_rejects_bad_outcomes () =
     ; backoffs = [| 0; 0 |]
     ; elapsed = 0.
     ; histories = [||]
+    ; finals = [| None; None |]
+    ; mem = [||]
     }
   in
   (match R.check ~inputs:[| 0; 1 |] (outcome [| 0; 1 |]) with
@@ -427,6 +429,98 @@ let test_fault_point_validation () =
     Alcotest.fail "accepted negative deadline"
   with Invalid_argument _ -> ()
 
+(* --------------------------------------------- qcheck: check_degraded *)
+
+(* random partial outcomes at n = 3..5 held against an independent
+   reference predicate: [check_degraded ~bound] must accept exactly the
+   outcomes where every non-decided process was an injected crash, at
+   most [bound] distinct values were decided, and every decided value is
+   some process's input.  The generator draws statuses and decisions
+   independently (including nonsense like a decided process with no
+   decision), so the mirror has to agree on the weird corners too; a
+   second property checks the supervisor-facing monotonicity — loosening
+   the bound never turns an accepted outcome into a rejected one. *)
+let degraded_case_gen =
+  QCheck2.Gen.(
+    int_range 3 5 >>= fun n ->
+    int_range 0 (n - 1) >>= fun extra ->
+    list_repeat n (int_bound 1) >>= fun inputs ->
+    let status =
+      frequency
+        [ 5, return `Decided; 2, return `Crashed; 1, return `Timed_out
+        ; 1, return `Faulted
+        ]
+    in
+    list_repeat n (pair status (int_range (-1) 2)) >>= fun procs ->
+    return (n, extra, inputs, procs))
+
+(* the checker only inspects statuses and decisions; everything else is a
+   neutral filler (checked per-instantiation because the outcome type is
+   functor-dependent — see [degraded_check] below) *)
+let reference_degraded ~bound ~inputs procs =
+  let survivors_ok =
+    List.for_all
+      (fun (s, _) -> match s with `Decided | `Crashed -> true | _ -> false)
+      procs
+  in
+  let distinct =
+    List.filter_map (fun (_, d) -> if d >= 0 then Some d else None) procs
+    |> List.sort_uniq compare
+  in
+  survivors_ok
+  && List.length distinct <= bound
+  && List.for_all (fun v -> List.mem v inputs) distinct
+
+(* [Ok] iff [check_degraded ~bound] accepted the synthetic outcome *)
+let degraded_check ~n ~bound ~inputs procs =
+  let (module P) = Core.Swap_ksa.make ~n ~k:1 ~m:2 in
+  let module R = Runtime.Make (P) in
+  let statuses =
+    Array.of_list
+      (List.map
+         (fun (s, _) ->
+           match s with
+           | `Decided -> R.Decided
+           | `Crashed -> R.Crashed_injected
+           | `Timed_out -> R.Timed_out
+           | `Faulted -> R.Faulted (Failure "injected"))
+         procs)
+  in
+  let outcome =
+    { R.decisions = Array.of_list (List.map snd procs)
+    ; statuses
+    ; ops = Array.make n 0
+    ; backoffs = Array.make n 0
+    ; elapsed = 0.
+    ; histories = [||]
+    ; finals = Array.make n None
+    ; mem = [||]
+    }
+  in
+  Result.is_ok
+    (R.check_degraded ~bound ~inputs:(Array.of_list inputs) outcome)
+
+let qcheck_degraded_reference =
+  QCheck2.Test.make ~name:"check_degraded ~bound = reference predicate"
+    ~count:1000 degraded_case_gen (fun (n, extra, inputs, procs) ->
+      let bound = 1 + extra in
+      degraded_check ~n ~bound ~inputs procs
+      = reference_degraded ~bound ~inputs procs)
+
+let qcheck_degraded_monotone =
+  QCheck2.Test.make ~name:"check_degraded monotone in the bound"
+    ~count:1000 degraded_case_gen (fun (n, extra, inputs, procs) ->
+      let ok b = degraded_check ~n ~bound:b ~inputs procs in
+      (not (ok (1 + extra))) || ok (1 + extra + 1))
+
+let test_degraded_bound_validation () =
+  try
+    ignore
+      (degraded_check ~n:3 ~bound:0 ~inputs:[ 0; 0; 0 ]
+         [ `Decided, 0; `Decided, 0; `Decided, 0 ]);
+    Alcotest.fail "accepted bound < k"
+  with Invalid_argument _ -> ()
+
 let () =
   Alcotest.run "runtime"
     [ ( "cells",
@@ -476,5 +570,11 @@ let () =
             test_faulting_domain_joined_and_reported
         ; Alcotest.test_case "fault point validation" `Quick
             test_fault_point_validation
+        ] )
+    ; ( "degraded-check qcheck",
+        [ QCheck_alcotest.to_alcotest qcheck_degraded_reference
+        ; QCheck_alcotest.to_alcotest qcheck_degraded_monotone
+        ; Alcotest.test_case "bound validation" `Quick
+            test_degraded_bound_validation
         ] )
     ]

@@ -82,6 +82,7 @@ let test_tas_over_readable_swap () =
     let hash_state = Hashtbl.hash
     let pp_state ppf _ = Fmt.pf ppf "{}"
     let symmetry = Shmem.Protocol.Asymmetric
+    let recovery = Shmem.Protocol.Restart
   end in
   let module T = Shmem.Simulate.To_readable_swap (Tas) in
   let module E = Shmem.Exec.Make (Tas) in

@@ -179,6 +179,7 @@ let stubborn_anon ~n : Sh.Protocol.t =
     let symmetry =
       Sh.Protocol.Anonymous
         { canon_key = hash_state; rename = (fun _ s -> s) }
+    let recovery = Sh.Protocol.Restart
   end)
 
 let test_reduced_violation_replays () =

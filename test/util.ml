@@ -38,6 +38,7 @@ let stubborn_protocol () : (module Shmem.Protocol.S) =
     let hash_state = Hashtbl.hash
     let pp_state ppf s = Fmt.pf ppf "{input=%d}" s.input
     let symmetry = Shmem.Protocol.Asymmetric
+    let recovery = Shmem.Protocol.Restart
   end)
 
 (* A protocol that decides a constant value 1 even when nobody proposed it:
@@ -61,6 +62,7 @@ let invalid_protocol () : (module Shmem.Protocol.S) =
     let hash_state = Hashtbl.hash
     let pp_state ppf _ = Fmt.pf ppf "{}"
     let symmetry = Shmem.Protocol.Asymmetric
+    let recovery = Shmem.Protocol.Restart
   end)
 
 (* A protocol that never decides when run solo (spins on its object):
@@ -91,4 +93,5 @@ let spinner_protocol () : (module Shmem.Protocol.S) =
     let hash_state = Hashtbl.hash
     let pp_state ppf s = Fmt.pf ppf "{input=%d}" s.input
     let symmetry = Shmem.Protocol.Asymmetric
+    let recovery = Shmem.Protocol.Restart
   end)
