@@ -976,6 +976,119 @@ let resil_cmd =
       const go $ algo $ n $ k $ m $ cap $ seed $ inputs_arg $ runs
       $ max_respawns $ deadline $ metrics_arg $ metrics_out_arg)
 
+(* -------------------------------------------------------------- serve *)
+
+let serve_cmd =
+  let go algo n k m cap seed clients rounds domains arenas profile recover
+      kill_every max_think paranoid metrics metrics_out =
+    let protocol = protocol_or_usage_error ~algo ~n ~k ~m ~cap in
+    let usage msg =
+      Fmt.epr "swapspace: %s@." msg;
+      exit 2
+    in
+    if clients < 1 then usage "--clients must be >= 1";
+    if rounds < 1 then usage "--rounds must be >= 1";
+    if domains < 1 then usage "--domains must be >= 1";
+    if kill_every < 1 then usage "--kill-every must be >= 1";
+    if max_think < 0 then usage "--max-think must be >= 0";
+    (match arenas with
+    | Some a when a < 1 -> usage "--arenas must be >= 1"
+    | _ -> ());
+    let profile =
+      match Arena.Loadgen.profile_of_string profile with
+      | Ok p -> p
+      | Error msg -> usage msg
+    in
+    let result =
+      with_metrics ~metrics ~out:metrics_out (fun () ->
+          Arena.Loadgen.run ~protocol ~clients ~rounds ~workers:domains
+            ~seed ?arenas ~profile ~max_think
+            ?kill_every:(if recover then Some kill_every else None)
+            ~paranoid ())
+    in
+    Fmt.pr "%a@." Arena.Loadgen.pp result;
+    if not result.Arena.Loadgen.ok then exit 1
+  in
+  let clients =
+    Arg.(
+      value & opt int 1_000
+      & info [ "clients" ] ~docv:"M"
+          ~doc:"Closed-loop client population size.")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 10_000
+      & info [ "rounds" ] ~docv:"R"
+          ~doc:"Agreement rounds to decide before the service drains.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 2
+      & info [ "domains" ] ~docv:"D"
+          ~doc:"Worker domains in the fixed pool.")
+  in
+  let arenas =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "arenas" ] ~docv:"A"
+          ~doc:"Arena pool size (default: twice the domain count).")
+  in
+  let profile =
+    Arg.(
+      value & opt string "steady"
+      & info [ "profile" ] ~docv:"P"
+          ~doc:"Think-time profile: 'zero-think', 'steady' or 'bursty'.")
+  in
+  let recover =
+    Arg.(
+      value & flag
+      & info [ "recover" ]
+          ~doc:
+            "Enable the kill-and-heal chaos overlay: roughly one round in \
+             $(b,--kill-every) loses its driving worker incarnation \
+             mid-flight and is adopted by a respawned or stealing worker, \
+             escalating that round to the degraded \
+             (k + crashed-incarnations)-agreement bound.")
+  in
+  let kill_every =
+    Arg.(
+      value & opt int 8
+      & info [ "kill-every" ] ~docv:"N"
+          ~doc:"With $(b,--recover): kill roughly one round in $(docv).")
+  in
+  let max_think =
+    Arg.(
+      value & opt int 4
+      & info [ "max-think" ] ~docv:"T"
+          ~doc:"Think-time bound, in rounds of service time.")
+  in
+  let paranoid =
+    Arg.(
+      value & flag
+      & info [ "paranoid" ]
+          ~doc:
+            "Re-read every arena cell after each recycle and fail on any \
+             residue from the previous round.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the long-running consensus service under closed-loop load: a \
+          pool of pre-allocated swap arenas recycled under epoch stamps, \
+          batched client admission through a lock-free intake queue, and a \
+          fixed supervised pool of worker domains pulling whole rounds \
+          (work-stealing). Reports throughput and admission/decision \
+          latency quantiles; with --metrics the arena.* counters and \
+          histograms are snapshotted. Exit 0 when the service drained \
+          cleanly (agreement within the declared bound, validity, no lost \
+          or duplicated client), 1 on any violation or shortfall, 2 on \
+          usage errors.")
+    Term.(
+      const go $ algo $ n $ k $ m $ cap $ seed $ clients $ rounds $ domains
+      $ arenas $ profile $ recover $ kill_every $ max_think $ paranoid
+      $ metrics_arg $ metrics_out_arg)
+
 (* ------------------------------------------------------------ analyze *)
 
 let analyze_cmd =
@@ -1065,5 +1178,5 @@ let () =
           (Cmd.info "swapspace" ~version:"1.0.0" ~doc)
           [ run_cmd; check_cmd; props_cmd; analyze_cmd; lemma9_cmd
           ; lb_binary_cmd; lb_bounded_cmd; bounds_cmd; multicore_cmd
-          ; chaos_cmd; resil_cmd
+          ; chaos_cmd; resil_cmd; serve_cmd
           ]))

@@ -1,0 +1,28 @@
+(* An atomic cons list: CAS to prepend or pop, exchange to drain.  See
+   the interface for the ABA story (immutable cells, never reinserted). *)
+
+type 'a t = 'a list Atomic.t
+
+let create () = Atomic.make []
+
+let rec push t x =
+  let old = Atomic.get t in
+  if not (Atomic.compare_and_set t old (x :: old)) then begin
+    Domain.cpu_relax ();
+    push t x
+  end
+
+let drain t = List.rev (Atomic.exchange t [])
+
+let rec pop t =
+  match Atomic.get t with
+  | [] -> None
+  | x :: rest as old ->
+    if Atomic.compare_and_set t old rest then Some x
+    else begin
+      Domain.cpu_relax ();
+      pop t
+    end
+
+let is_empty t = match Atomic.get t with [] -> true | _ -> false
+let length t = List.length (Atomic.get t)

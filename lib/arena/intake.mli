@@ -1,0 +1,34 @@
+(** A lock-free exchange-based bag — the service's intake and steal
+    queues, built from the paper's own primitive.
+
+    The structure is an atomic cons list.  Producers prepend with a CAS
+    loop; the single-consumer {!drain} takes the {e entire} list with one
+    [Atomic.exchange] and reverses it, so a batch drain is wait-free and
+    returns elements in FIFO (arrival) order — exactly the coalescing
+    step the admitter needs.  {!pop} removes one element LIFO-style with
+    a CAS loop, which is how worker run-queues are consumed by their
+    owner and by thieves alike.
+
+    ABA-safety needs no epoch here: cons cells are immutable and never
+    reinserted, so a CAS on the head can only succeed against the exact
+    cell it read.  (The {e arenas} the service recycles do need epochs —
+    see [Shmem.Epoch]; the queue does not because it never reuses.) *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** lock-free prepend (multi-producer safe) *)
+
+val drain : 'a t -> 'a list
+(** atomically take everything, in FIFO (oldest-first) order; wait-free
+    (one [Atomic.exchange]) *)
+
+val pop : 'a t -> 'a option
+(** remove the most recently pushed element (multi-consumer safe) *)
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+(** O(n) — diagnostics only *)

@@ -259,6 +259,32 @@ let gen_plan ~rng ~n ~num_objects kinds =
   |> List.rev
 
 (* ------------------------------------------------------------------ *)
+(* Service-mode chaos *)
+
+let service_kill_plan ~seed ~kill_every ?(max_point = 32)
+    ?(max_incarnations = 2) () =
+  if kill_every < 1 then
+    invalid_arg "Fault.service_kill_plan: kill_every must be >= 1";
+  if max_point < 1 then
+    invalid_arg "Fault.service_kill_plan: max_point must be >= 1";
+  if max_incarnations < 0 then
+    invalid_arg "Fault.service_kill_plan: max_incarnations must be >= 0";
+  fun ~round ~incarnation ->
+    if incarnation >= max_incarnations then None
+    else
+      (* two independent draws from one mixed word: the low bits select
+         roughly one round in [kill_every], the high bits place the kill
+         point — deterministic in (seed, round, incarnation) alone, so
+         the plan is identical regardless of which worker pulls the
+         round *)
+      let h =
+        let module H = Shmem.Hashx in
+        H.int (H.int (H.int H.seed seed) round) incarnation
+      in
+      if h mod kill_every <> 0 then None
+      else Some ((h lsr 17) mod max_point)
+
+(* ------------------------------------------------------------------ *)
 (* Simulator campaigns *)
 
 module Sim (P : Shmem.Protocol.S) = struct

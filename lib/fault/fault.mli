@@ -115,6 +115,37 @@ val gen_plan :
     a fresh kill-and-heal otherwise).  Deterministic in [rng] and the kind
     list. *)
 
+(** {1 Service-mode chaos}
+
+    A long-running service (lib/arena) does not run one plan per execution:
+    it serves an unbounded stream of rounds from a fixed worker pool, and
+    the chaos overlay decides, round by round, whether the worker driving
+    that round is killed mid-round (abandoning the round's undecided
+    participants with their memory residue in place) and healed by
+    adoption.  The overlay is a pure function of [(seed, round,
+    incarnation)] so campaigns are bit-reproducible regardless of which
+    worker happens to pull which round, or in which order. *)
+
+val service_kill_plan :
+  seed:int ->
+  kill_every:int ->
+  ?max_point:int ->
+  ?max_incarnations:int ->
+  unit ->
+  round:int ->
+  incarnation:int ->
+  int option
+(** [service_kill_plan ~seed ~kill_every ()] draws, for roughly one round
+    in [kill_every], an operation count after which the incarnation
+    driving that round is killed ([Some point] with [point] uniform in
+    [0 .. max_point - 1], default [max_point = 32]).  Incarnations at or
+    beyond [max_incarnations] (default 2) are never killed, so every round
+    eventually completes — the kill-and-heal loop cannot starve a round
+    forever, mirroring the supervisor's respawn budget.  Deterministic in
+    [(seed, round, incarnation)] alone.
+    @raise Invalid_argument unless [kill_every >= 1], [max_point >= 1] and
+    [max_incarnations >= 0] *)
+
 (** {1 Simulator campaigns} *)
 
 module Sim (P : Shmem.Protocol.S) : sig

@@ -221,3 +221,95 @@ module Make (P : Sh.Protocol.S) = struct
             | Some detail -> Some (Pr.name p, detail)))
         None props
 end
+
+(* ------------------------------------------------------------------ *)
+(* Pool supervision: N worker slots, not one protocol round.
+
+   [Make] supervises the processes of a single agreement instance; a
+   service instead keeps a fixed pool of worker domains that each drive
+   many rounds.  [Pool.run] owns that pool: it spawns one domain per
+   slot, and when a worker body raises, the slot is respawned on a fresh
+   domain with an incremented incarnation — paced by the same
+   [Resil.Policy] pieces (a per-slot circuit breaker caps respawns).
+   The supervising thread never blocks in [Domain.join] while workers
+   are live: each worker publishes its own termination through a
+   lock-free exchange channel, so a crash in slot 3 is healed even while
+   slot 0 is still running.  [on_crash] runs on the supervising thread
+   before the respawn — the hook through which a service re-queues
+   whatever round the dead incarnation had in flight. *)
+
+module Pool = struct
+  let m_pool_respawns = Obs.counter "resil.pool.respawns"
+  let m_pool_gave_up = Obs.counter "resil.pool.gave_up"
+
+  type report = {
+    respawns : int array;
+    gave_up : int list;
+    crashes : (int * int * string) list;
+  }
+
+  let run ~workers ?(max_respawns = 2) ?on_crash body =
+    if workers < 1 then
+      invalid_arg "Supervisor.Pool.run: workers must be >= 1";
+    if max_respawns < 0 then
+      invalid_arg "Supervisor.Pool.run: max_respawns must be >= 0";
+    let breaker =
+      Resil.Policy.Breaker.create ~threshold:(max_respawns + 1) ~n:workers
+    in
+    (* termination channel: workers push, the supervisor exchanges the
+       whole list out — the consensus-from-swap idiom applied to its own
+       plumbing *)
+    let events : (int * int * exn option) list Atomic.t = Atomic.make [] in
+    let push ev =
+      let rec go () =
+        let old = Atomic.get events in
+        if not (Atomic.compare_and_set events old (ev :: old)) then go ()
+      in
+      go ()
+    in
+    let spawn slot incarnation =
+      Domain.spawn (fun () ->
+          match body ~slot ~incarnation with
+          | () -> push (slot, incarnation, None)
+          | exception e -> push (slot, incarnation, Some e))
+    in
+    let domains = ref [] in
+    for s = 0 to workers - 1 do
+      domains := spawn s 0 :: !domains
+    done;
+    let live = ref workers in
+    let respawns = Array.make workers 0 in
+    let gave_up = ref [] in
+    let crashes = ref [] in
+    while !live > 0 do
+      match Atomic.exchange events [] with
+      | [] -> Domain.cpu_relax ()
+      | evs ->
+        List.iter
+          (fun (slot, incarnation, res) ->
+            match res with
+            | None -> decr live
+            | Some e ->
+              crashes := (slot, incarnation, Printexc.to_string e) :: !crashes;
+              Resil.Policy.Breaker.record_failure breaker ~pid:slot;
+              (match on_crash with
+              | Some f -> f ~slot ~incarnation e
+              | None -> ());
+              if Resil.Policy.Breaker.tripped breaker ~pid:slot then begin
+                Obs.Counter.incr m_pool_gave_up;
+                gave_up := slot :: !gave_up;
+                decr live
+              end
+              else begin
+                respawns.(slot) <- respawns.(slot) + 1;
+                Obs.Counter.incr m_pool_respawns;
+                domains := spawn slot (incarnation + 1) :: !domains
+              end)
+          (List.rev evs)
+    done;
+    List.iter Domain.join !domains;
+    { respawns;
+      gave_up = List.rev !gave_up;
+      crashes = List.rev !crashes
+    }
+end

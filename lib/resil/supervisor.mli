@@ -109,3 +109,42 @@ module Make (P : Shmem.Protocol.S) : sig
       soundness comes from [R.check_hb] / [R.check_histories] over the
       merged histories. *)
 end
+
+(** Supervision of a fixed {e worker pool} rather than one protocol
+    round.
+
+    A long-running service ([lib/arena]) keeps a pool of domains that
+    each drive many agreement rounds; what needs supervising is the pool,
+    not any single round.  [Pool.run] spawns one domain per slot and
+    respawns a slot on a fresh domain (incarnation + 1) whenever its body
+    raises, until the slot's circuit breaker trips ([max_respawns]
+    failures).  Termination events flow through a lock-free exchange
+    channel, so the supervisor heals any slot promptly instead of
+    blocking in [Domain.join] on another; all domains are joined before
+    [run] returns. *)
+module Pool : sig
+  type report = {
+    respawns : int array;  (** per slot *)
+    gave_up : int list;
+        (** slots abandoned after the breaker tripped, in trip order *)
+    crashes : (int * int * string) list;
+        (** every [(slot, incarnation, exn)] caught, in arrival order *)
+  }
+
+  val run :
+    workers:int ->
+    ?max_respawns:int ->
+    ?on_crash:(slot:int -> incarnation:int -> exn -> unit) ->
+    (slot:int -> incarnation:int -> unit) ->
+    report
+  (** [run ~workers body] drives [body ~slot ~incarnation] on [workers]
+      domains (slots [0 .. workers - 1], incarnation 0) and returns once
+      every slot has either returned normally or been abandoned.
+      [on_crash] runs on the supervising thread {e before} the respawn
+      decision — the hook through which a service recovers whatever work
+      the dead incarnation had in flight.  [max_respawns] (default 2) is
+      the per-slot breaker budget; 0 disables respawning.  Metrics:
+      [resil.pool.respawns], [resil.pool.gave_up].
+      @raise Invalid_argument unless [workers >= 1] and
+      [max_respawns >= 0] *)
+end

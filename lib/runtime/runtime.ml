@@ -184,6 +184,25 @@ module Make (P : Sh.Protocol.S) = struct
 
   let arena_mem a = Array.map Cell.peek a.cells
 
+  (* arena re-entry: a long-running service (lib/arena) reuses one arena
+     for many rounds instead of allocating fresh cells per run.  The reset
+     rewinds every cell to its declared initial value but leaves the
+     logical clock alone — recorded timestamps must stay totally ordered
+     across recycling, exactly as they do across supervisor respawns. *)
+  let reset_arena a =
+    Array.iteri
+      (fun i (c : Cell.t) -> Atomic.set c.Cell.cell (P.init_object i))
+      a.cells
+
+  (* apply one protocol operation directly against an arena's cells — the
+     execution primitive for drivers that interleave several process state
+     machines on one domain (a service worker pulling rounds) rather than
+     spawning a domain per process *)
+  let arena_apply a (op : Sh.Op.t) =
+    if op.Sh.Op.obj < 0 || op.Sh.Op.obj >= num_objects then
+      invalid_arg (Fmt.str "Runtime.arena_apply %s: no object B%d" P.name op.Sh.Op.obj);
+    Cell.apply a.cells.(op.Sh.Op.obj) op.Sh.Op.action
+
   let m_ops = Obs.counter "runtime.ops"
   let m_backoff_rounds = Obs.counter "runtime.backoff_rounds"
   let m_backoff_spins = Obs.counter "runtime.backoff_spins"

@@ -112,6 +112,23 @@ module Make (P : Shmem.Protocol.S) : sig
   (** snapshot of every cell's current value (indexed by object id) — the
       memory snapshot handed to [Protocol.S.recovery] hooks *)
 
+  val reset_arena : arena -> unit
+  (** rewind every cell to its declared initial value, {e without}
+      resetting the logical history clock — the recycling primitive for
+      arena re-entry ([lib/arena] pools arenas across epochs instead of
+      allocating fresh cells per round), with timestamps staying totally
+      ordered across recycles just as across supervisor respawns.  The
+      caller must guarantee quiescence: no process may be mid-operation on
+      the arena when it is reset. *)
+
+  val arena_apply : arena -> Shmem.Op.t -> Shmem.Value.t
+  (** apply one poised operation against the arena's cells and return its
+      response — the execution primitive for drivers that interleave
+      several process state machines on a single domain (a service worker
+      pulling whole rounds) instead of spawning one domain per process.
+      @raise Invalid_argument on an out-of-range object id
+      @raise Shmem.Obj_kind.Illegal_operation as {!Cell.apply} *)
+
   val run_round :
     arena:arena ->
     entries:(int * P.state) list ->

@@ -1,0 +1,37 @@
+(* Epoch-stamped slot identifiers: (slot, epoch) packed into one immutable
+   int so a stamp fits in an [int Atomic.t] and is checked with one load.
+   See epoch.mli for the ABA story. *)
+
+type stamp = int
+
+let slot_bits = 20
+let max_slots = 1 lsl slot_bits
+let slot_mask = max_slots - 1
+
+(* OCaml ints are 63-bit; keep the packed word non-negative *)
+let max_epoch = (1 lsl (62 - slot_bits)) - 1
+
+let make ~slot ~epoch =
+  if slot < 0 || slot >= max_slots then
+    invalid_arg (Printf.sprintf "Epoch.make: slot %d out of range" slot);
+  if epoch < 0 || epoch > max_epoch then
+    invalid_arg (Printf.sprintf "Epoch.make: epoch %d out of range" epoch);
+  (epoch lsl slot_bits) lor slot
+
+let slot s = s land slot_mask
+let epoch s = s lsr slot_bits
+
+let next s =
+  let e = epoch s in
+  if e >= max_epoch then invalid_arg "Epoch.next: epoch overflow";
+  ((e + 1) lsl slot_bits) lor (s land slot_mask)
+
+let equal = Int.equal
+let hash s = Hashx.int Hashx.seed s
+let to_int s = s
+
+let of_int i =
+  if i < 0 then invalid_arg "Epoch.of_int: negative stamp";
+  i
+
+let pp ppf s = Format.fprintf ppf "%d@%d" (slot s) (epoch s)

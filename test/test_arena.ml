@@ -1,0 +1,476 @@
+(* Tests for the long-running consensus service (lib/arena) and its
+   substrate added alongside it: the swap-based intake queue, epoch
+   stamps (Shmem.Epoch), the deterministic service kill plan
+   (Fault.service_kill_plan), pool supervision (Supervisor.Pool), and
+   the Service/Loadgen closed loop — recycling never resurrects residue,
+   admission is deterministic under a fixed seed, work-stealing
+   conserves clients, and kill-and-heal escalates to the degraded
+   (k + c) bound instead of violating agreement. *)
+
+module Epoch = Shmem.Epoch
+
+let mk_swap_ksa () : Shmem.Protocol.t =
+  let (module P) = Core.Swap_ksa.make ~n:3 ~k:1 ~m:2 in
+  (module P)
+
+(* ---------------------------------------------------------- intake *)
+
+let test_intake_fifo () =
+  let q = Arena.Intake.create () in
+  Alcotest.(check bool) "fresh empty" true (Arena.Intake.is_empty q);
+  List.iter (Arena.Intake.push q) [ 1; 2; 3; 4 ];
+  Alcotest.(check int) "length" 4 (Arena.Intake.length q);
+  Alcotest.(check (list int)) "drain is FIFO" [ 1; 2; 3; 4 ]
+    (Arena.Intake.drain q);
+  Alcotest.(check (list int)) "drained empty" [] (Arena.Intake.drain q)
+
+let test_intake_pop_lifo () =
+  let q = Arena.Intake.create () in
+  List.iter (Arena.Intake.push q) [ 1; 2; 3 ];
+  Alcotest.(check (option int)) "pop newest" (Some 3) (Arena.Intake.pop q);
+  Alcotest.(check (option int)) "then next" (Some 2) (Arena.Intake.pop q);
+  Arena.Intake.push q 9;
+  Alcotest.(check (option int)) "interleaved push" (Some 9)
+    (Arena.Intake.pop q);
+  Alcotest.(check (option int)) "oldest last" (Some 1) (Arena.Intake.pop q);
+  Alcotest.(check (option int)) "empty" None (Arena.Intake.pop q)
+
+let test_intake_concurrent_conservation () =
+  (* 4 producer domains, 1000 pushes each, tagged by producer: nothing
+     lost, nothing duplicated *)
+  let q = Arena.Intake.create () in
+  let producers = 4 and per = 1000 in
+  let doms =
+    List.init producers (fun p ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              Arena.Intake.push q ((p * per) + i)
+            done))
+  in
+  List.iter Domain.join doms;
+  let got = Arena.Intake.drain q in
+  Alcotest.(check int) "count" (producers * per) (List.length got);
+  let seen = Array.make (producers * per) false in
+  List.iter
+    (fun x ->
+      Alcotest.(check bool) "no duplicate" false seen.(x);
+      seen.(x) <- true)
+    got;
+  Alcotest.(check bool) "all present" true (Array.for_all Fun.id seen)
+
+(* ----------------------------------------------------------- epoch *)
+
+let test_epoch_pack_unpack () =
+  let s = Epoch.make ~slot:7 ~epoch:41 in
+  Alcotest.(check int) "slot" 7 (Epoch.slot s);
+  Alcotest.(check int) "epoch" 41 (Epoch.epoch s);
+  let s' = Epoch.next s in
+  Alcotest.(check int) "next keeps slot" 7 (Epoch.slot s');
+  Alcotest.(check int) "next bumps epoch" 42 (Epoch.epoch s');
+  Alcotest.(check bool) "stamps differ" false (Epoch.equal s s');
+  Alcotest.(check bool) "roundtrip" true
+    (Epoch.equal s (Epoch.of_int (Epoch.to_int s)));
+  Alcotest.(check string) "pp" "7@41" (Fmt.str "%a" Epoch.pp s)
+
+let test_epoch_validation () =
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "negative slot" true
+    (raises (fun () -> Epoch.make ~slot:(-1) ~epoch:0));
+  Alcotest.(check bool) "slot too large" true
+    (raises (fun () -> Epoch.make ~slot:Epoch.max_slots ~epoch:0));
+  Alcotest.(check bool) "negative epoch" true
+    (raises (fun () -> Epoch.make ~slot:0 ~epoch:(-1)));
+  Alcotest.(check bool) "epoch overflow on next" true
+    (raises (fun () -> Epoch.next (Epoch.make ~slot:0 ~epoch:Epoch.max_epoch)));
+  Alcotest.(check bool) "negative word" true
+    (raises (fun () -> Epoch.of_int (-5)))
+
+let prop_epoch_roundtrip =
+  QCheck2.Test.make ~name:"epoch pack/unpack roundtrips" ~count:500
+    QCheck2.Gen.(
+      pair (int_range 0 (Epoch.max_slots - 1)) (int_range 0 1_000_000))
+    (fun (slot, epoch) ->
+      let s = Epoch.make ~slot ~epoch in
+      Epoch.slot s = slot
+      && Epoch.epoch s = epoch
+      && Epoch.equal s (Epoch.of_int (Epoch.to_int s))
+      && Epoch.epoch (Epoch.next s) = epoch + 1)
+
+(* ------------------------------------------------------- kill plan *)
+
+let test_kill_plan_deterministic () =
+  let p1 = Fault.service_kill_plan ~seed:11 ~kill_every:3 () in
+  let p2 = Fault.service_kill_plan ~seed:11 ~kill_every:3 () in
+  for r = 0 to 199 do
+    for i = 0 to 3 do
+      Alcotest.(check (option int))
+        (Fmt.str "round %d incarnation %d" r i)
+        (p1 ~round:r ~incarnation:i)
+        (p2 ~round:r ~incarnation:i)
+    done
+  done
+
+let test_kill_plan_caps_incarnations () =
+  let p =
+    Fault.service_kill_plan ~seed:3 ~kill_every:1 ~max_incarnations:2 ()
+  in
+  for r = 0 to 99 do
+    Alcotest.(check (option int))
+      (Fmt.str "incarnation 2 spared (round %d)" r)
+      None
+      (p ~round:r ~incarnation:2)
+  done
+
+let test_kill_plan_rate_and_range () =
+  let p = Fault.service_kill_plan ~seed:7 ~kill_every:4 ~max_point:16 () in
+  let hits = ref 0 in
+  for r = 0 to 999 do
+    match p ~round:r ~incarnation:0 with
+    | None -> ()
+    | Some pt ->
+      incr hits;
+      Alcotest.(check bool) "point in range" true (pt >= 0 && pt < 16)
+  done;
+  (* roughly one in four; allow a generous band *)
+  Alcotest.(check bool)
+    (Fmt.str "hit rate plausible (%d/1000)" !hits)
+    true
+    (!hits > 100 && !hits < 450)
+
+let test_kill_plan_validation () =
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "kill_every 0" true
+    (raises (fun () -> Fault.service_kill_plan ~seed:0 ~kill_every:0 ()));
+  Alcotest.(check bool) "max_point 0" true
+    (raises (fun () ->
+         Fault.service_kill_plan ~seed:0 ~kill_every:1 ~max_point:0 ()));
+  Alcotest.(check bool) "negative incarnation cap" true
+    (raises (fun () ->
+         Fault.service_kill_plan ~seed:0 ~kill_every:1 ~max_incarnations:(-1)
+           ()))
+
+(* -------------------------------------------------- pool supervision *)
+
+let test_pool_quiet () =
+  let ran = Array.make 4 0 in
+  let report =
+    Supervisor.Pool.run ~workers:4 (fun ~slot ~incarnation ->
+        Alcotest.(check int) "first incarnation" 0 incarnation;
+        ran.(slot) <- ran.(slot) + 1)
+  in
+  Alcotest.(check (array int)) "every slot ran once" [| 1; 1; 1; 1 |] ran;
+  Alcotest.(check (array int)) "no respawns" [| 0; 0; 0; 0 |] report.respawns;
+  Alcotest.(check (list int)) "nobody gave up" [] report.gave_up
+
+let test_pool_respawns_until_success () =
+  (* slot 0 crashes twice then succeeds; the on_crash hook sees each
+     death in incarnation order *)
+  let crashes_seen = Arena.Intake.create () in
+  let report =
+    Supervisor.Pool.run ~workers:2 ~max_respawns:3
+      ~on_crash:(fun ~slot ~incarnation _ ->
+        Arena.Intake.push crashes_seen (slot, incarnation))
+      (fun ~slot ~incarnation ->
+        if slot = 0 && incarnation < 2 then failwith "boom")
+  in
+  Alcotest.(check int) "slot 0 respawned twice" 2 report.respawns.(0);
+  Alcotest.(check int) "slot 1 quiet" 0 report.respawns.(1);
+  Alcotest.(check (list int)) "nobody gave up" [] report.gave_up;
+  Alcotest.(check (list (pair int int)))
+    "crashes in incarnation order"
+    [ (0, 0); (0, 1) ]
+    (Arena.Intake.drain crashes_seen)
+
+let test_pool_gives_up () =
+  let report =
+    Supervisor.Pool.run ~workers:1 ~max_respawns:1 (fun ~slot:_ ~incarnation:_ ->
+        failwith "always")
+  in
+  Alcotest.(check (list int)) "slot abandoned" [ 0 ] report.gave_up;
+  Alcotest.(check int) "breaker allowed 1 respawn" 1 report.respawns.(0);
+  Alcotest.(check int) "both incarnations recorded" 2
+    (List.length report.crashes)
+
+let test_pool_validation () =
+  (try
+     ignore (Supervisor.Pool.run ~workers:0 (fun ~slot:_ ~incarnation:_ -> ()));
+     Alcotest.fail "workers 0 accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore
+      (Supervisor.Pool.run ~workers:1 ~max_respawns:(-1)
+         (fun ~slot:_ ~incarnation:_ -> ()));
+    Alcotest.fail "negative budget accepted"
+  with Invalid_argument _ -> ()
+
+(* ----------------------------------------------------- service: quiet *)
+
+let test_serve_quiet () =
+  let (module P) = mk_swap_ksa () in
+  let module S = Arena.Service.Make (P) in
+  let s =
+    S.serve ~clients:12 ~rounds:100 ~workers:2 ~seed:42 ~paranoid:true ()
+  in
+  Alcotest.(check int) "all rounds decided" 100 s.S.rounds_done;
+  Alcotest.(check bool) "decisions delivered" true (s.S.decisions >= 100);
+  Alcotest.(check int) "no violations" 0 s.S.violation_count;
+  Alcotest.(check int) "no kills" 0 s.S.kills;
+  Alcotest.(check int) "no residue" 0 s.S.residue;
+  Alcotest.(check int) "quiet stays at k" P.k s.S.max_bound;
+  (match s.S.conservation with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("conservation: " ^ e));
+  Alcotest.(check bool) "summary ok" true (S.ok s);
+  Alcotest.(check bool) "latency recorded" true
+    (Arena.Service.Hist.count s.S.decide_hist = s.S.decisions)
+
+let test_serve_validation () =
+  let (module P) = mk_swap_ksa () in
+  let module S = Arena.Service.Make (P) in
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "clients 0" true
+    (raises (fun () -> S.serve ~clients:0 ~rounds:1 ~workers:1 ()));
+  Alcotest.(check bool) "workers 0" true
+    (raises (fun () -> S.serve ~clients:1 ~rounds:1 ~workers:0 ()));
+  Alcotest.(check bool) "negative rounds" true
+    (raises (fun () -> S.serve ~clients:1 ~rounds:(-1) ~workers:1 ()));
+  Alcotest.(check bool) "arenas 0" true
+    (raises (fun () -> S.serve ~clients:1 ~rounds:1 ~workers:1 ~arenas:0 ()))
+
+(* ------------------------------------- service: admission determinism *)
+
+let test_admission_deterministic () =
+  let (module P) = mk_swap_ksa () in
+  let module S = Arena.Service.Make (P) in
+  let digest seed =
+    (S.serve ~clients:10 ~rounds:60 ~workers:1 ~seed ()).S.digest
+  in
+  Alcotest.(check int) "same seed, same admission schedule" (digest 7)
+    (digest 7);
+  Alcotest.(check bool) "different seed diverges" true
+    (digest 7 <> digest 8)
+
+let prop_admission_deterministic_under_chaos =
+  (* single worker + seeded kill-and-heal: two runs agree on the whole
+     admission schedule (digest) and on every summary counter that is
+     schedule-derived *)
+  QCheck2.Test.make ~name:"single-worker serve is deterministic" ~count:10
+    QCheck2.Gen.(pair (int_range 0 9999) (int_range 2 6))
+    (fun (seed, kill_every) ->
+      let (module P) = mk_swap_ksa () in
+      let module S = Arena.Service.Make (P) in
+      let run () =
+        let kill = Fault.service_kill_plan ~seed ~kill_every () in
+        S.serve ~clients:8 ~rounds:40 ~workers:1 ~seed ~kill ~paranoid:true
+          ()
+      in
+      let a = run () and b = run () in
+      a.S.digest = b.S.digest
+      && a.S.kills = b.S.kills
+      && a.S.escalated = b.S.escalated
+      && a.S.decisions = b.S.decisions)
+
+(* ---------------------------------- service: recycling and no residue *)
+
+let prop_recycling_never_resurrects =
+  (* seeded kill-and-heal schedules: every recycle hands out a clean
+     arena (paranoid reset check), stamps never go stale, and the
+     degraded contract holds — zero violations of any kind *)
+  QCheck2.Test.make ~name:"epoch recycling leaves no residue" ~count:12
+    QCheck2.Gen.(
+      triple (int_range 0 9999) (int_range 1 5) (int_range 1 3))
+    (fun (seed, kill_every, workers) ->
+      let (module P) = mk_swap_ksa () in
+      let module S = Arena.Service.Make (P) in
+      let kill = Fault.service_kill_plan ~seed ~kill_every () in
+      let s =
+        S.serve ~clients:9 ~rounds:80 ~workers ~seed ~arenas:3 ~kill
+          ~paranoid:true ()
+      in
+      s.S.residue = 0 && s.S.violation_count = 0 && s.S.rounds_done = 80)
+
+(* --------------------------------- service: work-stealing conservation *)
+
+let test_stealing_conserves_clients () =
+  let (module P) = mk_swap_ksa () in
+  let module S = Arena.Service.Make (P) in
+  let kill = Fault.service_kill_plan ~seed:5 ~kill_every:3 () in
+  let s =
+    S.serve ~clients:24 ~rounds:300 ~workers:4 ~seed:5 ~kill ~paranoid:true
+      ()
+  in
+  Alcotest.(check int) "target met" 300 s.S.rounds_done;
+  (match s.S.conservation with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("conservation: " ^ e));
+  Alcotest.(check int) "no violations" 0 s.S.violation_count;
+  Alcotest.(check bool) "chaos actually fired" true (s.S.kills > 0);
+  Alcotest.(check bool) "kills healed by adoption" true
+    (s.S.adoptions >= s.S.kills - List.length s.S.gave_up);
+  Alcotest.(check bool) "every decision delivered once" true
+    (Arena.Service.Hist.count s.S.decide_hist = s.S.decisions)
+
+(* ------------------------------------ service: degraded-bound contract *)
+
+let test_escalation_matches_degraded_bound () =
+  let (module P) = mk_swap_ksa () in
+  let module S = Arena.Service.Make (P) in
+  (* kill every round's incarnation 0 after a few ops; incarnation 1 is
+     spared, so every round is adopted exactly once and at most one
+     crashed incarnation touches memory per round — the service must
+     check (and satisfy) exactly the supervisor's degraded bound
+     [k + c] with [c <= 1], never a stricter or looser one *)
+  let kill ~round:_ ~incarnation =
+    if incarnation = 0 then Some 4 else None
+  in
+  let s =
+    S.serve ~clients:9 ~rounds:60 ~workers:2 ~seed:13 ~kill ~paranoid:true ()
+  in
+  Alcotest.(check int) "target met" 60 s.S.rounds_done;
+  Alcotest.(check int) "no violations at the degraded bound" 0
+    s.S.violation_count;
+  Alcotest.(check int) "every round killed once" 60 s.S.kills;
+  Alcotest.(check int) "every round adopted" 60 s.S.adoptions;
+  Alcotest.(check bool) "escalations recorded" true (s.S.escalated > 0);
+  Alcotest.(check bool)
+    (Fmt.str "bound within k + 1 (got %d)" s.S.max_bound)
+    true
+    (s.S.max_bound > P.k && s.S.max_bound <= P.k + 1);
+  (* the same contract, stated through the runtime checker the
+     supervisor uses: a (k + 1)-bound on this protocol admits two
+     distinct decisions, a k-bound does not *)
+  Alcotest.(check bool) "bound semantics agree with check_degraded" true
+    (s.S.max_bound = P.k + 1)
+
+(* --------------------------------------------------------- loadgen *)
+
+let test_loadgen_profiles () =
+  Alcotest.(check bool) "steady parses" true
+    (match Arena.Loadgen.profile_of_string "steady" with
+    | Ok Arena.Loadgen.Steady -> true
+    | _ -> false);
+  Alcotest.(check bool) "zero-think parses" true
+    (match Arena.Loadgen.profile_of_string "zero-think" with
+    | Ok Arena.Loadgen.Zero_think -> true
+    | _ -> false);
+  Alcotest.(check bool) "bursty parses" true
+    (match Arena.Loadgen.profile_of_string "bursty" with
+    | Ok Arena.Loadgen.Bursty -> true
+    | _ -> false);
+  Alcotest.(check bool) "junk rejected" true
+    (match Arena.Loadgen.profile_of_string "nope" with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let test_loadgen_closed_loop () =
+  let r =
+    Arena.Loadgen.run ~protocol:(mk_swap_ksa ()) ~clients:12 ~rounds:120
+      ~workers:2 ~seed:21 ~profile:Arena.Loadgen.Zero_think ()
+  in
+  Alcotest.(check int) "rounds met" 120 r.Arena.Loadgen.rounds;
+  Alcotest.(check bool) "ok" true r.Arena.Loadgen.ok;
+  Alcotest.(check bool) "throughput positive" true
+    (r.Arena.Loadgen.decisions_per_sec > 0.);
+  Alcotest.(check bool) "p99 >= p50" true
+    (r.Arena.Loadgen.decide_p99_us >= r.Arena.Loadgen.decide_p50_us);
+  (* render exercises every field *)
+  Alcotest.(check bool) "report renders" true
+    (String.length (Fmt.str "%a" Arena.Loadgen.pp r) > 0)
+
+let test_loadgen_chaos_soak () =
+  let r =
+    Arena.Loadgen.run ~protocol:(mk_swap_ksa ()) ~clients:16 ~rounds:200
+      ~workers:3 ~seed:33 ~kill_every:4 ~paranoid:true ()
+  in
+  Alcotest.(check bool) "ok under chaos" true r.Arena.Loadgen.ok;
+  Alcotest.(check bool) "kills fired" true (r.Arena.Loadgen.kills > 0);
+  Alcotest.(check int) "no violations" 0 r.Arena.Loadgen.violation_count;
+  Alcotest.(check (option string)) "conservation holds" None
+    r.Arena.Loadgen.conservation_error
+
+(* ------------------------------------------------- service histograms *)
+
+let test_hist_quantiles () =
+  let h = Arena.Service.Hist.create () in
+  Alcotest.(check (float 0.)) "empty quantile" 0.
+    (Arena.Service.Hist.quantile h 0.99);
+  for ns = 1 to 1000 do
+    Arena.Service.Hist.observe h ns
+  done;
+  Alcotest.(check int) "count" 1000 (Arena.Service.Hist.count h);
+  Alcotest.(check int) "max" 1000 (Arena.Service.Hist.max_ns h);
+  let p50 = Arena.Service.Hist.quantile h 0.5 in
+  let p99 = Arena.Service.Hist.quantile h 0.99 in
+  Alcotest.(check bool) "monotone" true (p99 >= p50);
+  Alcotest.(check bool) "p99 within max" true (p99 <= 1000.);
+  Alcotest.(check bool)
+    (Fmt.str "p50 near the middle (got %.0f)" p50)
+    true
+    (p50 >= 400. && p50 <= 1023.);
+  (try
+     ignore (Arena.Service.Hist.quantile h 1.5);
+     Alcotest.fail "q > 1 accepted"
+   with Invalid_argument _ -> ())
+
+let () =
+  Alcotest.run "arena"
+    [ ( "intake",
+        [ Alcotest.test_case "drain is FIFO" `Quick test_intake_fifo
+        ; Alcotest.test_case "pop is LIFO" `Quick test_intake_pop_lifo
+        ; Alcotest.test_case "concurrent pushes conserve" `Quick
+            test_intake_concurrent_conservation
+        ] )
+    ; ( "epoch",
+        [ Alcotest.test_case "pack/unpack" `Quick test_epoch_pack_unpack
+        ; Alcotest.test_case "validation" `Quick test_epoch_validation
+        ; QCheck_alcotest.to_alcotest prop_epoch_roundtrip
+        ] )
+    ; ( "kill-plan",
+        [ Alcotest.test_case "deterministic" `Quick
+            test_kill_plan_deterministic
+        ; Alcotest.test_case "incarnation cap" `Quick
+            test_kill_plan_caps_incarnations
+        ; Alcotest.test_case "rate and range" `Quick
+            test_kill_plan_rate_and_range
+        ; Alcotest.test_case "validation" `Quick test_kill_plan_validation
+        ] )
+    ; ( "pool",
+        [ Alcotest.test_case "quiet run" `Quick test_pool_quiet
+        ; Alcotest.test_case "respawns until success" `Quick
+            test_pool_respawns_until_success
+        ; Alcotest.test_case "breaker gives up" `Quick test_pool_gives_up
+        ; Alcotest.test_case "validation" `Quick test_pool_validation
+        ] )
+    ; ( "service",
+        [ Alcotest.test_case "quiet serve" `Quick test_serve_quiet
+        ; Alcotest.test_case "validation" `Quick test_serve_validation
+        ; Alcotest.test_case "admission deterministic" `Quick
+            test_admission_deterministic
+        ; QCheck_alcotest.to_alcotest
+            prop_admission_deterministic_under_chaos
+        ; QCheck_alcotest.to_alcotest prop_recycling_never_resurrects
+        ; Alcotest.test_case "work-stealing conserves clients" `Quick
+            test_stealing_conserves_clients
+        ; Alcotest.test_case "escalation matches degraded bound" `Quick
+            test_escalation_matches_degraded_bound
+        ] )
+    ; ( "loadgen",
+        [ Alcotest.test_case "profiles" `Quick test_loadgen_profiles
+        ; Alcotest.test_case "closed loop" `Quick test_loadgen_closed_loop
+        ; Alcotest.test_case "chaos soak" `Quick test_loadgen_chaos_soak
+        ] )
+    ; ( "hist",
+        [ Alcotest.test_case "quantiles" `Quick test_hist_quantiles ] )
+    ]
