@@ -37,11 +37,18 @@
          overhead) and with one seeded victim crash per run
          (detection + rebuild + respawn round, time-to-recover
          quantiles).
+     T15 Arena service (not in the paper): closed-loop throughput and
+         decide latency of the pooled consensus service vs domain count,
+         quiet and under a kill-and-heal overlay.
+     T16 Space certification & lint (not in the paper): the static lint
+         registry's whole-tree throughput, and per registry protocol the
+         declared space bound vs the measured/witnessed object usage from
+         Analyze.Space.
      F1  The Lemma 15 induction chain (paper Figure 1).
      F2  The Lemma 19 induction chain (paper Figure 2).
 
    Usage: dune exec bench/main.exe [-- section ...] [--csv DIR] [--json FILE]
-   where section ∈ {t0..t14 f1 f2 bechamel all}; default all.  With
+   where section ∈ {t0..t16 f1 f2 bechamel all}; default all.  With
    [--csv DIR], every table is additionally written to DIR/<section>.csv;
    with [--json FILE], all tables of the run are written to FILE as one
    machine-readable JSON document (section id, title, header, rows, wall
@@ -1238,6 +1245,87 @@ let t15 () =
      aborts.@."
     clients rounds
 
+let t16 () =
+  section_header "t16"
+    "space certification & lint: declared vs measured bounds, lint \
+     throughput";
+  let rows =
+    List.map
+      (fun (e : Baselines.Registry.entry) ->
+        let r =
+          Analyze.Space.run_protocol ~prune:e.prune ~certificate:false
+            e.protocol
+        in
+        [ e.name
+        ; string_of_int r.Analyze.Space.n
+        ; string_of_int r.Analyze.Space.k
+        ; string_of_int r.Analyze.Space.declared
+        ; string_of_int r.Analyze.Space.measured
+        ; string_of_int r.Analyze.Space.witness
+        ; string_of_int r.Analyze.Space.configs
+        ; (if r.Analyze.Space.exhaustive then "yes" else "no")
+        ; (if Analyze.Space.ok r then "pass" else "FAIL")
+        ])
+      (Baselines.Registry.standard ~n:4 ())
+  in
+  print_table
+    [ "protocol"
+    ; "n"
+    ; "k"
+    ; "declared"
+    ; "measured"
+    ; "witness"
+    ; "configs"
+    ; "exhaustive"
+    ; "certified"
+    ]
+    rows;
+  (* lint throughput: the whole-tree plan [swapspace lint] runs, timed.
+     The bench may be invoked away from the repo root (e.g. an installed
+     binary); skip rather than fail in that case. *)
+  let core = [ "lib/core"; "lib/baselines" ] in
+  let mono =
+    [ "lib/resil"; "lib/runtime"; "lib/arena"; "lib/prop"; "lib/obs"
+    ; "lib/fault" ]
+  in
+  let conc = [ "lib/runtime"; "lib/arena"; "lib/resil" ] in
+  if List.for_all Sys.file_exists (core @ mono @ conc) then begin
+    let plan =
+      List.map
+        (fun d -> d, [ Lint.purity; Lint.poly_hash; Lint.state_equality ])
+        core
+      @ List.map (fun d -> d, [ Lint.monotonic ]) mono
+      @ List.map
+          (fun d -> d, [ Lint.domain_escape; Lint.atomics_discipline ])
+          conc
+    in
+    let files =
+      List.fold_left
+        (fun acc (d, _) -> acc + List.length (Lint.ml_files d))
+        0 plan
+    in
+    let t0 = Unix.gettimeofday () in
+    let findings = Lint.run_plan plan in
+    let dt = Unix.gettimeofday () -. t0 in
+    print_table
+      [ "lint files"; "findings"; "wall (s)"; "files/s" ]
+      [ [ string_of_int files
+        ; string_of_int (List.length findings)
+        ; Fmt.str "%.3f" dt
+        ; Fmt.str "%.0f" (float_of_int files /. Float.max dt 1e-9)
+        ] ]
+  end
+  else
+    Fmt.pr "lint throughput skipped: source tree not visible from cwd@.";
+  Fmt.pr
+    "space certification explores the reduced configuration graph and \
+     unions the objects any reachable process is poised to access: \
+     measured <= declared is the soundness direction the gate enforces, \
+     witness is the densest single explored execution, and the lap-pruned \
+     protocols report exhaustive = no (their tightness is not assessable \
+     by a bounded search).  The lint table times the same whole-tree pass \
+     plan the CI lint job runs.@."
+
 (* ------------------------------------------------------------- figures *)
 
 let f1 () =
@@ -1466,7 +1554,7 @@ let run_compare args =
 let sections =
   [ "t0", t0; "t1", t1; "t2", t2; "t3", t3; "t4", t4; "t5", t5; "t6", t6; "t7", t7
   ; "t8", t8; "t9", t9; "t10", t10; "t11", t11; "t12", t12; "t13", t13
-  ; "t14", t14; "t15", t15
+  ; "t14", t14; "t15", t15; "t16", t16
   ; "f1", f1
   ; "f2", f2; "bechamel", bechamel ]
 

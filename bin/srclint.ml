@@ -1,188 +1,51 @@
-(* A source lint over the proof-bearing libraries (lib/core, lib/baselines).
+(* Thin driver over the Lint pass registry (lib/lint).
 
-   The repository's claims rest on protocols being *deterministic pure
-   transition functions*: the checker explores, interns and memoizes
-   configurations, so any hidden nondeterminism (randomness, wall-clock
-   reads, unsafe casts) or structure-blind hashing silently invalidates
-   the exploration.  The dynamic lints in lib/analyze catch such bugs when
-   they manifest; this tool rejects the constructs at the source level, by
-   walking the parsetree (compiler-libs) of every .ml file under the
-   directories given on the command line:
+   Usage: srclint DIR... [--monotonic DIR...] [--concurrency DIR...]
 
-   - any use of [Random.*], [Unix.*], [Obj.*] or [Marshal.*] — protocols
-     must not read clocks, draw randomness, or defeat the type system;
-   - [Hashtbl.hash] / [Hashtbl.seeded_hash] / [Hashtbl.hash_param] and
-     qualified [Stdlib.compare] anywhere — polymorphic hashing stops after
-     a small fixed number of nodes (lap arrays collide), and polymorphic
-     compare diverges from the protocol's own [equal_state]; states must
-     be hashed with [Shmem.Hashx] field by field;
-   - inside [equal_state] / [hash_state] bindings: whole-state polymorphic
-     [=] / [<>] / [compare] on the function's own parameters — equality on
-     states must be structural and explicit.
+   - DIR...: the proof-bearing protocol libraries get the purity,
+     poly-hash and state-equality passes;
+   - --monotonic DIR...: deadline/watchdog code gets the wall-clock ban;
+   - --concurrency DIR...: the multicore layers get the domain-escape and
+     atomics-discipline passes.
 
-   Directories listed after [--monotonic] get a narrower lint instead:
-   deadline and watchdog code (lib/resil, lib/runtime) must never read
-   the wall clock — [Unix.gettimeofday] / [Unix.time] / [Sys.time] jump
-   under NTP slew and make timeouts fire early or never.  Those modules
-   legitimately use [Random] (backoff jitter) and [Unix] elsewhere is
-   already absent, so only the wall-clock reads are banned; monotonic
-   time comes from [Resil.Clock].
+   Findings are deduplicated and printed in a stable order (a file reached
+   through two targets reports each violation once).  Exit 0 clean, 1 with
+   findings on stderr, 2 on usage errors.
 
-   Usage: srclint DIR... [--monotonic DIR...]
-   (exit 0 clean, 1 with findings on stderr)
-
-   Wired as the @srclint alias in bin/dune, run by the CI lint job. *)
-
-let errors = ref 0
-
-let report loc fmt =
-  let { Location.loc_start = p; _ } = loc in
-  incr errors;
-  Printf.eprintf "%s:%d:%d: " p.Lexing.pos_fname p.Lexing.pos_lnum
-    (p.Lexing.pos_cnum - p.Lexing.pos_bol);
-  Printf.kfprintf (fun oc -> output_char oc '\n') stderr fmt
-
-(* [Foo.bar] heads banned wholesale *)
-let banned_modules = [ "Random"; "Unix"; "Obj"; "Marshal" ]
-
-(* fully-qualified idents banned individually *)
-let banned_idents =
-  [ [ "Hashtbl"; "hash" ]; [ "Hashtbl"; "seeded_hash" ]
-  ; [ "Hashtbl"; "hash_param" ]; [ "Stdlib"; "compare" ]
-  ; [ "Stdlib"; "Hashtbl"; "hash" ]
-  ]
-
-let rec flatten_lid = function
-  | Longident.Lident s -> [ s ]
-  | Longident.Ldot (l, s) -> flatten_lid l @ [ s ]
-  | Longident.Lapply (l, _) -> flatten_lid l
-
-let check_lid loc lid =
-  match flatten_lid lid with
-  | [] -> ()
-  | head :: _ as path ->
-    let path_s = String.concat "." path in
-    if List.mem head banned_modules then
-      report loc "use of banned module in %s" path_s
-    else if List.exists (fun b -> b = path) banned_idents then
-      report loc "polymorphic hash/compare: %s (use Shmem.Hashx)" path_s
-
-(* wall-clock reads banned in deadline code paths (--monotonic dirs) *)
-let banned_wallclock =
-  [ [ "Unix"; "gettimeofday" ]; [ "Unix"; "time" ]; [ "Sys"; "time" ]
-  ; [ "Stdlib"; "Sys"; "time" ]
-  ]
-
-let check_lid_monotonic loc lid =
-  let path = flatten_lid lid in
-  if List.exists (fun b -> b = path) banned_wallclock then
-    report loc "wall-clock read %s in deadline code (use Resil.Clock)"
-      (String.concat "." path)
-
-(* ---- whole-state polymorphic equality inside equal_state/hash_state ---- *)
-
-let state_fns = [ "equal_state"; "hash_state"; "compare_state" ]
-
-let rec fun_params acc e =
-  match e.Parsetree.pexp_desc with
-  | Parsetree.Pexp_fun (_, _, pat, body) ->
-    let acc =
-      match pat.Parsetree.ppat_desc with
-      | Parsetree.Ppat_var { txt; _ } -> txt :: acc
-      | _ -> acc
-    in
-    fun_params acc body
-  | _ -> acc
-
-let is_param params e =
-  match e.Parsetree.pexp_desc with
-  | Parsetree.Pexp_ident { txt = Longident.Lident x; _ } ->
-    List.mem x params
-  | _ -> false
-
-let check_state_fn fn_name params iter =
-  let open Ast_iterator in
-  let expr this e =
-    (match e.Parsetree.pexp_desc with
-    | Parsetree.Pexp_apply
-        ( { pexp_desc = Pexp_ident { txt = Longident.Lident op; _ }; _ }
-        , [ (_, a); (_, b) ] )
-      when List.mem op [ "="; "<>"; "compare" ]
-           && is_param params a && is_param params b ->
-      report e.Parsetree.pexp_loc
-        "whole-state polymorphic %s in %s (write structural equality)" op
-        fn_name
-    | Parsetree.Pexp_ident { txt = Longident.Lident "compare"; loc }
-      ->
-      report loc "bare polymorphic compare in %s" fn_name
-    | _ -> ());
-    default_iterator.expr this e
-  in
-  { iter with expr }
-
-let iterator =
-  let open Ast_iterator in
-  let expr this e =
-    (match e.Parsetree.pexp_desc with
-    | Parsetree.Pexp_ident { txt; loc } -> check_lid loc txt
-    | Parsetree.Pexp_new { txt; loc } -> check_lid loc txt
-    | _ -> ());
-    default_iterator.expr this e
-  in
-  let value_binding this vb =
-    (match vb.Parsetree.pvb_pat.Parsetree.ppat_desc with
-    | Parsetree.Ppat_var { txt; _ } when List.mem txt state_fns ->
-      let params = fun_params [] vb.Parsetree.pvb_expr in
-      let special = check_state_fn txt params this in
-      special.expr special vb.Parsetree.pvb_expr
-    | _ -> ());
-    default_iterator.value_binding this vb
-  in
-  { default_iterator with expr; value_binding }
-
-let monotonic_iterator =
-  let open Ast_iterator in
-  let expr this e =
-    (match e.Parsetree.pexp_desc with
-    | Parsetree.Pexp_ident { txt; loc } -> check_lid_monotonic loc txt
-    | _ -> ());
-    default_iterator.expr this e
-  in
-  { default_iterator with expr }
-
-let lint_file ~iter path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let lexbuf = Lexing.from_channel ic in
-      Lexing.set_filename lexbuf path;
-      match Parse.implementation lexbuf with
-      | ast -> iter.Ast_iterator.structure iter ast
-      | exception exn ->
-        incr errors;
-        Printf.eprintf "%s: parse error (%s)\n" path
-          (Printexc.to_string exn))
-
-let rec walk ~iter path =
-  if Sys.is_directory path then
-    Sys.readdir path |> Array.to_list |> List.sort compare
-    |> List.iter (fun f -> walk ~iter (Filename.concat path f))
-  else if Filename.check_suffix path ".ml" then lint_file ~iter path
+   Wired as the @srclint alias in bin/dune, run by the CI lint job; the
+   [swapspace lint] verb drives the same registry with repo-default
+   targets. *)
 
 let () =
   let args = match Array.to_list Sys.argv with _ :: a -> a | [] -> [] in
-  let rec split acc = function
-    | [] -> List.rev acc, []
-    | "--monotonic" :: rest -> List.rev acc, rest
-    | d :: rest -> split (d :: acc) rest
+  let core = ref [] and mono = ref [] and conc = ref [] in
+  let section = ref core in
+  List.iter
+    (fun a ->
+      match a with
+      | "--monotonic" -> section := mono
+      | "--concurrency" -> section := conc
+      | d -> !section := d :: !(!section))
+    args;
+  let core, mono, conc = List.rev !core, List.rev !mono, List.rev !conc in
+  if core = [] && mono = [] && conc = [] then begin
+    prerr_endline
+      "usage: srclint DIR... [--monotonic DIR...] [--concurrency DIR...]";
+    exit 2
+  end;
+  let plan =
+    List.map
+      (fun d -> d, [ Lint.purity; Lint.poly_hash; Lint.state_equality ])
+      core
+    @ List.map (fun d -> d, [ Lint.monotonic ]) mono
+    @ List.map
+        (fun d -> d, [ Lint.domain_escape; Lint.atomics_discipline ])
+        conc
   in
-  let dirs, mono_dirs = split [] args in
-  if dirs = [] && mono_dirs = [] then (
-    prerr_endline "usage: srclint DIR... [--monotonic DIR...]";
-    exit 2);
-  List.iter (walk ~iter:iterator) dirs;
-  List.iter (walk ~iter:monotonic_iterator) mono_dirs;
-  if !errors > 0 then (
-    Printf.eprintf "srclint: %d finding(s)\n" !errors;
-    exit 1)
+  let findings = Lint.run_plan plan in
+  List.iter (fun f -> Fmt.epr "%a@." Lint.pp_finding f) findings;
+  match List.length findings with
+  | 0 -> ()
+  | n ->
+    Fmt.epr "srclint: %d finding(s)@." n;
+    exit 1

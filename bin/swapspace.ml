@@ -1092,7 +1092,8 @@ let serve_cmd =
 (* ------------------------------------------------------------ analyze *)
 
 let analyze_cmd =
-  let go algo n max_configs json no_sym no_por metrics metrics_out =
+  let go algo n max_configs json space no_certificate no_sym no_por metrics
+      metrics_out =
     let entries =
       match algo with
       | None -> Baselines.Registry.standard ~n ()
@@ -1103,22 +1104,42 @@ let analyze_cmd =
           Fmt.epr "swapspace: %s@." msg;
           exit 2)
     in
-    let reports =
-      with_metrics ~metrics ~out:metrics_out (fun () ->
-          List.map
-            (fun (e : Baselines.Registry.entry) ->
-              Analyze.run_protocol ~max_configs ?solo_bound:e.solo_bound
-                ~prune:e.prune ~sym:(not no_sym) ~por:(not no_por)
-                ~props:e.props e.protocol)
-            entries)
-    in
-    if json then
-      print_endline
-        (Obs.Json.to_string
-           (Obs.Json.Arr (List.map Analyze.report_to_json reports)))
-    else
-      List.iter (fun r -> Fmt.pr "%a@." Analyze.pp_report r) reports;
-    if not (List.for_all Analyze.ok reports) then exit 1
+    if space then begin
+      let reports =
+        with_metrics ~metrics ~out:metrics_out (fun () ->
+            List.map
+              (fun (e : Baselines.Registry.entry) ->
+                Analyze.Space.run_protocol ~max_configs ~prune:e.prune
+                  ~sym:(not no_sym) ~por:(not no_por)
+                  ~certificate:(not no_certificate) e.protocol)
+              entries)
+      in
+      if json then
+        print_endline
+          (Obs.Json.to_string
+             (Obs.Json.Arr (List.map Analyze.Space.report_to_json reports)))
+      else
+        List.iter (fun r -> Fmt.pr "%a@." Analyze.Space.pp_report r) reports;
+      if not (List.for_all Analyze.Space.ok reports) then exit 1
+    end
+    else begin
+      let reports =
+        with_metrics ~metrics ~out:metrics_out (fun () ->
+            List.map
+              (fun (e : Baselines.Registry.entry) ->
+                Analyze.run_protocol ~max_configs ?solo_bound:e.solo_bound
+                  ~prune:e.prune ~sym:(not no_sym) ~por:(not no_por)
+                  ~props:e.props e.protocol)
+              entries)
+      in
+      if json then
+        print_endline
+          (Obs.Json.to_string
+             (Obs.Json.Arr (List.map Analyze.report_to_json reports)))
+      else
+        List.iter (fun r -> Fmt.pr "%a@." Analyze.pp_report r) reports;
+      if not (List.for_all Analyze.ok reports) then exit 1
+    end
   in
   let algo =
     Arg.(
@@ -1152,6 +1173,28 @@ let analyze_cmd =
       value & flag
       & info [ "json" ] ~doc:"Emit the reports as a JSON array on stdout.")
   in
+  let space =
+    Arg.(
+      value & flag
+      & info [ "space" ]
+          ~doc:
+            "Run the object-space certifier instead of the structural \
+             lints: measure the distinct base objects accessed across all \
+             explored executions (per object kind, with a single-execution \
+             witness), certify measured <= the protocol's declared \
+             space_bound (under-claims are fatal; over-claims only on an \
+             exhaustively closed graph), and bracket the measurement \
+             against the Theorem 10 adversary's forced lower bound on \
+             swap-only protocols.")
+  in
+  let no_certificate =
+    Arg.(
+      value & flag
+      & info [ "no-certificate" ]
+          ~doc:
+            "With $(b,--space): skip the Theorem 10 adversary run; the \
+             lb-bracket check reports as skipped.")
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
@@ -1161,11 +1204,133 @@ let analyze_cmd =
           and hash-coherence lints, decision range/coverage, symmetry-hook \
           coherence on reachable states, and measured solo \
           executions gated by the proved solo-step bound (8(n-k) for \
-          Algorithm 1). Exit 0 if every check passes, 1 on analysis \
-          failure, 2 on usage errors.")
+          Algorithm 1). With $(b,--space), certify each protocol's \
+          declared object-space bound against the measured access set and \
+          the Theorem 10 lower-bound certificate instead. Exit 0 if every \
+          check passes, 1 on analysis failure, 2 on usage errors.")
     Term.(
-      const go $ algo $ n $ max_configs $ json $ no_sym_arg $ no_por_arg
-      $ metrics_arg $ metrics_out_arg)
+      const go $ algo $ n $ max_configs $ json $ space $ no_certificate
+      $ no_sym_arg $ no_por_arg $ metrics_arg $ metrics_out_arg)
+
+(* --------------------------------------------------------------- lint *)
+
+let lint_cmd =
+  let go root pass_names list json metrics metrics_out =
+    if list then begin
+      List.iter
+        (fun p -> Fmt.pr "%-20s %s@." (Lint.pass_name p) (Lint.pass_doc p))
+        Lint.registry;
+      exit 0
+    end;
+    let selected =
+      match pass_names with
+      | [] -> None
+      | names ->
+        Some
+          (List.map
+             (fun name ->
+               match Lint.find_pass name with
+               | Ok p -> p
+               | Error msg ->
+                 Fmt.epr "swapspace: %s@." msg;
+                 exit 2)
+             names)
+    in
+    let filter ps =
+      match selected with
+      | None -> ps
+      | Some sel -> List.filter (fun p -> List.memq p sel) ps
+    in
+    let dir d = Filename.concat root d in
+    (* the repo lint plan: protocol purity over the proof-bearing
+       libraries, the wall-clock ban over every deadline/metrics layer,
+       and the concurrency discipline over the layers that spawn domains *)
+    let core = [ Lint.purity; Lint.poly_hash; Lint.state_equality ] in
+    let conc = [ Lint.domain_escape; Lint.atomics_discipline ] in
+    let plan =
+      List.map (fun d -> dir d, filter core) [ "lib/core"; "lib/baselines" ]
+      @ List.map
+          (fun d -> dir d, filter [ Lint.monotonic ])
+          [ "lib/resil"; "lib/runtime"; "lib/arena"; "lib/prop"; "lib/obs"
+          ; "lib/fault"
+          ]
+      @ List.map
+          (fun d -> dir d, filter conc)
+          [ "lib/runtime"; "lib/arena"; "lib/resil" ]
+    in
+    let plan =
+      List.filter (fun (d, ps) -> ps <> [] && Sys.file_exists d) plan
+    in
+    if plan = [] then begin
+      Fmt.epr
+        "swapspace: no lint targets under %s (expected the repository's \
+         lib/ layout; use --root)@."
+        root;
+      exit 2
+    end;
+    let findings =
+      with_metrics ~metrics ~out:metrics_out (fun () -> Lint.run_plan plan)
+    in
+    if json then
+      print_endline
+        (Obs.Json.to_string
+           (Obs.Json.Arr
+              (List.map
+                 (fun (f : Lint.finding) ->
+                   Obs.Json.Obj
+                     [ "file", Obs.Json.Str f.Lint.file
+                     ; "line", Obs.Json.Num (float_of_int f.Lint.line)
+                     ; "col", Obs.Json.Num (float_of_int f.Lint.col)
+                     ; "pass", Obs.Json.Str f.Lint.pass
+                     ; "message", Obs.Json.Str f.Lint.message
+                     ])
+                 findings)))
+    else
+      List.iter (fun f -> Fmt.pr "%a@." Lint.pp_finding f) findings;
+    match List.length findings with
+    | 0 -> ()
+    | count ->
+      Fmt.epr "swapspace lint: %d finding(s)@." count;
+      exit 1
+  in
+  let root =
+    Arg.(
+      value & opt string "."
+      & info [ "root" ] ~docv:"DIR"
+          ~doc:"Repository root the default lint targets resolve against.")
+  in
+  let pass_names =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "pass"; "p" ] ~docv:"NAME"
+          ~doc:
+            "Run only this pass (repeatable); default: every pass on its \
+             default targets. See $(b,--list) for names.")
+  in
+  let list =
+    Arg.(
+      value & flag
+      & info [ "list" ] ~doc:"List the registered passes and exit.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the findings as a JSON array on stdout.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the static source lints (lib/lint pass registry) over the \
+          repository: purity and hash/equality discipline on the \
+          proof-bearing protocol libraries, the wall-clock ban on \
+          deadline code, and the domain-escape / atomics-discipline \
+          concurrency passes on the multicore layers. Each file is parsed \
+          once; findings are deduplicated and stably sorted. Exit 0 \
+          clean, 1 with findings, 2 on usage errors.")
+    Term.(
+      const go $ root $ pass_names $ list $ json $ metrics_arg
+      $ metrics_out_arg)
 
 let () =
   let doc =
@@ -1176,7 +1341,7 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "swapspace" ~version:"1.0.0" ~doc)
-          [ run_cmd; check_cmd; props_cmd; analyze_cmd; lemma9_cmd
+          [ run_cmd; check_cmd; props_cmd; analyze_cmd; lint_cmd; lemma9_cmd
           ; lb_binary_cmd; lb_bounded_cmd; bounds_cmd; multicore_cmd
           ; chaos_cmd; resil_cmd; serve_cmd
           ]))

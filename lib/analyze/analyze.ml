@@ -567,6 +567,386 @@ let run_protocol ?max_configs ?inputs ?solo_bound ?prune ?sym ?por ?props p
     let module A = Make (P) in
     A.run ?max_configs ?inputs ?solo_bound ?prune ?sym ?por ()
 
+(* -------------------------------------------------- space certification *)
+
+let m_space_runs = Obs.counter "analyze.space.runs"
+let m_space_configs = Obs.counter "analyze.space.configs"
+let sp_space = Obs.span "analyze.space"
+
+module Space = struct
+  type kind_usage = { kind : string; total : int; touched : int }
+
+  type bracket = { theorem_bound : int; forced : int }
+
+  type report = {
+    protocol : string;
+    n : int;
+    k : int;
+    total_objects : int;
+    declared : int;
+    measured : int;
+    witness : int;
+    per_kind : kind_usage list;
+    configs : int;
+    exhaustive : bool;
+    bracket : bracket option;
+    checks : check list;
+  }
+
+  let ok r =
+    List.for_all
+      (fun c ->
+        match c.status with Fail _ -> false | Pass | Skipped _ -> true)
+      r.checks
+
+  let pp_report ppf r =
+    Fmt.pf ppf
+      "@[<v>%s (n=%d k=%d): %s, %d configurations%s@,\
+       space: declared %d, measured %d of %d objects, witness execution \
+       touches %d%a@,\
+       per kind: %a@,%a@]"
+      r.protocol r.n r.k
+      (if ok r then "ok" else "SPACE CERTIFICATION FAILED")
+      r.configs
+      (if r.exhaustive then " (exhaustive)" else " (bounded)")
+      r.declared r.measured r.total_objects r.witness
+      Fmt.(
+        option (fun ppf b ->
+            Fmt.pf ppf "@,bracket: theorem bound %d, adversary forced %d"
+              b.theorem_bound b.forced))
+      r.bracket
+      Fmt.(
+        list ~sep:comma (fun ppf u ->
+            Fmt.pf ppf "%s %d/%d" u.kind u.touched u.total))
+      r.per_kind
+      Fmt.(
+        list ~sep:cut (fun ppf c ->
+            Fmt.pf ppf "  %-18s %a" c.id pp_status c.status))
+      r.checks
+
+  let report_to_json r =
+    let open Obs.Json in
+    let status_json = function
+      | Pass -> Obj [ "status", Str "pass" ]
+      | Skipped why -> Obj [ "status", Str "skipped"; "why", Str why ]
+      | Fail details ->
+        Obj
+          [ "status", Str "fail"
+          ; "details", Arr (List.map (fun d -> Str d) details)
+          ]
+    in
+    Obj
+      [ "protocol", Str r.protocol
+      ; "n", Num (float_of_int r.n)
+      ; "k", Num (float_of_int r.k)
+      ; "ok", Bool (ok r)
+      ; "configs", Num (float_of_int r.configs)
+      ; "exhaustive", Bool r.exhaustive
+      ; ( "space",
+          Obj
+            [ "declared", Num (float_of_int r.declared)
+            ; "measured", Num (float_of_int r.measured)
+            ; "witness", Num (float_of_int r.witness)
+            ; "total_objects", Num (float_of_int r.total_objects)
+            ] )
+      ; ( "per_kind",
+          Arr
+            (List.map
+               (fun u ->
+                 Obj
+                   [ "kind", Str u.kind
+                   ; "touched", Num (float_of_int u.touched)
+                   ; "total", Num (float_of_int u.total)
+                   ])
+               r.per_kind) )
+      ; ( "bracket",
+          match r.bracket with
+          | None -> Null
+          | Some b ->
+            Obj
+              [ "theorem_bound", Num (float_of_int b.theorem_bound)
+              ; "forced", Num (float_of_int b.forced)
+              ] )
+      ; ( "checks",
+          Arr
+            (List.map
+               (fun c ->
+                 match status_json c.status with
+                 | Obj fields -> Obj (("id", Str c.id) :: fields)
+                 | j -> j)
+               r.checks) )
+      ]
+
+  (* Bytes-backed bitsets for per-configuration access masks: the
+     binary-track instances carry [2 * cap] objects, more than an int's
+     worth of bits. *)
+  module Bits = struct
+    let create num = Bytes.make ((num + 7) lsr 3) '\000'
+
+    let set b i =
+      let j = i lsr 3 in
+      Bytes.set b j
+        (Char.chr (Char.code (Bytes.get b j) lor (1 lsl (i land 7))))
+
+    let mem b i =
+      Char.code (Bytes.get b (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+    let with_bit b i =
+      if mem b i then b
+      else begin
+        let c = Bytes.copy b in
+        set c i;
+        c
+      end
+
+    let popcount b =
+      let n = ref 0 in
+      Bytes.iter
+        (fun ch ->
+          let c = ref (Char.code ch) in
+          while !c <> 0 do
+            incr n;
+            c := !c land (!c - 1)
+          done)
+        b;
+      !n
+  end
+
+  module Make (P : Sh.Protocol.S) = struct
+    module X = Explore.Make (P)
+    module E = X.E
+    module T10 = Lowerbound.Theorem10.Make (P)
+
+    let run ?(max_configs = 20_000) ?inputs ?(prune = fun _ -> false)
+        ?(sym = true) ?(por = true) ?(certificate = true)
+        ?(search_rounds = 200) () =
+      Obs.Span.time sp_space @@ fun () ->
+      Obs.Counter.incr m_space_runs;
+      let inputs =
+        match inputs with
+        | Some i -> i
+        | None -> Array.init P.n (fun i -> i mod P.num_inputs)
+      in
+      let num_objects = Array.length P.objects in
+      let declared = P.space_bound ~n:P.n ~k:P.k in
+      (* [touched] is the union of poised-operation targets over every
+         visited configuration.  A poised operation executes in some
+         execution (schedule its process next), so on the explored region
+         this is exactly the set of objects accessed across all executions
+         — and it is renaming-invariant ([Op.rename] never moves the
+         target index), so measuring on the symmetry quotient equals
+         measuring concretely. *)
+      let touched = Bits.create (max 1 num_objects) in
+      (* per-configuration discovery masks: mask(dst) = mask(src) + the
+         stepped object, so popcount(mask) is the number of distinct
+         objects one concrete execution (the discovery schedule,
+         [X.trace_to]) accesses — the constructive witness half of the
+         measurement. *)
+      let masks = ref (Array.make 1024 Bytes.empty) in
+      let ensure id =
+        let len = Array.length !masks in
+        if id >= len then begin
+          let bigger =
+            Array.make (max (2 * len) (id + 1)) Bytes.empty
+          in
+          Array.blit !masks 0 bigger 0 len;
+          masks := bigger
+        end
+      in
+      let witness = ref 0 in
+      let conformance = Acc.create () in
+      let nonconforming = ref false in
+      let pruned = ref false in
+      let t = X.create ~sym ~por ~inputs () in
+      ensure (X.root t);
+      (!masks).(X.root t) <- Bits.create (max 1 num_objects);
+      let on_step (s : X.step_obs) =
+        let obj = s.X.step.Sh.Trace.op.Sh.Op.obj in
+        let m = Bits.with_bit (!masks).(s.X.src) obj in
+        let pc = Bits.popcount m in
+        if pc > !witness then witness := pc;
+        if s.X.fresh then begin
+          ensure s.X.dst;
+          (!masks).(s.X.dst) <- m
+        end
+      in
+      let visit (v : X.visit) =
+        Obs.Counter.incr m_space_configs;
+        let c = v.X.config in
+        let conforms = ref true in
+        List.iter
+          (fun pid ->
+            let op = E.poised c pid in
+            if op.Sh.Op.obj < 0 || op.Sh.Op.obj >= num_objects then begin
+              Acc.add conformance
+                (Fmt.str "p%d poised on out-of-range object: %a" pid
+                   Sh.Op.pp op);
+              conforms := false
+            end
+            else begin
+              if
+                not
+                  (Sh.Obj_kind.supports
+                     P.objects.(op.Sh.Op.obj)
+                     op.Sh.Op.action)
+              then begin
+                Acc.add conformance
+                  (Fmt.str "p%d poised to apply %a, but B%d is a %a" pid
+                     Sh.Op.pp op op.Sh.Op.obj Sh.Obj_kind.pp
+                     P.objects.(op.Sh.Op.obj));
+                conforms := false
+              end;
+              Bits.set touched op.Sh.Op.obj
+            end)
+          (E.undecided c);
+        if not !conforms then begin
+          nonconforming := true;
+          X.Prune
+        end
+        else if prune c.E.mem then begin
+          pruned := true;
+          X.Prune
+        end
+        else X.Continue
+      in
+      let stats = X.bfs t ~max_configs ~on_step ~visit () in
+      let exhaustive =
+        not
+          (stats.X.truncated || !pruned || !nonconforming || stats.X.stopped)
+      in
+      let measured = Bits.popcount touched in
+      let per_kind =
+        let tbl = Hashtbl.create 4 in
+        let order = ref [] in
+        Array.iteri
+          (fun i kind ->
+            let key = Fmt.str "%a" Sh.Obj_kind.pp kind in
+            let total, hit =
+              match Hashtbl.find_opt tbl key with
+              | Some th -> th
+              | None ->
+                order := key :: !order;
+                0, 0
+            in
+            Hashtbl.replace tbl key
+              (total + 1, hit + if Bits.mem touched i then 1 else 0))
+          P.objects;
+        List.rev_map
+          (fun key ->
+            let total, hit = Hashtbl.find tbl key in
+            { kind = key; total; touched = hit })
+          !order
+      in
+      (* under-claim (fatal): the measured access set exceeds the declared
+         family bound — some execution of this very instance touches more
+         objects than the declaration admits *)
+      let under = Acc.create () in
+      if measured > declared then
+        Acc.add under
+          (Fmt.str
+             "executions access %d distinct objects; the declared bound \
+              admits %d%s"
+             measured declared
+             (if !witness > declared then
+                Fmt.str " (a single explored execution touches %d)" !witness
+              else ""));
+      (* over-claim: the declaration exceeds even the union across all
+         executions.  Like the historyless flag derivation, this is only a
+         finding when the exploration closed the graph — on a bounded
+         region the unreached objects may simply be further out. *)
+      let tightness =
+        if measured >= declared then Pass
+        else if exhaustive then
+          Fail
+            [ Fmt.str
+                "declared bound %d, but the closed reachable graph \
+                 accesses only %d objects: the declaration over-claims"
+                declared measured
+            ]
+        else Skipped "exploration bounded; tightness not assessable"
+      in
+      (* bracket against the Theorem 10 adversary: the forced lower bound
+         and the measured upper bound must enclose each other, and the
+         declaration must respect the theorem *)
+      let bracket, bracket_status =
+        if not certificate then None, Skipped "certificate not requested"
+        else if not (Sh.Protocol.uses_only_swap (module P : Sh.Protocol.S))
+        then None, Skipped "protocol is not swap-only (Theorem 10 model)"
+        else if P.num_inputs < P.k + 1 then
+          None,
+            Skipped
+              (Fmt.str
+                 "Theorem 10 needs k+1 = %d input values, protocol has %d"
+                 (P.k + 1) P.num_inputs)
+        else begin
+          match T10.run ~search_rounds ~sym () with
+          | cert ->
+            let forced = T10.forced cert in
+            let acc = Acc.create () in
+            if declared < cert.T10.bound then
+              Acc.add acc
+                (Fmt.str
+                   "declared space %d is below the Theorem 10 bound %d — \
+                    no correct algorithm fits the declaration"
+                   declared cert.T10.bound);
+            if forced < cert.T10.bound then
+              Acc.add acc
+                (Fmt.str
+                   "adversary forced only %d objects, below the promised \
+                    %d"
+                   forced cert.T10.bound);
+            if forced > measured then
+              Acc.add acc
+                (Fmt.str
+                   "adversary forced %d objects but the certifier \
+                    measured only %d — the bracket is inverted"
+                   forced measured);
+            ( Some { theorem_bound = cert.T10.bound; forced },
+              Acc.status acc )
+          | exception Lowerbound.Lemma9.Hypothesis_violated msg ->
+            None, Skipped (Fmt.str "Lemma 9 hypothesis violated: %s" msg)
+        end
+      in
+      { protocol = P.name
+      ; n = P.n
+      ; k = P.k
+      ; total_objects = num_objects
+      ; declared
+      ; measured
+      ; witness = !witness
+      ; per_kind
+      ; configs = stats.X.visited
+      ; exhaustive
+      ; bracket
+      ; checks =
+          [ { id = "op-conformance"
+            ; title = "every reachable operation legal for its object kind"
+            ; status = Acc.status conformance
+            }
+          ; { id = "space-under-claim"
+            ; title = "measured object usage within the declared bound"
+            ; status = Acc.status under
+            }
+          ; { id = "space-tightness"
+            ; title = "declared bound reached by the measured usage"
+            ; status = tightness
+            }
+          ; { id = "lb-bracket"
+            ; title = "Theorem 10 lower bound brackets the measurement"
+            ; status = bracket_status
+            }
+          ]
+      }
+  end
+
+  let run_protocol ?max_configs ?inputs ?prune ?sym ?por ?certificate
+      ?search_rounds p =
+    let (module P : Sh.Protocol.S) = p in
+    let module M = Make (P) in
+    M.run ?max_configs ?inputs ?prune ?sym ?por ?certificate ?search_rounds
+      ()
+end
+
 (* ------------------------------------------------- happens-before checker *)
 
 module Hb = struct

@@ -146,6 +146,103 @@ val run_protocol :
     very module the protocol value wraps, so this is the same analysis plus
     the extra lint. *)
 
+(** {1 Space certification}
+
+    The paper's headline results are {e space} bounds: Algorithm 1 solves
+    k-set agreement from [n - k] swap objects (Theorem 4) and every
+    solo-terminating algorithm needs ⌈n/k⌉ - 1 of them (Theorem 10).  The
+    certifier closes the loop on a concrete protocol: it explores the
+    reachable configuration graph (symmetry + POR on by default, so it
+    closes at the same [n] as [check]) and measures
+
+    - {b measured}: the union of poised-operation targets over every
+      visited configuration.  A poised operation executes in some
+      execution (schedule its process next), so on the explored region
+      this is exactly the set of base objects accessed across all
+      executions.  Sound on the quotient graph: [Op.rename] never moves
+      the target object index, so object access sets are
+      renaming-equivariant and measuring on orbit representatives equals
+      measuring concretely;
+    - {b witness}: the maximum number of distinct objects accessed along a
+      single discovery schedule — a concrete execution
+      ([Explore.Make.trace_to]) realizing that many objects, the
+      constructive lower half of the measurement.
+
+    It then certifies [measured <= declared] against the protocol's
+    declared {!Shmem.Protocol.S.space_bound} (an {e under-claim} is fatal),
+    flags [measured < declared] as an over-claim only when the exploration
+    closed the graph (like the historyless flag derivation), and — for
+    swap-only protocols — runs the Theorem 10 adversary
+    ([Lowerbound.Theorem10]) so the forced lower bound and the measured
+    upper bound are asserted to bracket each other in one report. *)
+
+module Space : sig
+  type kind_usage = {
+    kind : string;  (** rendered object kind *)
+    total : int;  (** objects of this kind in the protocol *)
+    touched : int;  (** of which this many are reachably accessed *)
+  }
+
+  type bracket = {
+    theorem_bound : int;  (** ⌈n/k⌉ - 1, what Theorem 10 promises *)
+    forced : int;  (** objects the Lemma 9 adversary concretely forced *)
+  }
+
+  type report = {
+    protocol : string;
+    n : int;
+    k : int;
+    total_objects : int;  (** size of the declared object array *)
+    declared : int;  (** [space_bound] at the protocol's own [n]/[k] *)
+    measured : int;  (** distinct objects accessed across all executions *)
+    witness : int;  (** max distinct objects along one explored execution *)
+    per_kind : kind_usage list;
+    configs : int;
+    exhaustive : bool;
+    bracket : bracket option;  (** present iff the adversary ran *)
+    checks : check list;
+  }
+
+  val ok : report -> bool
+  val pp_report : Format.formatter -> report -> unit
+  val report_to_json : report -> Obs.Json.t
+
+  module Make (P : Shmem.Protocol.S) : sig
+    val run :
+      ?max_configs:int ->
+      ?inputs:int array ->
+      ?prune:(Shmem.Value.t array -> bool) ->
+      ?sym:bool ->
+      ?por:bool ->
+      ?certificate:bool ->
+      ?search_rounds:int ->
+      unit ->
+      report
+    (** certify [P]'s declared space bound.  [max_configs] (default
+        20_000) bounds the exploration; [prune] cuts off configurations
+        whose memory snapshot satisfies it (marking the report
+        non-exhaustive).  [sym] / [por] default to [true] — unlike
+        {!Make.run}, reduction is on unless disabled.  [certificate]
+        (default [true]) runs the Theorem 10 adversary on swap-only
+        protocols with [search_rounds] (default 200) search attempts per
+        induction level; pass [~certificate:false] to skip the (costly)
+        lower-bound bracket. *)
+  end
+
+  val run_protocol :
+    ?max_configs:int ->
+    ?inputs:int array ->
+    ?prune:(Shmem.Value.t array -> bool) ->
+    ?sym:bool ->
+    ?por:bool ->
+    ?certificate:bool ->
+    ?search_rounds:int ->
+    Shmem.Protocol.t ->
+    report
+  (** {!Make.run} over a first-class protocol value — what
+      [swapspace analyze --space] calls for each registry entry *)
+end
+
 (** {1 Happens-before race checking}
 
     A near-linear dynamic checker over the timestamped per-object histories

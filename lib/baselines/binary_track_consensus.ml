@@ -23,6 +23,10 @@ let make_general ?(eager = false) ~kind_name ~kind ~n ~cap () : (module S) =
     let objects = Array.make (2 * cap) kind
 
     let init_object _ = Sh.Value.Int 0
+
+    (* two tracks of [cap] binary cells; the 2n-1 figure of [17] assumes
+       cap is sized to the worst-case race, here it is a free parameter *)
+    let space_bound ~n:_ ~k:_ = 2 * cap
     let cell v i = (v * cap) + i
 
     (* scanning the preferred track, then the opposite track; [count] is the

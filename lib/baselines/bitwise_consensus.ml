@@ -37,6 +37,9 @@ module Make (B : Sh.Protocol.S) = struct
         if i < board_cells then Sh.Value.Int 0
         else B.init_object ((i - board_cells) mod per_instance)
 
+      (* the whole board plus every bit-instance's objects *)
+      let space_bound ~n:_ ~k:_ = board_cells + (bits * per_instance)
+
       type phase =
         | Posting of int  (* next board cell of my row to write *)
         | Running of { round : int; sub : B.state }

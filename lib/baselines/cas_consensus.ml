@@ -11,6 +11,9 @@ let make ~n ~m : (module Sh.Protocol.S) =
     let objects = [| Sh.Obj_kind.Compare_and_swap Sh.Obj_kind.Unbounded |]
     let init_object _ = Sh.Value.Bot
 
+    (* a single CAS object; possible because CAS is not historyless *)
+    let space_bound ~n:_ ~k:_ = 1
+
     type phase = Try | Read_back
 
     type state = { input : int; phase : phase; decided : int option }

@@ -14,6 +14,8 @@ let make ~n ~m : (module Sh.Protocol.S) =
     let init_object _ =
       Sh.Value.Pair (Sh.Value.Ints (Array.make m 0), Sh.Value.Bot)
 
+    let space_bound ~n ~k:_ = n - 1
+
     type phase = Reading of int | Swapping of int
 
     type state = {

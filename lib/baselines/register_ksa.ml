@@ -15,6 +15,9 @@ let make ~n ~k ~m : (module Sh.Protocol.S) =
     let init_object _ =
       Sh.Value.Pair (Sh.Value.Ints (Array.make m 0), Sh.Value.Bot)
 
+    (* the register baseline [15] needs one more object than Algorithm 1 *)
+    let space_bound ~n ~k = n - k + 1
+
     (* A process repeatedly scans all registers, then writes its pair into
        the FIRST register whose content differs (writing one register per
        scan is the crucial discipline from [15]: a process acting on stale

@@ -10,6 +10,7 @@ let make ~n ~m : (module Sh.Protocol.S) =
     let num_inputs = m
     let objects = [| Sh.Obj_kind.Swap_only Sh.Obj_kind.Unbounded |]
     let init_object _ = Sh.Value.Bot
+    let space_bound ~n:_ ~k:_ = 1
 
     type state = { pid : int; input : int; decided : int option }
 

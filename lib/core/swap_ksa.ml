@@ -56,6 +56,9 @@ let make_general ~n ~k ~m ~lead ~merge : (module S) =
     let init_object _ =
       Sh.Value.Pair (Sh.Value.Ints (Array.make m 0), Sh.Value.Bot)
 
+    (* Algorithm 1's headline bound: n - k swap objects suffice *)
+    let space_bound ~n ~k = n - k
+
     type state = {
       pid : int;
       u : int array;  (* local lap counter; never mutated after creation *)

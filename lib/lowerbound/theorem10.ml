@@ -19,6 +19,7 @@ module Make (P : Shmem.Protocol.S) = struct
   }
 
   let bound ~n ~k = Bounds.ksa_swap_lb ~n ~k
+  let forced cert = List.length cert.objects_forced
 
   (* Base case (k = 1): the lowest active process runs solo from the
      configuration where it alone has input 0; validity forces it to decide

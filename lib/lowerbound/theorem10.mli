@@ -60,4 +60,9 @@ module Make (P : Shmem.Protocol.S) : sig
 
   val bound : n:int -> k:int -> int
   (** ⌈n/k⌉ - 1 *)
+
+  val forced : certificate -> int
+  (** number of distinct objects the adversary forced — the concrete lower
+      half of the bracket the space certifier ([Analyze.Space]) asserts
+      against its measured upper bound *)
 end

@@ -297,15 +297,19 @@ end
 module Span = struct
   type t = { name : string; h : Histogram.t }
 
+  (* CLOCK_MONOTONIC via bechamel's noalloc external: span durations must
+     not jump under NTP slew (the same discipline Resil.Clock enforces for
+     deadlines, and srclint --monotonic now checks here) *)
+  let now_ns () = Int64.to_int (Monotonic_clock.now ())
   let ns_of_s dt = max 1 (int_of_float (dt *. 1e9))
 
   let time t f =
     if not (enabled ()) then f ()
     else begin
-      let t0 = Unix.gettimeofday () in
+      let t0 = now_ns () in
       Fun.protect
         ~finally:(fun () ->
-          Histogram.observe t.h (ns_of_s (Unix.gettimeofday () -. t0)))
+          Histogram.observe t.h (max 1 (now_ns () - t0)))
         f
     end
 

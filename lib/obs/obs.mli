@@ -95,8 +95,9 @@ module Span : sig
       a histogram, so snapshots carry count, total and quantiles *)
 
   val time : t -> (unit -> 'a) -> 'a
-  (** run the thunk and record its wall-clock duration (also on exceptions).
-      Durations are clamped to >= 1ns so a recorded span is never zero. *)
+  (** run the thunk and record its duration (also on exceptions), read
+      from CLOCK_MONOTONIC so NTP slew cannot distort a span.  Durations
+      are clamped to >= 1ns so a recorded span is never zero. *)
 
   val ns_of_s : float -> int
   (** seconds to nanoseconds, clamped to >= 1 — for sites that time

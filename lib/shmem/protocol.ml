@@ -75,6 +75,12 @@ module type S = sig
   val hash_state : state -> int
   val pp_state : Format.formatter -> state -> unit
 
+  val space_bound : n:int -> k:int -> int
+  (** the family's declared object-space bound — an upper bound on the
+      distinct base objects any execution of the [n]-process [k]-agreement
+      instance accesses (n-k for Algorithm 1).  [Analyze.Make.space]
+      certifies the measurement against this at the module's own [n]/[k]. *)
+
   val symmetry : state symmetry
   (** see {!type:symmetry}; [Asymmetric] is always sound *)
 
@@ -152,6 +158,9 @@ let validate (module P : S) =
   if P.n <= 0 then invalid_arg "protocol: n must be positive";
   if P.k <= 0 then invalid_arg "protocol: k must be positive";
   if P.num_inputs <= 0 then invalid_arg "protocol: num_inputs must be positive";
+  if P.space_bound ~n:P.n ~k:P.k < 0 then
+    invalid_arg
+      (Fmt.str "protocol %s: space_bound must be non-negative" P.name);
   Array.iteri
     (fun i kind ->
       let v = P.init_object i in
@@ -165,6 +174,7 @@ let validate (module P : S) =
 
 let name (module P : S) = P.name
 let num_objects (module P : S) = Array.length P.objects
+let declared_space (module P : S) = P.space_bound ~n:P.n ~k:P.k
 
 let uses_only_historyless (module P : S) =
   Array.for_all Obj_kind.is_historyless P.objects

@@ -81,6 +81,19 @@ module type S = sig
   val hash_state : state -> int
   val pp_state : Format.formatter -> state -> unit
 
+  val space_bound : n:int -> k:int -> int
+  (** the algorithm family's {e declared} object-space bound: an upper
+      bound on the number of distinct base objects any execution of the
+      [n]-process, [k]-agreement instance accesses ([n - k] for
+      Algorithm 1; per-family closed forms for the baselines).  At the
+      module's own [n]/[k] it must dominate the measured maximum — the
+      space certifier of [lib/analyze] ([Analyze.Make.space]) explores the
+      reachable configuration graph and fails any protocol whose
+      executions touch more distinct objects than declared (an
+      {e under-claim}); a declaration strictly above the measured maximum
+      on an exhaustively closed graph is flagged as an over-claim, like
+      the historyless flags.  See {!declared_space}. *)
+
   val symmetry : state symmetry
   (** see {!type:symmetry}; [Asymmetric] is always sound *)
 
@@ -102,6 +115,10 @@ val validate : t -> unit
 
 val name : t -> string
 val num_objects : t -> int
+
+val declared_space : t -> int
+(** [P.space_bound] applied to the protocol's own [n] and [k] — the bound
+    the space certifier gates its measurement against *)
 
 val uses_only_historyless : t -> bool
 (** no object of the protocol is a compare-and-swap (§2's historyless

@@ -63,6 +63,80 @@ let test_solo_bound_swap_ksa () =
           r.Analyze.solo_measured_max bound)
     [ 3; 4; 5; 6 ]
 
+(* ------------------------------------------------ space certification *)
+
+let sfind_check (r : Analyze.Space.report) id =
+  match List.find_opt (fun (c : Analyze.check) -> c.id = id) r.checks with
+  | Some c -> c
+  | None -> Alcotest.failf "space report has no %S check" id
+
+(* every registry protocol certifies measured <= declared on the grid the
+   CLI gate runs at *)
+let test_space_registry_grid () =
+  List.iter
+    (fun n ->
+      List.iter
+        (fun (e : Baselines.Registry.entry) ->
+          let r =
+            Analyze.Space.run_protocol ~max_configs:6_000 ~prune:e.prune
+              ~certificate:false e.protocol
+          in
+          if not (Analyze.Space.ok r) then
+            Alcotest.failf "%s n=%d: %a" e.name n Analyze.Space.pp_report
+              r)
+        (Baselines.Registry.standard ~n ()))
+    [ 3; 4; 5; 6 ]
+
+(* Algorithm 1 is tight: the measured usage equals the declared n-k, and
+   the Theorem 10 bracket closes around it at k=1 (declared = measured =
+   theorem bound = n-1) *)
+let test_space_swap_ksa_exact () =
+  List.iter
+    (fun n ->
+      let (module P) = Core.Swap_ksa.make ~n ~k:1 ~m:2 in
+      let r =
+        Analyze.Space.run_protocol ~max_configs:20_000
+          ~prune:(Util.lap_prune_pair 3)
+          (module P)
+      in
+      if not (Analyze.Space.ok r) then
+        Alcotest.failf "swap-ksa n=%d: %a" n Analyze.Space.pp_report r;
+      Alcotest.(check int) (Fmt.str "measured = n-k at n=%d" n) (n - 1)
+        r.Analyze.Space.measured;
+      match r.Analyze.Space.bracket with
+      | None -> Alcotest.failf "swap-ksa n=%d: no Theorem 10 bracket" n
+      | Some b ->
+        Alcotest.(check int)
+          (Fmt.str "theorem bound at n=%d" n)
+          (n - 1) b.Analyze.Space.theorem_bound;
+        if b.Analyze.Space.forced > r.Analyze.Space.measured then
+          Alcotest.failf "swap-ksa n=%d: forced %d > measured %d" n
+            b.Analyze.Space.forced r.Analyze.Space.measured)
+    [ 3; 4; 5 ]
+
+(* the planted space mutant: Algorithm 1 claiming one object fewer than it
+   uses must be rejected by the under-claim check specifically *)
+let test_mutant_space_underclaim () =
+  let (module P) = Core.Swap_ksa.make ~n:4 ~k:1 ~m:2 in
+  let module Bad = struct
+    include P
+
+    let name = "swap-ksa/space-under-claim"
+    let space_bound ~n ~k = n - k - 1
+  end in
+  let r =
+    Analyze.Space.run_protocol ~max_configs:20_000
+      ~prune:(Util.lap_prune_pair 3) ~certificate:false
+      (module Bad)
+  in
+  if Analyze.Space.ok r then
+    Alcotest.fail "space under-claim accepted by the certifier";
+  match (sfind_check r "space-under-claim").status with
+  | Analyze.Fail _ -> ()
+  | Analyze.Pass | Analyze.Skipped _ ->
+    Alcotest.failf "expected space-under-claim to fail:@.%a"
+      Analyze.Space.pp_report r
+
 (* -------------------------------------- random well-formed protocols *)
 
 (* a straight-line protocol: every process executes the same random list of
@@ -105,6 +179,7 @@ let mk_straightline ~kinds ~(prog : (int * Sh.Op.action) list) ~n ~m :
       Sh.Hashx.(opt int (int (int seed s.input) s.step) s.decided)
 
     let pp_state ppf s = Fmt.pf ppf "{step=%d}" s.step
+    let space_bound ~n:_ ~k:_ = Array.length objects
     let symmetry = Sh.Protocol.Asymmetric
     let recovery = Sh.Protocol.Restart
   end in
@@ -210,6 +285,7 @@ let cas_smuggler : Sh.Protocol.t =
       Sh.Hashx.(opt int (bool (int seed s.input) s.tried) s.decided)
 
     let pp_state ppf s = Fmt.pf ppf "{tried=%b}" s.tried
+    let space_bound ~n:_ ~k:_ = Array.length objects
     let symmetry = Sh.Protocol.Asymmetric
     let recovery = Sh.Protocol.Restart
   end in
@@ -253,6 +329,7 @@ let bad_hasher : Sh.Protocol.t =
       Sh.Hashx.(opt int (int (int seed s.input) s.step) s.decided)
 
     let pp_state ppf s = Fmt.pf ppf "{step=%d}" s.step
+    let space_bound ~n:_ ~k:_ = Array.length objects
     let symmetry = Sh.Protocol.Asymmetric
     let recovery = Sh.Protocol.Restart
   end in
@@ -294,6 +371,7 @@ let flipper : Sh.Protocol.t =
       Sh.Hashx.(opt int (int (int seed s.input) s.step) s.decided)
 
     let pp_state ppf s = Fmt.pf ppf "{step=%d}" s.step
+    let space_bound ~n:_ ~k:_ = Array.length objects
     let symmetry = Sh.Protocol.Asymmetric
     let recovery = Sh.Protocol.Restart
   end in
@@ -326,6 +404,7 @@ let out_of_range : Sh.Protocol.t =
       Sh.Hashx.(opt int (int seed s.input) s.decided)
 
     let pp_state ppf s = Fmt.pf ppf "{input=%d}" s.input
+    let space_bound ~n:_ ~k:_ = Array.length objects
     let symmetry = Sh.Protocol.Asymmetric
     let recovery = Sh.Protocol.Restart
   end in
@@ -368,6 +447,7 @@ let pid_key : Sh.Protocol.t =
 
     let pp_state ppf s = Fmt.pf ppf "{p%d step=%d}" s.pid s.step
 
+    let space_bound ~n:_ ~k:_ = Array.length objects
     let symmetry =
       Sh.Protocol.Anonymous
         { canon_key = (fun s -> if s.step > 0 then s.pid else 0)
@@ -415,6 +495,7 @@ let marker : Sh.Protocol.t =
 
     let pp_state ppf s = Fmt.pf ppf "{p%d mark=%d}" s.pid s.mark
 
+    let space_bound ~n:_ ~k:_ = Array.length objects
     let symmetry =
       Sh.Protocol.Anonymous
         { canon_key = hash_state
@@ -455,6 +536,7 @@ let frozen_rename : Sh.Protocol.t =
     let hash_state s = Sh.Hashx.(opt int (int seed s.input) s.decided)
     let pp_state ppf s = Fmt.pf ppf "{p%d}" s.pid
 
+    let space_bound ~n:_ ~k:_ = Array.length objects
     let symmetry =
       Sh.Protocol.Anonymous
         { canon_key = (fun s -> Sh.Hashx.(int seed s.input))
@@ -618,6 +700,14 @@ let () =
             test_solo_bound_swap_ksa
         ; Alcotest.test_case "find errors are descriptive" `Quick
             test_registry_errors
+        ] )
+    ; ( "space",
+        [ Alcotest.test_case "registry certifies on n=3..6" `Slow
+            test_space_registry_grid
+        ; Alcotest.test_case "Algorithm 1 measured = n-k, bracketed" `Slow
+            test_space_swap_ksa_exact
+        ; Alcotest.test_case "under-claim by one rejected" `Quick
+            test_mutant_space_underclaim
         ] )
     ; ( "fuzz",
         [ test_random_wellformed ] )

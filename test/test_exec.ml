@@ -33,6 +33,7 @@ module Tiny = struct
   let equal_state = ( = )
   let hash_state = Hashtbl.hash
   let pp_state ppf s = Fmt.pf ppf "{input=%d step=%d}" s.input s.step
+  let space_bound ~n:_ ~k:_ = Array.length objects
   let symmetry = Shmem.Protocol.Asymmetric
   let recovery = Shmem.Protocol.Restart
 end

@@ -386,6 +386,7 @@ let mutant ~name
     let pp_state ppf s =
       Fmt.pf ppf "{p%d laps=%a}" s.pid Fmt.(Dump.array int) s.laps
 
+    let space_bound ~n:_ ~k:_ = Array.length objects
     let symmetry = Sh.Protocol.Asymmetric
     let recovery = Sh.Protocol.Restart
     let laps s = Array.copy s.laps

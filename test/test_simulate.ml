@@ -81,6 +81,7 @@ let test_tas_over_readable_swap () =
     let equal_state = ( = )
     let hash_state = Hashtbl.hash
     let pp_state ppf _ = Fmt.pf ppf "{}"
+    let space_bound ~n:_ ~k:_ = Array.length objects
     let symmetry = Shmem.Protocol.Asymmetric
     let recovery = Shmem.Protocol.Restart
   end in

@@ -176,6 +176,7 @@ let stubborn_anon ~n : Sh.Protocol.t =
     let hash_state s = Sh.Hashx.(opt int (int seed s.input) s.decided)
     let pp_state ppf s = Fmt.pf ppf "{input=%d}" s.input
 
+    let space_bound ~n:_ ~k:_ = Array.length objects
     let symmetry =
       Sh.Protocol.Anonymous
         { canon_key = hash_state; rename = (fun _ s -> s) }

@@ -37,6 +37,7 @@ let stubborn_protocol () : (module Shmem.Protocol.S) =
     let equal_state = ( = )
     let hash_state = Hashtbl.hash
     let pp_state ppf s = Fmt.pf ppf "{input=%d}" s.input
+    let space_bound ~n:_ ~k:_ = Array.length objects
     let symmetry = Shmem.Protocol.Asymmetric
     let recovery = Shmem.Protocol.Restart
   end)
@@ -61,6 +62,7 @@ let invalid_protocol () : (module Shmem.Protocol.S) =
     let equal_state = ( = )
     let hash_state = Hashtbl.hash
     let pp_state ppf _ = Fmt.pf ppf "{}"
+    let space_bound ~n:_ ~k:_ = Array.length objects
     let symmetry = Shmem.Protocol.Asymmetric
     let recovery = Shmem.Protocol.Restart
   end)
@@ -92,6 +94,7 @@ let spinner_protocol () : (module Shmem.Protocol.S) =
     let equal_state = ( = )
     let hash_state = Hashtbl.hash
     let pp_state ppf s = Fmt.pf ppf "{input=%d}" s.input
+    let space_bound ~n:_ ~k:_ = Array.length objects
     let symmetry = Shmem.Protocol.Asymmetric
     let recovery = Shmem.Protocol.Restart
   end)
